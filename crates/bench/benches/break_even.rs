@@ -1,0 +1,28 @@
+//! Criterion bench for experiment N1 (§III-A.1): the break-even table.
+//!
+//! Prints the regenerated rows once, then times the computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memstream_bench::breakeven_rows;
+
+fn print_once() {
+    println!("\n[N1] break-even buffers over 32-4096 kbps:");
+    for r in breakeven_rows(5) {
+        println!(
+            "  {:>6.0} kbps: MEMS {:>8.3} KiB, disk {:>8.3} MiB ({:.0}x)",
+            r.kbps, r.mems_kib, r.disk_mib, r.ratio
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    c.bench_function("n1_breakeven_table_9_rates", |b| {
+        b.iter(|| black_box(breakeven_rows(black_box(9))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

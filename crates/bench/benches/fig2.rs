@@ -1,0 +1,52 @@
+//! Criterion bench for experiments F2a/F2b (Fig. 2): the buffer sweep.
+//!
+//! Prints the regenerated series once, then times the sweep and its two
+//! hottest kernels (the energy closed form and the capacity sawtooth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memstream_bench::fig2_rows;
+use memstream_core::SystemModel;
+use memstream_units::{BitRate, DataSize};
+
+fn print_once() {
+    println!("\n[F2] energy / capacity / lifetime vs buffer at 1024 kbps:");
+    for r in fig2_rows(BitRate::from_kbps(1024.0), 8) {
+        println!(
+            "  {:>6.2} KiB: Em {:>7.2} nJ/b, u {:>6.2}%, Lsp {:>5.2} y, Lpb {:>5.2} y",
+            r.buffer_kib,
+            r.energy_nj.unwrap_or(f64::NAN),
+            r.utilization_pct,
+            r.springs_years,
+            r.probes_years
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    c.bench_function("f2_full_sweep_20_points", |b| {
+        b.iter(|| black_box(fig2_rows(BitRate::from_kbps(1024.0), black_box(20))))
+    });
+
+    let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    let buffer = DataSize::from_kibibytes(20.0);
+    c.bench_function("f2_kernel_per_bit_energy", |b| {
+        b.iter(|| model.per_bit_energy(black_box(buffer)))
+    });
+    c.bench_function("f2_kernel_utilization", |b| {
+        b.iter(|| model.utilization(black_box(buffer)))
+    });
+    c.bench_function("f2_kernel_lifetimes", |b| {
+        b.iter(|| {
+            (
+                model.springs_lifetime(black_box(buffer)),
+                model.probes_lifetime(black_box(buffer)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

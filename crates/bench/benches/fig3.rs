@@ -1,0 +1,53 @@
+//! Criterion bench for experiments F3a/F3b/F3c (Fig. 3): the rate sweeps
+//! with the full inverse-function stack (energy, capacity, springs, probes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memstream_bench::fig3_rows;
+use memstream_core::{DesignGoal, SystemModel};
+use memstream_device::MemsDevice;
+use memstream_units::BitRate;
+
+fn print_once() {
+    let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    for (name, goal) in [("F3a", DesignGoal::fig3a()), ("F3b", DesignGoal::fig3b())] {
+        println!("\n[{name}] buffer vs rate for {goal}:");
+        for r in fig3_rows(&model, &goal, 7) {
+            println!(
+                "  {:>6.0} kbps: required {:>12}, region {}",
+                r.kbps,
+                r.required_kib
+                    .map(|b| format!("{b:.2} KiB"))
+                    .unwrap_or_else(|| "infeasible".into()),
+                r.region
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    let base = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    let upgraded = base.with_device(
+        MemsDevice::table1()
+            .with_probe_write_cycles(200.0)
+            .with_spring_duty_cycles(1e12),
+    );
+
+    c.bench_function("f3a_sweep_25_rates", |b| {
+        b.iter(|| black_box(fig3_rows(&base, &DesignGoal::fig3a(), black_box(25))))
+    });
+    c.bench_function("f3b_sweep_25_rates", |b| {
+        b.iter(|| black_box(fig3_rows(&base, &DesignGoal::fig3b(), black_box(25))))
+    });
+    c.bench_function("f3c_sweep_25_rates", |b| {
+        b.iter(|| black_box(fig3_rows(&upgraded, &DesignGoal::fig3b(), black_box(25))))
+    });
+    c.bench_function("f3_kernel_dimension_one_goal", |b| {
+        b.iter(|| base.dimension(black_box(&DesignGoal::fig3b())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment V1: the discrete-event simulator.
+//!
+//! Prints the sim-vs-model cross-check once, then times simulation
+//! throughput (simulated seconds per wall-clock second matters for the
+//! year-scale wear projections).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memstream_bench::sim_crosscheck_rows;
+use memstream_device::MemsDevice;
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::{BitRate, DataSize, Duration};
+use memstream_workload::Workload;
+
+fn print_once() {
+    println!("\n[V1] simulator vs Eq. (1):");
+    for r in sim_crosscheck_rows(60.0) {
+        println!(
+            "  {:>6.0} kbps / {:>5.1} KiB: model {:>7.2} nJ/b, sim {:>7.2} nJ/b ({:.4} rel)",
+            r.kbps, r.buffer_kib, r.model_nj, r.sim_nj, r.rel_err
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    c.bench_function("v1_simulate_60s_at_1024kbps", |b| {
+        b.iter(|| {
+            let config = SimConfig::cbr(
+                MemsDevice::table1(),
+                Workload::paper_default(BitRate::from_kbps(1024.0)),
+                DataSize::from_kibibytes(20.0),
+            );
+            black_box(
+                StreamingSimulation::new(config)
+                    .expect("valid config")
+                    .run(Duration::from_seconds(60.0)),
+            )
+        })
+    });
+    c.bench_function("v1_crosscheck_3_points_30s", |b| {
+        b.iter(|| black_box(sim_crosscheck_rows(black_box(30.0))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

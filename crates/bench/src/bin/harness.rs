@@ -1,0 +1,327 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! Usage: `cargo run --release -p memstream-bench --bin harness [EXPERIMENT]`
+//!
+//! Experiments: `table1`, `breakeven`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
+//! `fig3x` (the C = 85 % variant mentioned in §IV-C without a figure),
+//! `sim`, `ablation`, or `all` (default).
+
+use memstream_bench::{
+    ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
+    fig3_rows, format_rows, render_fig2, render_fig3, rows_to_csv, sim_crosscheck_rows,
+    table1_rows,
+};
+use memstream_core::{
+    buffer_sensitivity, feasibility_map, log_spaced_rates, saving_frontier, DesignGoal,
+    DesignReport, SystemModel,
+};
+use memstream_device::MemsDevice;
+use memstream_units::{BitRate, DataSize, Ratio, Years};
+
+fn table1() {
+    println!("== Table I: settings of the modelled device and workload ==");
+    println!("{:<24} {:>12} {:>8}", "Parameter", "Setting", "Unit");
+    for (p, s, u) in table1_rows() {
+        println!("{p:<24} {s:>12} {u:>8}");
+    }
+    println!();
+}
+
+fn breakeven() {
+    println!("== N1 (SIII-A.1): break-even buffers, MEMS vs 1.8\" disk ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "rate", "MEMS [KiB]", "disk [MiB]", "ratio"
+    );
+    for r in breakeven_rows(9) {
+        println!(
+            "{:>8.0} k {:>14.3} {:>14.3} {:>7.0}x",
+            r.kbps, r.mems_kib, r.disk_mib, r.ratio
+        );
+    }
+    println!("paper: MEMS 0.07-8.87 kB, disk 0.08-9.29 MB over 32-4096 kbps\n");
+}
+
+fn fig2() {
+    println!("== F2a/F2b (Fig. 2): energy, capacity and lifetime vs buffer (1024 kbps) ==");
+    let rows = fig2_rows(BitRate::from_kbps(1024.0), 20);
+    println!(
+        "{:>10} {:>11} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "buf [KiB]", "Em [nJ/b]", "save [%]", "u [%]", "cap [GB]", "Lsp [y]", "Lpb [y]"
+    );
+    for r in &rows {
+        println!(
+            "{:>10.2} {:>11.2} {:>9.1} {:>8.2} {:>9.1} {:>9.2} {:>9.2}",
+            r.buffer_kib,
+            r.energy_nj.unwrap_or(f64::NAN),
+            r.saving_pct.unwrap_or(f64::NAN),
+            r.utilization_pct,
+            r.effective_gb,
+            r.springs_years,
+            r.probes_years
+        );
+    }
+    println!("\n{}", render_fig2(&rows));
+}
+
+fn fig3(which: &str) {
+    let base = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    let (title, model, goal) = match which {
+        "fig3a" => (
+            "F3a (Fig. 3a): goal (E=80%, C=88%, L=7), Dpb=100, Dsp=1e8",
+            base,
+            DesignGoal::fig3a(),
+        ),
+        "fig3b" => (
+            "F3b (Fig. 3b): goal (E=70%, C=88%, L=7), Dpb=100, Dsp=1e8",
+            base,
+            DesignGoal::fig3b(),
+        ),
+        "fig3c" => (
+            "F3c (Fig. 3c): goal (E=70%, C=88%, L=7), Dpb=200, Dsp=1e12",
+            base.with_device(
+                MemsDevice::table1()
+                    .with_probe_write_cycles(200.0)
+                    .with_spring_duty_cycles(1e12),
+            ),
+            DesignGoal::fig3b(),
+        ),
+        _ => (
+            "X1 (SIV-C text): goal (E=80%, C=85%, L=7), Dpb=100, Dsp=1e8",
+            base,
+            DesignGoal::new()
+                .energy_saving(Ratio::from_percent(80.0))
+                .capacity_utilization(Ratio::from_percent(85.0))
+                .lifetime(Years::new(7.0)),
+        ),
+    };
+    println!("== {title} ==");
+    let rows = fig3_rows(&model, &goal, 25);
+    println!("{}", render_fig3(which, &rows));
+    println!("csv:\n{}", rows_to_csv(&rows));
+}
+
+fn sim() {
+    println!("== V1: simulator vs analytic model (Eq. 1) ==");
+    println!(
+        "{:>10} {:>11} {:>12} {:>12} {:>9}",
+        "rate", "buf [KiB]", "model", "sim", "rel err"
+    );
+    for r in sim_crosscheck_rows(120.0) {
+        println!(
+            "{:>8.0} k {:>11.1} {:>9.2} nJ {:>9.2} nJ {:>8.4}",
+            r.kbps, r.buffer_kib, r.model_nj, r.sim_nj, r.rel_err
+        );
+    }
+    println!();
+}
+
+fn ablation() {
+    println!("== A1: best-effort accounting policy (1024 kbps) ==");
+    for r in ablation_best_effort(BitRate::from_kbps(1024.0)) {
+        println!("  {:<46} {:>10.2} {}", r.label, r.value, r.unit);
+    }
+    println!("\n== A2: probe write-cycle rating vs feasible rate (L = 7) ==");
+    for r in ablation_probe_ratings() {
+        println!("  {:<46} {:>10.0} {}", r.label, r.value, r.unit);
+    }
+    println!();
+}
+
+fn comparison() {
+    println!("== C1: MEMS vs disk, same goals (E = 70%, L = 7 years) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "rate", "MEMS E-buf", "MEMS Lsp-buf", "disk E-buf", "disk ss-buf"
+    );
+    let kib = |v: Option<f64>| {
+        v.map(|k| format!("{k:.2} KiB"))
+            .unwrap_or_else(|| "-".into())
+    };
+    for r in comparison_rows(Ratio::from_percent(70.0), 8) {
+        println!(
+            "{:>8.0} k {:>14} {:>14} {:>14} {:>14}",
+            r.kbps,
+            kib(r.mems_energy_kib),
+            format!("{:.2} KiB", r.mems_springs_kib),
+            kib(r.disk_energy_kib),
+            format!("{:.0} KiB", r.disk_start_stop_kib),
+        );
+    }
+    println!(
+        "note: disk start-stop buffer / MEMS springs buffer = Dsp/Dss = 1000x\n\
+         (SIII-C.1's 'three orders of magnitude' rating argument)\n"
+    );
+}
+
+fn sensitivity() {
+    println!("== S1: elasticity of the required buffer, d(ln B)/d(ln p) ==");
+    for (kbps, goal, label) in [
+        (
+            64.0,
+            DesignGoal::fig3b(),
+            "64 kbps, fig3b goal (C-dominated)",
+        ),
+        (
+            700.0,
+            DesignGoal::fig3a(),
+            "700 kbps, fig3a goal (E-dominated)",
+        ),
+        (
+            1024.0,
+            DesignGoal::fig3b(),
+            "1024 kbps, fig3b goal (Lsp-dominated)",
+        ),
+    ] {
+        println!("  at {label}:");
+        let model = SystemModel::paper_default(BitRate::from_kbps(kbps));
+        for row in buffer_sensitivity(&model, &goal, 0.05) {
+            match row.elasticity {
+                Some(e) => println!("    {:<24} {:>8.3}", row.parameter, e),
+                None => println!("    {:<24} {:>8}", row.parameter, "cliff"),
+            }
+        }
+    }
+    println!();
+}
+
+fn map() {
+    println!("== M1: feasibility map over (rate x saving), C = 88%, L = 7 ==");
+    let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    let savings: Vec<Ratio> = (8..=17)
+        .map(|i| Ratio::from_percent(f64::from(i) * 5.0))
+        .collect();
+    let m = feasibility_map(
+        &model,
+        log_spaced_rates(32.0, 4096.0, 48),
+        savings,
+        Ratio::from_percent(88.0),
+        Years::new(7.0),
+    );
+    println!("{}", m.render());
+}
+
+fn frontier() {
+    println!("== P1 (SIV-C closing argument): saving-vs-buffer frontier ==");
+    for kbps in [512.0, 1024.0, 1100.0] {
+        let model = SystemModel::paper_default(BitRate::from_kbps(kbps));
+        let targets: Vec<Ratio> = (8..=17)
+            .map(|i| Ratio::from_percent(f64::from(i) * 5.0))
+            .collect();
+        let f = saving_frontier(&model, targets);
+        print!("  {kbps:>6.0} kbps:");
+        for p in &f.points {
+            match &p.buffer {
+                Ok(b) => print!(" {:.0}%:{:.1}K", p.saving.percent(), b.kibibytes()),
+                Err(_) => print!(" {:.0}%:X", p.saving.percent()),
+            }
+        }
+        println!();
+        if let Some(knee) = f.knee {
+            println!(
+                "          knee at {knee}; max feasible {}",
+                f.max_feasible_saving()
+                    .map(|m| m.to_string())
+                    .unwrap_or_default()
+            );
+        }
+    }
+    println!();
+}
+
+fn format_space() {
+    println!("== FMT: format design space (8 KiB payload, target u = 88%) ==");
+    println!("{:<18} {:>8} {:>22}", "knob", "u [%]", "min sector for 88%");
+    for (label, u, min) in format_rows() {
+        println!(
+            "{label:<18} {u:>8.2} {:>22}",
+            min.map(|k| format!("{k:.2} KiB"))
+                .unwrap_or_else(|| "unreachable".into())
+        );
+    }
+    println!();
+}
+
+/// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]
+/// [--capacity 88%] [--lifetime 7y]` — full report for one operating point.
+fn custom(args: &[String]) {
+    let mut rate = BitRate::from_kbps(1024.0);
+    let mut buffer: Option<DataSize> = None;
+    let mut goal = DesignGoal::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        let fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("bad value for {flag}: {e}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--rate" => rate = value.parse().unwrap_or_else(|e| fail(&e)),
+            "--buffer" => buffer = Some(value.parse().unwrap_or_else(|e| fail(&e))),
+            "--saving" => {
+                goal = goal.energy_saving(value.parse().unwrap_or_else(|e| fail(&e)));
+            }
+            "--capacity" => {
+                goal = goal.capacity_utilization(value.parse().unwrap_or_else(|e| fail(&e)));
+            }
+            "--lifetime" => goal = goal.lifetime(value.parse().unwrap_or_else(|e| fail(&e))),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let model = SystemModel::paper_default(rate);
+    let goal_opt = (!goal.is_empty()).then_some(goal);
+    print!("{}", DesignReport::build(&model, buffer, goal_opt.as_ref()));
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match arg.as_str() {
+        "table1" => table1(),
+        "breakeven" => breakeven(),
+        "fig2" | "fig2a" | "fig2b" => fig2(),
+        "fig3a" | "fig3b" | "fig3c" | "fig3x" => fig3(&arg),
+        "sim" => sim(),
+        "ablation" => ablation(),
+        "comparison" => comparison(),
+        "format" => format_space(),
+        "sensitivity" => sensitivity(),
+        "frontier" => frontier(),
+        "map" => map(),
+        "custom" => custom(
+            &std::env::args()
+                .skip(2)
+                .filter(|a| a != "--") // tolerate cargo's separator
+                .collect::<Vec<_>>(),
+        ),
+        "all" => {
+            table1();
+            breakeven();
+            fig2();
+            fig3("fig3a");
+            fig3("fig3b");
+            fig3("fig3c");
+            fig3("fig3x");
+            sim();
+            ablation();
+            comparison();
+            format_space();
+            sensitivity();
+            frontier();
+            map();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; try table1, breakeven, fig2, \
+                 fig3a, fig3b, fig3c, fig3x, sim, ablation, comparison, format, \
+                 custom, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Data generators, one per experiment id of `DESIGN.md`.
+
+use memstream_core::{
+    log_spaced_rates, BestEffortPolicy, DesignGoal, EnergyModel, SweepBuilder, SystemModel,
+};
+use memstream_device::{DiskDevice, MechanicalDevice, MemsDevice, PowerState};
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::{BitRate, DataSize, Duration, Years};
+use memstream_workload::Workload;
+
+/// T1: one row of the Table I reproduction (parameter, setting, unit).
+#[must_use]
+pub fn table1_rows() -> Vec<(String, String, String)> {
+    let d = MemsDevice::table1();
+    let w = Workload::paper_default(BitRate::from_kbps(1024.0));
+    let row = |p: &str, s: String, u: &str| (p.to_owned(), s, u.to_owned());
+    vec![
+        row("Probe-array size", format!("{}x{}", 64, 64), "probe"),
+        row(
+            "Active probes",
+            d.array().active_probes().to_string(),
+            "probe",
+        ),
+        row(
+            "Probe-field area",
+            format!(
+                "{:.0}x{:.0}",
+                d.array().field_side_um(),
+                d.array().field_side_um()
+            ),
+            "um^2",
+        ),
+        row("Capacity", format!("{:.0}", d.capacity().gigabytes()), "GB"),
+        row(
+            "Per-probe data rate",
+            format!("{:.0}", d.per_probe_rate().kilobits_per_second()),
+            "kbps",
+        ),
+        row("Seek time", format!("{:.0}", d.seek_time().millis()), "ms"),
+        row(
+            "Shutdown time",
+            format!("{:.0}", d.shutdown_time().millis()),
+            "ms",
+        ),
+        row(
+            "I/O overhead time",
+            format!("{:.0}", d.io_overhead_time().millis()),
+            "ms",
+        ),
+        row(
+            "Read/Write power",
+            format!("{:.0}", d.power(PowerState::ReadWrite).milliwatts()),
+            "mW",
+        ),
+        row(
+            "Seek power",
+            format!("{:.0}", d.power(PowerState::Seek).milliwatts()),
+            "mW",
+        ),
+        row(
+            "Standby power",
+            format!("{:.0}", d.power(PowerState::Standby).milliwatts()),
+            "mW",
+        ),
+        row(
+            "Idle power",
+            format!("{:.0}", d.power(PowerState::Idle).milliwatts()),
+            "mW",
+        ),
+        row(
+            "Shutdown power",
+            format!("{:.0}", d.power(PowerState::Shutdown).milliwatts()),
+            "mW",
+        ),
+        row("Probe write cycles", "100 & 200".to_owned(), "cycles"),
+        row("Springs duty cycles", "1e8 & 1e12".to_owned(), "cycles"),
+        row(
+            "Hours per day",
+            format!("{:.0}", w.calendar().hours_per_day()),
+            "hours",
+        ),
+        row(
+            "Writes percentage",
+            format!("{:.0}%", w.write_fraction().percent()),
+            "",
+        ),
+        row(
+            "Best-effort fraction",
+            format!("{:.0}%", w.best_effort_fraction().percent()),
+            "",
+        ),
+        row("Stream bit rate", "32-4096".to_owned(), "kbps"),
+    ]
+}
+
+/// N1: one row of the break-even comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakEvenRow {
+    /// Stream rate in kbps.
+    pub kbps: f64,
+    /// MEMS break-even buffer in KiB.
+    pub mems_kib: f64,
+    /// Disk break-even buffer in MiB.
+    pub disk_mib: f64,
+    /// Disk-to-MEMS ratio.
+    pub ratio: f64,
+}
+
+/// N1: the §III-A.1 break-even table over `n` log-spaced rates.
+#[must_use]
+pub fn breakeven_rows(n: usize) -> Vec<BreakEvenRow> {
+    let mems = MemsDevice::table1();
+    let disk = DiskDevice::calibrated_1p8_inch();
+    log_spaced_rates(32.0, 4096.0, n)
+        .into_iter()
+        .map(|rate| {
+            let w = Workload::paper_default(rate);
+            let be = |d: &dyn MechanicalDevice| {
+                EnergyModel::new(d, w, BestEffortPolicy::AtReadWrite, None)
+                    .break_even_buffer()
+                    .expect("rates in range are sustainable")
+            };
+            let m = be(&mems);
+            let k = be(&disk);
+            BreakEvenRow {
+                kbps: rate.kilobits_per_second(),
+                mems_kib: m.kibibytes(),
+                disk_mib: k.mebibytes(),
+                ratio: k / m,
+            }
+        })
+        .collect()
+}
+
+/// F2a/F2b: one row of the buffer sweep at 1024 kbps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Buffer size in KiB.
+    pub buffer_kib: f64,
+    /// Per-bit energy (with DRAM) in nJ/b; `None` below the cycle floor.
+    pub energy_nj: Option<f64>,
+    /// Per-bit energy without the DRAM term.
+    pub energy_device_nj: Option<f64>,
+    /// Energy saving versus always-on.
+    pub saving_pct: Option<f64>,
+    /// Capacity utilisation in percent.
+    pub utilization_pct: f64,
+    /// Effective user capacity in GB.
+    pub effective_gb: f64,
+    /// Springs lifetime in years (Dsp = 1e8).
+    pub springs_years: f64,
+    /// Probes lifetime in years (Dpb = 100).
+    pub probes_years: f64,
+}
+
+/// F2a/F2b: the Fig. 2 buffer sweep (1–20× break-even at `rate`).
+#[must_use]
+pub fn fig2_rows(rate: BitRate, n: usize) -> Vec<Fig2Row> {
+    let model = SystemModel::paper_default(rate);
+    let device_only = model.without_dram();
+    let sweep = SweepBuilder::new(&model);
+    let buffers = sweep
+        .break_even_multiples(n)
+        .expect("paper rates are sustainable");
+    sweep
+        .buffer_sweep(buffers)
+        .into_iter()
+        .map(|p| Fig2Row {
+            buffer_kib: p.buffer.kibibytes(),
+            energy_nj: p.energy_per_bit.map(|e| e.nanojoules_per_bit()),
+            energy_device_nj: device_only
+                .per_bit_energy(p.buffer)
+                .ok()
+                .map(|e| e.nanojoules_per_bit()),
+            saving_pct: p.saving.map(|s| s * 100.0),
+            utilization_pct: p.utilization.percent(),
+            effective_gb: p.effective_capacity.gigabytes(),
+            springs_years: p.springs_lifetime.get(),
+            probes_years: p.probes_lifetime.get(),
+        })
+        .collect()
+}
+
+/// F3: one row of a Fig. 3 rate sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Stream rate in kbps.
+    pub kbps: f64,
+    /// Minimal required buffer in KiB (`None` when the goal is infeasible).
+    pub required_kib: Option<f64>,
+    /// Energy-efficiency buffer in KiB, when the energy goal is feasible.
+    pub energy_kib: Option<f64>,
+    /// The dominating requirement label (`C`/`E`/`Lsp`/`Lpb`), `X` when
+    /// infeasible.
+    pub region: &'static str,
+}
+
+/// F3a/F3b/F3c/X1: the Fig. 3 sweep for `goal` on `model`.
+#[must_use]
+pub fn fig3_rows(model: &SystemModel, goal: &DesignGoal, n: usize) -> Vec<Fig3Row> {
+    SweepBuilder::new(model)
+        .rate_sweep(goal, log_spaced_rates(32.0, 4096.0, n))
+        .into_iter()
+        .map(|p| Fig3Row {
+            kbps: p.rate.kilobits_per_second(),
+            required_kib: p.plan.as_ref().ok().map(|plan| plan.buffer().kibibytes()),
+            energy_kib: p.energy_buffer.map(|b| b.kibibytes()),
+            region: p.region_label(),
+        })
+        .collect()
+}
+
+/// V1: one row of the simulator-vs-model cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCheckRow {
+    /// Stream rate in kbps.
+    pub kbps: f64,
+    /// Buffer size in KiB.
+    pub buffer_kib: f64,
+    /// Analytic `Em(B)` in nJ/b.
+    pub model_nj: f64,
+    /// Simulated energy per buffered bit in nJ/b.
+    pub sim_nj: f64,
+    /// Relative error.
+    pub rel_err: f64,
+}
+
+/// V1: runs short simulations at several operating points and compares
+/// against Eq. (1). `seconds` controls the simulated span per point.
+#[must_use]
+pub fn sim_crosscheck_rows(seconds: f64) -> Vec<SimCheckRow> {
+    [(256.0, 8.0), (1024.0, 20.0), (2048.0, 40.0)]
+        .into_iter()
+        .map(|(kbps, kib)| {
+            let rate = BitRate::from_kbps(kbps);
+            let buffer = DataSize::from_kibibytes(kib);
+            let model = SystemModel::paper_default(rate).without_dram();
+            let model_e = model
+                .per_bit_energy(buffer)
+                .expect("operating point is valid")
+                .nanojoules_per_bit();
+            let report = StreamingSimulation::new(SimConfig::cbr(
+                MemsDevice::table1(),
+                Workload::paper_default(rate),
+                buffer,
+            ))
+            .expect("operating point is valid")
+            .run(Duration::from_seconds(seconds));
+            let sim_e =
+                report.total_energy().joules() / (buffer.bits() * report.cycles as f64) * 1e9;
+            SimCheckRow {
+                kbps,
+                buffer_kib: kib,
+                model_nj: model_e,
+                sim_nj: sim_e,
+                rel_err: (sim_e - model_e).abs() / model_e,
+            }
+        })
+        .collect()
+}
+
+/// C1: one row of the MEMS-vs-disk full dimensioning comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Stream rate in kbps.
+    pub kbps: f64,
+    /// MEMS buffer for the energy goal, in KiB.
+    pub mems_energy_kib: Option<f64>,
+    /// MEMS buffer for the 7-year springs goal, in KiB.
+    pub mems_springs_kib: f64,
+    /// Disk buffer for the energy goal, in KiB.
+    pub disk_energy_kib: Option<f64>,
+    /// Disk buffer for a 7-year start-stop (1e5 rating) goal, in KiB.
+    pub disk_start_stop_kib: f64,
+}
+
+/// C1 (extension of §III-C): MEMS vs 1.8″ disk, dimensioned for the same
+/// energy-saving and 7-year-lifetime goals. Demonstrates the paper's
+/// "three orders of magnitude larger duty-cycle rating" argument
+/// quantitatively: the disk's 10⁵ start-stop rating suffices because its
+/// (energy-motivated) buffer is MB-scale; MEMS at kB-scale needs 10⁸.
+#[must_use]
+pub fn comparison_rows(saving: memstream_units::Ratio, n: usize) -> Vec<ComparisonRow> {
+    use memstream_core::min_buffer_for_duty_cycles;
+
+    let mems = MemsDevice::table1();
+    let disk = DiskDevice::calibrated_1p8_inch();
+    let life = Years::new(7.0);
+    log_spaced_rates(32.0, 4096.0, n)
+        .into_iter()
+        .map(|rate| {
+            let w = Workload::paper_default(rate);
+            let energy_buffer = |d: &dyn MechanicalDevice| {
+                EnergyModel::new(d, w, BestEffortPolicy::AtReadWrite, None)
+                    .min_buffer_for_saving(saving)
+                    .ok()
+                    .map(|b| b.kibibytes())
+            };
+            ComparisonRow {
+                kbps: rate.kilobits_per_second(),
+                mems_energy_kib: energy_buffer(&mems),
+                mems_springs_kib: min_buffer_for_duty_cycles(mems.spring_duty_cycles(), life, &w)
+                    .kibibytes(),
+                disk_energy_kib: energy_buffer(&disk),
+                disk_start_stop_kib: min_buffer_for_duty_cycles(disk.start_stop_cycles(), life, &w)
+                    .kibibytes(),
+            }
+        })
+        .collect()
+}
+
+/// FMT: format design-space rows (stripe width, sync bits) as
+/// `(label, utilisation %, min sector for 88% in KiB)`.
+#[must_use]
+pub fn format_rows() -> Vec<(String, f64, Option<f64>)> {
+    use memstream_media::{stripe_width_sweep, sync_bits_sweep, EccPolicy};
+    use memstream_units::Ratio;
+
+    let payload = DataSize::from_kibibytes(8.0);
+    let target = Ratio::from_percent(88.0);
+    let mut rows = Vec::new();
+    for p in stripe_width_sweep([64, 256, 1024, 4096], payload, EccPolicy::MEMS, 3, target)
+        .expect("positive widths")
+    {
+        rows.push((
+            format!("stripe K = {}", p.format.stripe_width()),
+            p.utilization.percent(),
+            p.min_user_for_target.map(|b| b.kibibytes()),
+        ));
+    }
+    for (count, p) in
+        [1u64, 3, 10, 30]
+            .into_iter()
+            .zip(sync_bits_sweep([1, 3, 10, 30], payload, target))
+    {
+        rows.push((
+            format!("sync bits = {count}"),
+            p.utilization.percent(),
+            p.min_user_for_target.map(|b| b.kibibytes()),
+        ));
+    }
+    rows
+}
+
+/// Ablation row: a labelled scalar outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Outcome value.
+    pub value: f64,
+    /// Outcome unit.
+    pub unit: &'static str,
+}
+
+/// Ablation A1: how the best-effort accounting policy moves the break-even
+/// buffer and the achievable saving (the `DESIGN.md` §4.2 knob).
+#[must_use]
+pub fn ablation_best_effort(rate: BitRate) -> Vec<AblationRow> {
+    let device = MemsDevice::table1();
+    let workload = Workload::paper_default(rate);
+    let mut rows = Vec::new();
+    for policy in [
+        BestEffortPolicy::AtReadWrite,
+        BestEffortPolicy::AtIdle,
+        BestEffortPolicy::Excluded,
+    ] {
+        let model = EnergyModel::new(&device, workload, policy, None);
+        rows.push(AblationRow {
+            label: format!("{policy}: break-even"),
+            value: model
+                .break_even_buffer()
+                .expect("paper rates are sustainable")
+                .kibibytes(),
+            unit: "KiB",
+        });
+        rows.push(AblationRow {
+            label: format!("{policy}: max saving"),
+            value: model.max_saving() * 100.0,
+            unit: "%",
+        });
+    }
+    rows
+}
+
+/// Ablation A2: the probes-rating sweep — the maximum stream rate at which
+/// a 7-year lifetime stays feasible, for `Dpb` in {50, 100, 200, 400}.
+#[must_use]
+pub fn ablation_probe_ratings() -> Vec<AblationRow> {
+    [50.0, 100.0, 200.0, 400.0]
+        .into_iter()
+        .map(|dpb| {
+            let device = MemsDevice::table1().with_probe_write_cycles(dpb);
+            // Binary-search the feasibility edge of the probes constraint.
+            let feasible = |kbps: f64| {
+                let m = SystemModel::paper_default(BitRate::from_kbps(kbps))
+                    .with_device(device.clone());
+                m.lifetime_model()
+                    .min_buffer_for_probes(Years::new(7.0))
+                    .is_ok()
+            };
+            let (mut lo, mut hi) = (32.0, 65_536.0);
+            if feasible(lo) {
+                while hi - lo > 1.0 {
+                    let mid = 0.5 * (lo + hi);
+                    if feasible(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            // An infeasible low end reports the sweep floor itself.
+            AblationRow {
+                label: format!("Dpb = {dpb:.0}: max rate for L = 7"),
+                value: lo,
+                unit: "kbps",
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_nineteen_rows() {
+        assert_eq!(table1_rows().len(), 19);
+    }
+
+    #[test]
+    fn breakeven_table_matches_paper_endpoints() {
+        let rows = breakeven_rows(8);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!((0.06..0.08).contains(&first.mems_kib));
+        assert!((8.0..10.0).contains(&last.mems_kib));
+        assert!(rows.iter().all(|r| r.ratio > 300.0));
+    }
+
+    #[test]
+    fn fig2_energy_monotone_and_capacity_saturating() {
+        let rows = fig2_rows(BitRate::from_kbps(1024.0), 20);
+        let energies: Vec<f64> = rows.iter().filter_map(|r| r.energy_device_nj).collect();
+        assert!(energies.windows(2).all(|w| w[1] < w[0]));
+        assert!(rows.last().unwrap().utilization_pct > 87.0);
+    }
+
+    #[test]
+    fn fig3a_contains_an_infeasible_region() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let rows = fig3_rows(&model, &DesignGoal::fig3a(), 20);
+        assert!(rows.iter().any(|r| r.region == "X"));
+        assert!(rows.iter().any(|r| r.region == "C"));
+    }
+
+    #[test]
+    fn sim_crosscheck_is_tight() {
+        for row in sim_crosscheck_rows(60.0) {
+            assert!(row.rel_err < 0.02, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn comparison_shows_three_orders_in_lifetime_buffers() {
+        let rows = comparison_rows(memstream_units::Ratio::from_percent(70.0), 5);
+        for r in &rows {
+            // Same 7-year goal: disk start-stop buffer / MEMS springs
+            // buffer = Dsp/Dss = 1e8/1e5 = 1000x.
+            let ratio = r.disk_start_stop_kib / r.mems_springs_kib;
+            assert!((ratio - 1000.0).abs() < 1.0, "{ratio}");
+        }
+    }
+
+    #[test]
+    fn format_rows_cover_both_sweeps() {
+        let rows = format_rows();
+        assert!(rows.iter().any(|(l, _, _)| l.contains("stripe")));
+        assert!(rows.iter().any(|(l, _, _)| l.contains("sync")));
+        // The paper's format (K = 1024, 3 sync bits) reaches 88% somewhere.
+        let paper = rows
+            .iter()
+            .find(|(l, _, _)| l == "stripe K = 1024")
+            .unwrap();
+        assert!(paper.2.is_some());
+    }
+
+    #[test]
+    fn best_effort_ablation_orders_policies() {
+        let rows = ablation_best_effort(BitRate::from_kbps(1024.0));
+        assert_eq!(rows.len(), 6);
+        // Excluding best-effort can only raise the achievable saving.
+        let saving = |needle: &str| {
+            rows.iter()
+                .find(|r| r.label.contains(needle) && r.label.contains("max saving"))
+                .unwrap()
+                .value
+        };
+        assert!(saving("excluded") >= saving("read/write"));
+    }
+
+    #[test]
+    fn probe_rating_ablation_is_monotone() {
+        let rows = ablation_probe_ratings();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.windows(2).all(|w| w[1].value >= w[0].value));
+    }
+}

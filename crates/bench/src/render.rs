@@ -1,0 +1,146 @@
+//! Rendering experiment rows as tables, ASCII figures and CSV.
+
+use memstream_core::{render_ascii_chart, to_csv, AsciiChart, Axis, Series};
+
+use crate::experiments::{Fig2Row, Fig3Row};
+
+/// Renders the two panels of Fig. 2 (energy + capacity, lifetimes) as
+/// ASCII charts over the buffer sweep.
+#[must_use]
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let energy: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| r.energy_nj.map(|e| (r.buffer_kib, e)))
+        .collect();
+    let capacity: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.buffer_kib, r.effective_gb))
+        .collect();
+    let springs: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.buffer_kib, r.springs_years))
+        .collect();
+    let probes: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.buffer_kib, r.probes_years))
+        .collect();
+
+    let panel_a = AsciiChart::new(
+        "fig 2a: per-bit energy and capacity vs buffer",
+        Axis::linear("buffer capacity [KiB]"),
+        Axis::linear("energy [nJ/b] / capacity [GB]"),
+        vec![
+            Series::new("per-bit energy [nJ/b]", 'e', energy),
+            Series::new("effective capacity [GB]", 'c', capacity),
+        ],
+    );
+    let panel_b = AsciiChart::new(
+        "fig 2b: lifetime vs buffer",
+        Axis::linear("buffer capacity [KiB]"),
+        Axis::linear("lifetime [years]"),
+        vec![
+            Series::new("springs (Dsp = 1e8)", 's', springs),
+            Series::new("probes (Dpb = 100)", 'p', probes),
+        ],
+    );
+    format!(
+        "{}\n{}",
+        render_ascii_chart(&panel_a),
+        render_ascii_chart(&panel_b)
+    )
+}
+
+/// Renders one Fig. 3 panel (buffer vs rate, log-log) with the region bar.
+#[must_use]
+pub fn render_fig3(title: &str, rows: &[Fig3Row]) -> String {
+    let required: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| r.required_kib.map(|b| (r.kbps, b)))
+        .collect();
+    let energy: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| r.energy_kib.map(|b| (r.kbps, b)))
+        .collect();
+    let chart = AsciiChart::new(
+        format!("{title}: buffer vs streaming rate"),
+        Axis::log("streaming bit rate [kbps]"),
+        Axis::log("buffer capacity [KiB]"),
+        vec![
+            Series::new("minimal required buffer", '*', required),
+            Series::new("energy-efficiency buffer", 'o', energy),
+        ],
+    );
+    // The region bar across the top of the paper's Fig. 3 panels.
+    let mut regions = String::from("regions: ");
+    let mut last = "";
+    for r in rows {
+        if r.region != last {
+            regions.push_str(&format!("[{} from {:.0} kbps] ", r.region, r.kbps));
+            last = r.region;
+        }
+    }
+    format!("{}\n{}", regions, render_ascii_chart(&chart))
+}
+
+/// Dumps Fig. 3 rows as CSV.
+#[must_use]
+pub fn rows_to_csv(rows: &[Fig3Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.kbps),
+                r.required_kib
+                    .map(|b| format!("{b:.3}"))
+                    .unwrap_or_else(|| "infeasible".to_owned()),
+                r.energy_kib.map(|b| format!("{b:.3}")).unwrap_or_default(),
+                r.region.to_owned(),
+            ]
+        })
+        .collect();
+    to_csv(
+        &[
+            "rate_kbps",
+            "required_buffer_kib",
+            "energy_buffer_kib",
+            "region",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig2_rows, fig3_rows};
+    use memstream_core::{DesignGoal, SystemModel};
+    use memstream_units::BitRate;
+
+    #[test]
+    fn fig2_render_contains_both_panels() {
+        let rows = fig2_rows(BitRate::from_kbps(1024.0), 10);
+        let text = render_fig2(&rows);
+        assert!(text.contains("fig 2a"));
+        assert!(text.contains("fig 2b"));
+        assert!(text.contains("springs"));
+    }
+
+    #[test]
+    fn fig3_render_includes_region_bar() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let rows = fig3_rows(&model, &DesignGoal::fig3a(), 15);
+        let text = render_fig3("fig 3a", &rows);
+        assert!(text.contains("regions:"));
+        assert!(text.contains("[C from"));
+        assert!(text.contains("[X from"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let rows = fig3_rows(&model, &DesignGoal::fig3b(), 5);
+        let csv = rows_to_csv(&rows);
+        assert!(csv.starts_with("rate_kbps,"));
+        assert_eq!(csv.lines().count(), 6);
+    }
+}

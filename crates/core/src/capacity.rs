@@ -1,0 +1,222 @@
+//! Capacity as a function of buffer size: §III-B with the `B ≥ Su` coupling.
+
+use std::fmt;
+
+use memstream_media::{min_user_bits_for_utilization, FormatError, SectorFormat};
+use memstream_units::{DataSize, Ratio};
+
+use crate::error::ModelError;
+use crate::goal::Requirement;
+
+/// The capacity leg of the trade-off: with the buffer flushed one sector at
+/// a time (`Su = B`, §IV-C), the buffer size *is* the formatted sector's
+/// user payload, so utilisation becomes a function of `B`.
+///
+/// ```
+/// use memstream_core::CapacityModel;
+/// use memstream_units::{DataSize, Ratio};
+///
+/// # fn main() -> Result<(), memstream_core::ModelError> {
+/// let model = CapacityModel::paper_default();
+/// // A 20 KiB buffer already formats at > 87%:
+/// let u = model.utilization(DataSize::from_kibibytes(20.0));
+/// assert!(u.percent() > 87.0);
+/// // ...but 88% needs more:
+/// let b = model.min_buffer_for_utilization(Ratio::from_percent(88.0))?;
+/// assert!(b > DataSize::from_kibibytes(20.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    format: SectorFormat,
+    raw_capacity: DataSize,
+}
+
+impl CapacityModel {
+    /// The paper's format on the Table I device (120 GB raw).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CapacityModel {
+            format: SectorFormat::paper_default(),
+            raw_capacity: DataSize::from_gigabytes(120.0),
+        }
+    }
+
+    /// Creates a capacity model from a format and the device's raw capacity.
+    #[must_use]
+    pub fn new(format: SectorFormat, raw_capacity: DataSize) -> Self {
+        CapacityModel {
+            format,
+            raw_capacity,
+        }
+    }
+
+    /// The sector format in force.
+    #[must_use]
+    pub fn format(&self) -> &SectorFormat {
+        &self.format
+    }
+
+    /// The device's raw capacity.
+    #[must_use]
+    pub fn raw_capacity(&self) -> DataSize {
+        self.raw_capacity
+    }
+
+    /// Utilisation `u(B)` with the buffer-sized sector (`Su = B`, Eq. (4)).
+    #[must_use]
+    pub fn utilization(&self, buffer: DataSize) -> Ratio {
+        self.format.utilization(buffer)
+    }
+
+    /// The formatted sector size `S` for a buffer-sized sector (Eq. (3)).
+    #[must_use]
+    pub fn sector_size(&self, buffer: DataSize) -> DataSize {
+        self.format.layout(buffer).sector_size()
+    }
+
+    /// Effective user capacity `C · u(B)`.
+    #[must_use]
+    pub fn effective_capacity(&self, buffer: DataSize) -> DataSize {
+        self.format
+            .layout(buffer)
+            .effective_user_capacity(self.raw_capacity)
+    }
+
+    /// The utilisation supremum (8/9 for the paper's format).
+    #[must_use]
+    pub fn utilization_supremum(&self) -> Ratio {
+        self.format.utilization_supremum()
+    }
+
+    /// The inverse of Eq. (4): the smallest buffer reaching utilisation
+    /// `target` — the "C" curve of Fig. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InfeasibleGoal`] if `target` is at or above
+    /// the utilisation supremum.
+    pub fn min_buffer_for_utilization(&self, target: Ratio) -> Result<DataSize, ModelError> {
+        min_user_bits_for_utilization(&self.format, target)
+            .map(DataSize::from_bit_count)
+            .map_err(Self::as_model_error)
+    }
+
+    /// Like [`CapacityModel::min_buffer_for_utilization`], but never below
+    /// `at_least`. Because `u(B)` is a sawtooth, a buffer another
+    /// requirement enlarged can dip back below the target; this finds the
+    /// next valid size at or above it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InfeasibleGoal`] if `target` is at or above
+    /// the utilisation supremum.
+    pub fn min_buffer_for_utilization_at_least(
+        &self,
+        target: Ratio,
+        at_least: DataSize,
+    ) -> Result<DataSize, ModelError> {
+        memstream_media::min_user_bits_for_utilization_at_least(
+            &self.format,
+            target,
+            at_least.bits().ceil() as u64,
+        )
+        .map(DataSize::from_bit_count)
+        .map_err(Self::as_model_error)
+    }
+
+    fn as_model_error(err: FormatError) -> ModelError {
+        match err {
+            FormatError::UtilizationUnreachable {
+                requested,
+                supremum,
+            } => ModelError::InfeasibleGoal {
+                requirement: Requirement::Capacity,
+                reason: format!(
+                    "requested utilisation {:.2}% exceeds the format supremum {:.2}%",
+                    requested * 100.0,
+                    supremum * 100.0
+                ),
+            },
+            other => ModelError::InfeasibleGoal {
+                requirement: Requirement::Capacity,
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        CapacityModel::paper_default()
+    }
+}
+
+impl fmt::Display for CapacityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capacity model: {} on {} raw",
+            self.format, self.raw_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_effective_capacity_tops_near_106_gb() {
+        let m = CapacityModel::paper_default();
+        let eff = m.effective_capacity(DataSize::from_kibibytes(512.0));
+        assert!(
+            (105.0..107.0).contains(&eff.gigabytes()),
+            "got {} GB",
+            eff.gigabytes()
+        );
+    }
+
+    #[test]
+    fn inverse_is_consistent_with_forward() {
+        let m = CapacityModel::paper_default();
+        for pct in [50.0, 70.0, 85.0, 88.0] {
+            let t = Ratio::from_percent(pct);
+            let b = m.min_buffer_for_utilization(t).unwrap();
+            assert!(m.utilization(b) >= t);
+        }
+    }
+
+    #[test]
+    fn supremum_target_is_infeasible_with_named_requirement() {
+        let m = CapacityModel::paper_default();
+        let err = m
+            .min_buffer_for_utilization(Ratio::from_percent(89.0))
+            .unwrap_err();
+        match err {
+            ModelError::InfeasibleGoal { requirement, .. } => {
+                assert_eq!(requirement, Requirement::Capacity);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn sector_size_exceeds_buffer() {
+        // S > Su always: ECC + sync + padding.
+        let m = CapacityModel::paper_default();
+        let b = DataSize::from_kibibytes(8.0);
+        assert!(m.sector_size(b) > b);
+    }
+
+    proptest! {
+        #[test]
+        fn effective_capacity_below_raw(kib in 0.1..1000.0f64) {
+            let m = CapacityModel::paper_default();
+            let eff = m.effective_capacity(DataSize::from_kibibytes(kib));
+            prop_assert!(eff < m.raw_capacity());
+        }
+    }
+}

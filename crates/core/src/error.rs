@@ -1,0 +1,97 @@
+//! Model errors, including the "infeasible design point" answer of §IV-C.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::goal::Requirement;
+
+/// Error returned by the buffering model and its inverse functions.
+///
+/// §IV-C: "The answer could either be a quantitative result of the buffer
+/// size, or a statement of infeasible design point." The
+/// [`ModelError::InfeasibleGoal`] variant is that statement, carrying which
+/// requirement cannot be met and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The stream (plus best-effort reservation) exceeds the device's
+    /// sustainable media bandwidth: no refill cycle can keep up.
+    RateExceedsBandwidth {
+        /// Requested stream rate in bits per second.
+        stream_bps: f64,
+        /// Bandwidth available for refills after the best-effort
+        /// reservation, in bits per second.
+        available_bps: f64,
+    },
+    /// The buffer is too small for the device to complete a single
+    /// seek + refill + shutdown cycle without the decoder underrunning.
+    BufferBelowCycleMinimum {
+        /// Requested buffer in bits.
+        buffer_bits: f64,
+        /// The smallest workable buffer in bits.
+        minimum_bits: f64,
+    },
+    /// A requirement of the design goal cannot be met by any buffer size.
+    InfeasibleGoal {
+        /// Which requirement failed.
+        requirement: Requirement,
+        /// Human-readable explanation with the limiting value.
+        reason: String,
+    },
+    /// The goal named no requirement at all.
+    EmptyGoal,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::RateExceedsBandwidth {
+                stream_bps,
+                available_bps,
+            } => write!(
+                f,
+                "stream rate {:.0} b/s exceeds the {:.0} b/s available for refills",
+                stream_bps, available_bps
+            ),
+            ModelError::BufferBelowCycleMinimum {
+                buffer_bits,
+                minimum_bits,
+            } => write!(
+                f,
+                "buffer of {:.0} bits is below the {:.0}-bit minimum for a full refill cycle",
+                buffer_bits, minimum_bits
+            ),
+            ModelError::InfeasibleGoal {
+                requirement,
+                reason,
+            } => write!(f, "design goal infeasible: {requirement} — {reason}"),
+            ModelError::EmptyGoal => write!(f, "design goal names no requirement"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_goal_names_requirement() {
+        let e = ModelError::InfeasibleGoal {
+            requirement: Requirement::Energy,
+            reason: "asymptotic saving is 74.2% < 80%".to_owned(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("energy"));
+        assert!(text.contains("74.2%"));
+    }
+
+    #[test]
+    fn bandwidth_error_reports_both_rates() {
+        let e = ModelError::RateExceedsBandwidth {
+            stream_bps: 2e8,
+            available_bps: 9.7e7,
+        };
+        assert!(e.to_string().contains("200000000"));
+    }
+}

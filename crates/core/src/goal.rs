@@ -1,0 +1,204 @@
+//! Design goals `(E, C, L)` and the requirements that dictate buffers.
+
+use std::fmt;
+
+use memstream_units::{Ratio, Years};
+
+/// The four requirements that can dictate the buffer size (the region
+/// labels `E`, `C`, `Lsp`, `Lpb` across the top of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Requirement {
+    /// Capacity utilisation (`C`): sync-bit amortisation needs big sectors.
+    Capacity,
+    /// Energy saving (`E`): overhead amortisation needs big buffers.
+    Energy,
+    /// Springs lifetime (`Lsp`): fewer refills per year need big buffers.
+    SpringsLifetime,
+    /// Probes lifetime (`Lpb`): write cycles wasted on sync bits need big
+    /// sectors.
+    ProbesLifetime,
+}
+
+impl Requirement {
+    /// All requirements, in the order the paper lists them.
+    pub const ALL: [Requirement; 4] = [
+        Requirement::Energy,
+        Requirement::Capacity,
+        Requirement::SpringsLifetime,
+        Requirement::ProbesLifetime,
+    ];
+
+    /// The short label used across the top of Fig. 3.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Requirement::Energy => "E",
+            Requirement::Capacity => "C",
+            Requirement::SpringsLifetime => "Lsp",
+            Requirement::ProbesLifetime => "Lpb",
+        }
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Requirement::Energy => "energy saving",
+            Requirement::Capacity => "capacity utilisation",
+            Requirement::SpringsLifetime => "springs lifetime",
+            Requirement::ProbesLifetime => "probes lifetime",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A design goal of §IV-C: a combination of energy-saving, capacity and
+/// lifetime targets. Unset components are simply not constrained.
+///
+/// ```
+/// use memstream_core::DesignGoal;
+/// use memstream_units::{Ratio, Years};
+///
+/// // The paper's first goal: (E = 80%, C = 88%, L = 7).
+/// let goal = DesignGoal::new()
+///     .energy_saving(Ratio::from_percent(80.0))
+///     .capacity_utilization(Ratio::from_percent(88.0))
+///     .lifetime(Years::new(7.0));
+/// assert_eq!(goal.to_string(), "(E = 80.0%, C = 88.0%, L = 7.00 years)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DesignGoal {
+    energy_saving: Option<Ratio>,
+    capacity_utilization: Option<Ratio>,
+    lifetime: Option<Years>,
+}
+
+impl DesignGoal {
+    /// An empty goal; chain setters to add targets.
+    #[must_use]
+    pub fn new() -> Self {
+        DesignGoal::default()
+    }
+
+    /// The paper's Fig. 3a goal: `(E = 80%, C = 88%, L = 7)`.
+    #[must_use]
+    pub fn fig3a() -> Self {
+        DesignGoal::new()
+            .energy_saving(Ratio::from_percent(80.0))
+            .capacity_utilization(Ratio::from_percent(88.0))
+            .lifetime(Years::new(7.0))
+    }
+
+    /// The paper's Fig. 3b/3c goal: `(E = 70%, C = 88%, L = 7)`.
+    #[must_use]
+    pub fn fig3b() -> Self {
+        DesignGoal::new()
+            .energy_saving(Ratio::from_percent(70.0))
+            .capacity_utilization(Ratio::from_percent(88.0))
+            .lifetime(Years::new(7.0))
+    }
+
+    /// Sets the energy-saving target `E` (relative to always-on).
+    #[must_use]
+    pub fn energy_saving(mut self, e: Ratio) -> Self {
+        self.energy_saving = Some(e);
+        self
+    }
+
+    /// Sets the capacity-utilisation target `C`.
+    #[must_use]
+    pub fn capacity_utilization(mut self, c: Ratio) -> Self {
+        self.capacity_utilization = Some(c);
+        self
+    }
+
+    /// Sets the lifetime target `L` in years.
+    #[must_use]
+    pub fn lifetime(mut self, l: Years) -> Self {
+        self.lifetime = Some(l);
+        self
+    }
+
+    /// The energy-saving target, if set.
+    #[must_use]
+    pub fn energy_saving_target(&self) -> Option<Ratio> {
+        self.energy_saving
+    }
+
+    /// The capacity target, if set.
+    #[must_use]
+    pub fn capacity_target(&self) -> Option<Ratio> {
+        self.capacity_utilization
+    }
+
+    /// The lifetime target, if set.
+    #[must_use]
+    pub fn lifetime_target(&self) -> Option<Years> {
+        self.lifetime
+    }
+
+    /// Whether the goal constrains anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.energy_saving.is_none()
+            && self.capacity_utilization.is_none()
+            && self.lifetime.is_none()
+    }
+}
+
+impl fmt::Display for DesignGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(e) = self.energy_saving {
+            parts.push(format!("E = {e}"));
+        }
+        if let Some(c) = self.capacity_utilization {
+            parts.push(format!("C = {c}"));
+        }
+        if let Some(l) = self.lifetime {
+            parts.push(format!("L = {l}"));
+        }
+        if parts.is_empty() {
+            write!(f, "(unconstrained)")
+        } else {
+            write!(f, "({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_goals_match_the_paper() {
+        let a = DesignGoal::fig3a();
+        assert_eq!(a.energy_saving_target(), Some(Ratio::from_percent(80.0)));
+        assert_eq!(a.capacity_target(), Some(Ratio::from_percent(88.0)));
+        assert_eq!(a.lifetime_target(), Some(Years::new(7.0)));
+
+        let b = DesignGoal::fig3b();
+        assert_eq!(b.energy_saving_target(), Some(Ratio::from_percent(70.0)));
+    }
+
+    #[test]
+    fn empty_goal_is_detectable() {
+        assert!(DesignGoal::new().is_empty());
+        assert!(!DesignGoal::fig3a().is_empty());
+        assert_eq!(DesignGoal::new().to_string(), "(unconstrained)");
+    }
+
+    #[test]
+    fn requirement_labels_match_figure_3() {
+        assert_eq!(Requirement::Energy.label(), "E");
+        assert_eq!(Requirement::Capacity.label(), "C");
+        assert_eq!(Requirement::SpringsLifetime.label(), "Lsp");
+        assert_eq!(Requirement::ProbesLifetime.label(), "Lpb");
+    }
+
+    #[test]
+    fn partial_goals_render_partially() {
+        let g = DesignGoal::new().lifetime(Years::new(4.0));
+        assert_eq!(g.to_string(), "(L = 4.00 years)");
+    }
+}

@@ -1,0 +1,165 @@
+//! Human-readable design reports.
+//!
+//! [`DesignReport`] assembles everything the paper's methodology says
+//! about one operating point — the forward models at a chosen buffer, the
+//! break-even analysis, and (optionally) the inverse answer for a design
+//! goal — into one displayable record. The bench harness's `custom`
+//! subcommand is a thin CLI wrapper around it.
+
+use std::fmt;
+
+use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
+
+use crate::dimension::BufferPlan;
+use crate::error::ModelError;
+use crate::goal::DesignGoal;
+use crate::system::SystemModel;
+
+/// A complete analysis of one operating point.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// The system description line.
+    pub system: String,
+    /// The break-even buffer, if the rate is sustainable.
+    pub break_even: Result<DataSize, ModelError>,
+    /// The supremum of the achievable energy saving at this rate.
+    pub max_saving: f64,
+    /// Analysis at a specific buffer, if one was requested.
+    pub at_buffer: Option<BufferPointReport>,
+    /// The inverse answer for a goal, if one was requested.
+    pub plan: Option<Result<BufferPlan, ModelError>>,
+}
+
+/// The forward models evaluated at one buffer size.
+#[derive(Debug, Clone)]
+pub struct BufferPointReport {
+    /// The buffer analysed.
+    pub buffer: DataSize,
+    /// `Em(B)`, if the buffer sustains a cycle.
+    pub per_bit_energy: Result<EnergyPerBit, ModelError>,
+    /// Saving versus always-on.
+    pub saving: Result<f64, ModelError>,
+    /// Capacity utilisation.
+    pub utilization: Ratio,
+    /// Springs lifetime.
+    pub springs: Years,
+    /// Probes lifetime.
+    pub probes: Years,
+}
+
+impl DesignReport {
+    /// Builds a report for `model`, optionally analysing a specific
+    /// `buffer` and optionally answering a design `goal`.
+    #[must_use]
+    pub fn build(model: &SystemModel, buffer: Option<DataSize>, goal: Option<&DesignGoal>) -> Self {
+        let at_buffer = buffer.map(|b| BufferPointReport {
+            buffer: b,
+            per_bit_energy: model.per_bit_energy(b),
+            saving: model.saving(b),
+            utilization: model.utilization(b),
+            springs: model.springs_lifetime(b),
+            probes: model.probes_lifetime(b),
+        });
+        DesignReport {
+            system: model.to_string(),
+            break_even: model.break_even_buffer(),
+            max_saving: model.energy_model().max_saving(),
+            at_buffer,
+            plan: goal.map(|g| model.dimension(g)),
+        }
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "system: {}", self.system)?;
+        match &self.break_even {
+            Ok(b) => writeln!(f, "break-even buffer: {b}")?,
+            Err(e) => writeln!(f, "break-even buffer: {e}")?,
+        }
+        writeln!(
+            f,
+            "achievable saving at this rate: up to {:.1}%",
+            self.max_saving * 100.0
+        )?;
+        if let Some(p) = &self.at_buffer {
+            writeln!(f, "at a {} buffer:", p.buffer)?;
+            match &p.per_bit_energy {
+                Ok(e) => writeln!(f, "  per-bit energy   {e}")?,
+                Err(e) => writeln!(f, "  per-bit energy   unavailable: {e}")?,
+            }
+            match &p.saving {
+                Ok(s) => writeln!(f, "  energy saving    {:.1}%", s * 100.0)?,
+                Err(e) => writeln!(f, "  energy saving    unavailable: {e}")?,
+            }
+            writeln!(f, "  utilisation      {}", p.utilization)?;
+            writeln!(f, "  springs lifetime {}", p.springs)?;
+            writeln!(f, "  probes lifetime  {}", p.probes)?;
+            writeln!(f, "  device lifetime  {}", p.springs.min(p.probes))?;
+        }
+        if let Some(plan) = &self.plan {
+            match plan {
+                Ok(plan) => {
+                    writeln!(f, "design answer: {plan}")?;
+                    for (req, b) in plan.requirements() {
+                        writeln!(f, "  {req:<22} needs {b}")?;
+                    }
+                }
+                Err(e) => writeln!(f, "design answer: {e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memstream_units::BitRate;
+
+    fn model() -> SystemModel {
+        SystemModel::paper_default(BitRate::from_kbps(1024.0))
+    }
+
+    #[test]
+    fn full_report_mentions_every_section() {
+        let m = model();
+        let report = DesignReport::build(
+            &m,
+            Some(DataSize::from_kibibytes(20.0)),
+            Some(&DesignGoal::fig3b()),
+        );
+        let text = report.to_string();
+        assert!(text.contains("break-even buffer"));
+        assert!(text.contains("per-bit energy"));
+        assert!(text.contains("springs lifetime"));
+        assert!(text.contains("dictated by"));
+    }
+
+    #[test]
+    fn minimal_report_skips_optional_sections() {
+        let report = DesignReport::build(&model(), None, None);
+        let text = report.to_string();
+        assert!(!text.contains("at a "));
+        assert!(!text.contains("design answer"));
+        assert!(text.contains("achievable saving"));
+    }
+
+    #[test]
+    fn infeasible_goal_is_reported_not_panicked() {
+        let report = DesignReport::build(
+            &model().with_rate(BitRate::from_kbps(4096.0)),
+            None,
+            Some(&DesignGoal::fig3a()),
+        );
+        let text = report.to_string();
+        assert!(text.contains("infeasible"), "{text}");
+    }
+
+    #[test]
+    fn undersized_buffer_is_reported_not_panicked() {
+        let report = DesignReport::build(&model(), Some(DataSize::from_bits(64.0)), None);
+        let text = report.to_string();
+        assert!(text.contains("unavailable"), "{text}");
+    }
+}

@@ -1,0 +1,176 @@
+//! The saving-versus-buffer trade-off frontier.
+//!
+//! The paper closes §IV-C with a design argument: between an 80 % and a
+//! 70 % energy saving "the system-wide impact ... might be negligible. On
+//! the contrary, the buffer size differs three orders of magnitude, so
+//! that 70 % might well be preferable." This module computes that
+//! trade-off curve — minimum buffer as a function of the saving target —
+//! and locates its *knee*, the point past which each extra percent of
+//! saving starts costing disproportionate buffer.
+
+use memstream_units::{DataSize, Ratio};
+
+use crate::error::ModelError;
+use crate::system::SystemModel;
+
+/// One point of the saving-versus-buffer frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The energy-saving target.
+    pub saving: Ratio,
+    /// The minimum buffer achieving it, or the infeasibility statement.
+    pub buffer: Result<DataSize, ModelError>,
+}
+
+/// The frontier: minimum buffer for each saving target, plus its knee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavingFrontier {
+    /// Frontier points in ascending saving order.
+    pub points: Vec<FrontierPoint>,
+    /// The knee: the feasible point after which the marginal buffer cost
+    /// per percent of saving is largest (`None` if fewer than three
+    /// points are feasible).
+    pub knee: Option<Ratio>,
+}
+
+impl SavingFrontier {
+    /// The highest feasible saving on the frontier.
+    #[must_use]
+    pub fn max_feasible_saving(&self) -> Option<Ratio> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.buffer.is_ok())
+            .map(|p| p.saving)
+    }
+
+    /// The buffer at a specific saving target, if that point was sampled
+    /// and feasible.
+    #[must_use]
+    pub fn buffer_at(&self, saving: Ratio) -> Option<DataSize> {
+        self.points
+            .iter()
+            .find(|p| p.saving == saving)
+            .and_then(|p| p.buffer.as_ref().ok())
+            .copied()
+    }
+}
+
+/// Computes the frontier over the given saving targets (sorted
+/// internally).
+///
+/// The knee is located as the feasible point maximising the second
+/// difference of `ln B` over the saving grid — the discrete analogue of
+/// "where the log-cost curve bends hardest".
+///
+/// # Panics
+///
+/// Panics if `savings` is empty.
+#[must_use]
+pub fn saving_frontier(
+    model: &SystemModel,
+    savings: impl IntoIterator<Item = Ratio>,
+) -> SavingFrontier {
+    let mut targets: Vec<Ratio> = savings.into_iter().collect();
+    assert!(!targets.is_empty(), "need at least one saving target");
+    targets.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    targets.dedup();
+
+    let energy = model.energy_model();
+    let points: Vec<FrontierPoint> = targets
+        .iter()
+        .map(|&saving| FrontierPoint {
+            saving,
+            buffer: energy.min_buffer_for_saving(saving),
+        })
+        .collect();
+
+    // Knee: largest positive curvature of ln B over consecutive feasible
+    // triples.
+    let feasible: Vec<(Ratio, f64)> = points
+        .iter()
+        .filter_map(|p| p.buffer.as_ref().ok().map(|b| (p.saving, b.bits().ln())))
+        .collect();
+    let knee = feasible
+        .windows(3)
+        .map(|w| {
+            let curvature = (w[2].1 - w[1].1) - (w[1].1 - w[0].1);
+            (w[1].0, curvature)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite curvature"))
+        .map(|(saving, _)| saving);
+
+    SavingFrontier { points, knee }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memstream_units::BitRate;
+
+    fn grid(from: f64, to: f64, n: usize) -> Vec<Ratio> {
+        (0..n)
+            .map(|i| Ratio::from_percent(from + (to - from) * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn frontier_is_monotone_where_feasible() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let frontier = saving_frontier(&model, grid(10.0, 80.0, 15));
+        let buffers: Vec<f64> = frontier
+            .points
+            .iter()
+            .filter_map(|p| p.buffer.as_ref().ok().map(|b| b.bits()))
+            .collect();
+        assert!(buffers.len() >= 10);
+        for pair in buffers.windows(2) {
+            assert!(pair[1] >= pair[0], "frontier must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn infeasible_targets_appear_past_the_max_saving() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(2048.0));
+        let frontier = saving_frontier(&model, grid(50.0, 95.0, 10));
+        let max = frontier.max_feasible_saving().unwrap();
+        assert!(max.percent() < 95.0);
+        for p in &frontier.points {
+            if p.saving > max {
+                assert!(p.buffer.is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn the_paper_closing_argument_at_the_80_percent_edge() {
+        // Near the Fig. 3a edge, the last ten points of saving cost orders
+        // of magnitude of buffer: the knee sits well below the maximum.
+        let model = SystemModel::paper_default(BitRate::from_kbps(1100.0));
+        let frontier = saving_frontier(&model, grid(40.0, 80.0, 21));
+        let knee = frontier.knee.unwrap();
+        let max = frontier.max_feasible_saving().unwrap();
+        assert!(knee < max, "knee {knee} should precede max {max}");
+        // The last ten points of saving (70% -> 80%) cost well over an
+        // order of magnitude of buffer — the paper's closing argument.
+        let at_70 = frontier.buffer_at(Ratio::from_percent(70.0)).unwrap();
+        let at_max = frontier.buffer_at(max).unwrap();
+        assert!(at_max / at_70 > 10.0, "ratio {}", at_max / at_70);
+    }
+
+    #[test]
+    fn buffer_at_unknown_target_is_none() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let frontier = saving_frontier(&model, vec![Ratio::from_percent(50.0)]);
+        assert!(frontier.buffer_at(Ratio::from_percent(51.0)).is_none());
+        assert!(frontier.buffer_at(Ratio::from_percent(50.0)).is_some());
+        assert!(frontier.knee.is_none(), "one point has no knee");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one saving target")]
+    fn empty_grid_panics() {
+        let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+        let _ = saving_frontier(&model, vec![]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Device-construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a device description is physically inconsistent.
+///
+/// Builders validate their inputs on `build()`; each variant names the
+/// violated constraint so configuration mistakes are diagnosable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A required strictly-positive parameter was zero (or effectively zero).
+    ZeroParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// The standby power must be the lowest power state for shutdown to
+    /// ever save energy.
+    StandbyNotLowest {
+        /// Standby power in watts.
+        standby_watts: f64,
+        /// The state that undercut it, e.g. "idle".
+        undercut_by: &'static str,
+        /// That state's power in watts.
+        other_watts: f64,
+    },
+    /// More probes were declared active than exist in the array.
+    ActiveProbesExceedArray {
+        /// Declared number of simultaneously active probes.
+        active: u32,
+        /// Total probes in the array.
+        total: u32,
+    },
+    /// A ratio-like parameter fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::ZeroParameter { parameter } => {
+                write!(
+                    f,
+                    "device parameter `{parameter}` must be strictly positive"
+                )
+            }
+            DeviceError::StandbyNotLowest {
+                standby_watts,
+                undercut_by,
+                other_watts,
+            } => write!(
+                f,
+                "standby power ({standby_watts} W) must be the lowest state, \
+                 but {undercut_by} draws {other_watts} W"
+            ),
+            DeviceError::ActiveProbesExceedArray { active, total } => write!(
+                f,
+                "active probe count {active} exceeds the {total} probes in the array"
+            ),
+            DeviceError::FractionOutOfRange { parameter, value } => {
+                write!(
+                    f,
+                    "device parameter `{parameter}` must lie in [0, 1], got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let e = DeviceError::ZeroParameter {
+            parameter: "per_probe_rate",
+        };
+        assert!(e.to_string().contains("per_probe_rate"));
+
+        let e = DeviceError::ActiveProbesExceedArray {
+            active: 5000,
+            total: 4096,
+        };
+        assert!(e.to_string().contains("5000"));
+        assert!(e.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Device models for the `memstream` workspace.
+//!
+//! Three devices appear in Khatib & Abelmann (DATE 2011):
+//!
+//! 1. A **probe-based MEMS storage device** modelled on the IBM "millipede"
+//!    prototype (Lantz et al. 2007) — parameters in Table I, reproduced by
+//!    [`MemsDevice::table1`]. This is the subject of the study.
+//! 2. A **1.8-inch disk drive**, the comparison point for the "three orders
+//!    of magnitude" break-even-buffer contrast — [`DiskDevice`].
+//! 3. A **DRAM streaming buffer** whose retention/access energy the paper
+//!    includes and finds negligible — [`DramModel`], patterned after the
+//!    Micron TN-46-03 DDR power calculator.
+//!
+//! The first two implement [`MechanicalDevice`], the interface the analytic
+//! energy model and the discrete-event simulator are generic over: a medium
+//! that moves (and therefore pays a seek + shutdown *overhead* around every
+//! burst) and that exposes distinct power states.
+//!
+//! ```
+//! use memstream_device::{MechanicalDevice, MemsDevice, PowerState};
+//! use memstream_units::BitRate;
+//!
+//! let mems = MemsDevice::table1();
+//! assert_eq!(mems.media_rate(), BitRate::from_mbps(102.4));
+//! assert_eq!(mems.power(PowerState::Standby).milliwatts(), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod dram;
+mod error;
+mod mems;
+mod power;
+
+pub use disk::{DiskDevice, DiskDeviceBuilder};
+pub use dram::{DramEnergyBreakdown, DramModel};
+pub use error::DeviceError;
+pub use mems::{MemsDevice, MemsDeviceBuilder, ProbeArray};
+pub use power::{MechanicalDevice, PowerState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memstream_units::{Duration, Power};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn devices_are_send_sync() {
+        assert_send_sync::<MemsDevice>();
+        assert_send_sync::<DiskDevice>();
+        assert_send_sync::<DramModel>();
+        assert_send_sync::<PowerState>();
+        assert_send_sync::<DeviceError>();
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        // MechanicalDevice must stay object-safe: the bench harness stores
+        // heterogeneous device lists behind `&dyn MechanicalDevice`.
+        let mems = MemsDevice::table1();
+        let disk = DiskDevice::calibrated_1p8_inch();
+        let devices: Vec<&dyn MechanicalDevice> = vec![&mems, &disk];
+        for d in devices {
+            assert!(d.overhead_time() > Duration::ZERO);
+            assert!(d.power(PowerState::Idle) > Power::ZERO);
+            assert!(d.media_rate().bits_per_second() > 0.0);
+        }
+    }
+}

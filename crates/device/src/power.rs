@@ -1,0 +1,157 @@
+//! Power states and the mechanical-device abstraction.
+
+use std::fmt;
+
+use memstream_units::{BitRate, Duration, Energy, Power};
+
+/// The power states of a mechanical storage device in the streaming
+/// architecture of Fig. 1b.
+///
+/// A refill cycle walks `Standby → Seek → ReadWrite → (best-effort service,
+/// also `ReadWrite`) → Shutdown → Standby`; `Idle` is the reference state of
+/// the always-on baseline (medium moving, heads parked, no transfer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PowerState {
+    /// Deep sleep: the medium is halted. Lowest power; the payoff state.
+    Standby,
+    /// Positioning the medium/probes before a transfer.
+    Seek,
+    /// Actively reading or writing at the media rate.
+    ReadWrite,
+    /// Medium in motion but no transfer in progress (always-on baseline).
+    Idle,
+    /// The transition from active back to standby (spin-down / park).
+    Shutdown,
+}
+
+impl PowerState {
+    /// All states, in cycle order. Useful for tabulating energy breakdowns.
+    pub const ALL: [PowerState; 5] = [
+        PowerState::Standby,
+        PowerState::Seek,
+        PowerState::ReadWrite,
+        PowerState::Idle,
+        PowerState::Shutdown,
+    ];
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PowerState::Standby => "standby",
+            PowerState::Seek => "seek",
+            PowerState::ReadWrite => "read/write",
+            PowerState::Idle => "idle",
+            PowerState::Shutdown => "shutdown",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A storage device with a moving medium: it pays a fixed time/energy
+/// overhead (seek + shutdown) around every transfer burst and exposes the
+/// power states of [`PowerState`].
+///
+/// Both the analytic buffering model (`memstream-core`) and the
+/// discrete-event simulator (`memstream-sim`) are generic over this trait,
+/// which is what lets the paper's MEMS-vs-disk comparison run through the
+/// exact same code path.
+///
+/// The trait is object-safe; heterogeneous device collections can be stored
+/// as `Vec<Box<dyn MechanicalDevice>>`. `Debug` is a supertrait so that
+/// models holding `&dyn MechanicalDevice` can themselves derive `Debug`.
+pub trait MechanicalDevice: std::fmt::Debug {
+    /// Human-readable device name for reports.
+    fn name(&self) -> &str;
+
+    /// Sustained media transfer rate `rm` (Fig. 1a).
+    fn media_rate(&self) -> BitRate;
+
+    /// Power drawn in the given state.
+    fn power(&self, state: PowerState) -> Power;
+
+    /// Time spent seeking before a refill (`tsk`).
+    fn seek_time(&self) -> Duration;
+
+    /// Time spent shutting down after a refill (`tsd`).
+    fn shutdown_time(&self) -> Duration;
+
+    /// Total per-cycle overhead time `toh = tsk + tsd` (Eq. 1).
+    fn overhead_time(&self) -> Duration {
+        self.seek_time() + self.shutdown_time()
+    }
+
+    /// Total per-cycle overhead energy `Eoh = Esk + Esd` (Eq. 1).
+    ///
+    /// `Esk = tsk · P(Seek)` and `Esd = tsd · P(Shutdown)`.
+    fn overhead_energy(&self) -> Energy {
+        self.power(PowerState::Seek) * self.seek_time()
+            + self.power(PowerState::Shutdown) * self.shutdown_time()
+    }
+
+    /// Mean overhead power `Poh = Eoh / toh` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead time is zero (an overhead-free device has no
+    /// well-defined overhead power; such devices never benefit from
+    /// buffering in the first place).
+    fn overhead_power(&self) -> Power {
+        let toh = self.overhead_time();
+        assert!(
+            toh > Duration::ZERO,
+            "overhead power undefined for a device with zero overhead time"
+        );
+        self.overhead_energy() / toh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal hand-rolled device used to exercise the default methods.
+    #[derive(Debug)]
+    struct Toy;
+
+    impl MechanicalDevice for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn media_rate(&self) -> BitRate {
+            BitRate::from_mbps(10.0)
+        }
+        fn power(&self, state: PowerState) -> Power {
+            match state {
+                PowerState::Standby => Power::from_milliwatts(1.0),
+                PowerState::Seek => Power::from_milliwatts(100.0),
+                PowerState::ReadWrite => Power::from_milliwatts(50.0),
+                PowerState::Idle => Power::from_milliwatts(20.0),
+                PowerState::Shutdown => Power::from_milliwatts(100.0),
+            }
+        }
+        fn seek_time(&self) -> Duration {
+            Duration::from_millis(4.0)
+        }
+        fn shutdown_time(&self) -> Duration {
+            Duration::from_millis(1.0)
+        }
+    }
+
+    #[test]
+    fn default_overhead_derivations() {
+        let toy = Toy;
+        assert!((toy.overhead_time().millis() - 5.0).abs() < 1e-12);
+        // Eoh = 4ms*100mW + 1ms*100mW = 0.5 mJ.
+        assert!((toy.overhead_energy().millijoules() - 0.5).abs() < 1e-12);
+        // Poh = 0.5 mJ / 5 ms = 100 mW.
+        assert!((toy.overhead_power().milliwatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_display_names() {
+        assert_eq!(PowerState::Standby.to_string(), "standby");
+        assert_eq!(PowerState::ReadWrite.to_string(), "read/write");
+        assert_eq!(PowerState::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error-correction overhead policies.
+
+use std::fmt;
+
+/// How much ECC a sector carries, as a function of its user data.
+///
+/// §III-B.1: disk drives add ECC of about one-*tenth* the user data per
+/// sector; "in line with available figures from the IBM MEMS device" the
+/// paper assumes one-*eighth* (`SECC = ⌈Su/8⌉`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccPolicy {
+    /// `SECC = ⌈Su / divisor⌉` — the paper's form with a configurable
+    /// divisor (8 for the MEMS device, 10 for the disk comparison).
+    Fractional {
+        /// Denominator of the user-data fraction stored as ECC.
+        divisor: u64,
+    },
+    /// A fixed number of ECC bits per sector, independent of sector size.
+    Fixed {
+        /// ECC bits per sector.
+        bits: u64,
+    },
+    /// No ECC at all (for isolating the sync-bit effect in ablations).
+    None,
+}
+
+impl EccPolicy {
+    /// The paper's MEMS policy: one-eighth of the user data.
+    pub const MEMS: EccPolicy = EccPolicy::Fractional { divisor: 8 };
+
+    /// The disk-drive policy cited in §III-B.1: one-tenth of the user data.
+    pub const DISK: EccPolicy = EccPolicy::Fractional { divisor: 10 };
+
+    /// ECC bits for a sector holding `user_bits` of user data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`EccPolicy::Fractional`] policy has a zero divisor.
+    #[must_use]
+    pub fn ecc_bits(&self, user_bits: u64) -> u64 {
+        match *self {
+            EccPolicy::Fractional { divisor } => {
+                assert!(divisor > 0, "ecc divisor must be positive");
+                user_bits.div_ceil(divisor)
+            }
+            EccPolicy::Fixed { bits } => bits,
+            EccPolicy::None => 0,
+        }
+    }
+
+    /// The asymptotic ratio of ECC to user bits as sectors grow.
+    ///
+    /// Determines the utilisation supremum: with striped sync bits
+    /// amortised away, utilisation approaches `1 / (1 + overhead_ratio())`.
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        match *self {
+            EccPolicy::Fractional { divisor } => 1.0 / divisor as f64,
+            // Fixed overhead vanishes relative to user data as Su grows.
+            EccPolicy::Fixed { .. } | EccPolicy::None => 0.0,
+        }
+    }
+}
+
+impl Default for EccPolicy {
+    fn default() -> Self {
+        EccPolicy::MEMS
+    }
+}
+
+impl fmt::Display for EccPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EccPolicy::Fractional { divisor } => write!(f, "ecc = ceil(Su/{divisor})"),
+            EccPolicy::Fixed { bits } => write!(f, "ecc = {bits} bits/sector"),
+            EccPolicy::None => write!(f, "no ecc"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mems_policy_is_one_eighth_rounded_up() {
+        assert_eq!(EccPolicy::MEMS.ecc_bits(8), 1);
+        assert_eq!(EccPolicy::MEMS.ecc_bits(9), 2);
+        assert_eq!(EccPolicy::MEMS.ecc_bits(8192), 1024);
+        assert_eq!(EccPolicy::MEMS.ecc_bits(0), 0);
+    }
+
+    #[test]
+    fn disk_policy_is_one_tenth() {
+        assert_eq!(EccPolicy::DISK.ecc_bits(100), 10);
+        assert_eq!(EccPolicy::DISK.ecc_bits(101), 11);
+    }
+
+    #[test]
+    fn fixed_and_none_policies() {
+        assert_eq!(EccPolicy::Fixed { bits: 40 }.ecc_bits(123_456), 40);
+        assert_eq!(EccPolicy::None.ecc_bits(123_456), 0);
+    }
+
+    #[test]
+    fn overhead_ratios() {
+        assert!((EccPolicy::MEMS.overhead_ratio() - 0.125).abs() < 1e-15);
+        assert!((EccPolicy::DISK.overhead_ratio() - 0.1).abs() < 1e-15);
+        assert_eq!(EccPolicy::None.overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(EccPolicy::MEMS.to_string(), "ecc = ceil(Su/8)");
+    }
+
+    proptest! {
+        #[test]
+        fn fractional_ecc_is_within_one_of_exact(user in 0u64..1u64 << 40) {
+            let ecc = EccPolicy::MEMS.ecc_bits(user);
+            let exact = user as f64 / 8.0;
+            prop_assert!(ecc as f64 >= exact);
+            prop_assert!((ecc as f64) < exact + 1.0);
+        }
+    }
+}

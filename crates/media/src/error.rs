@@ -1,0 +1,59 @@
+//! Format-model errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by format construction and the utilisation solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatError {
+    /// The striping width `K` (active probes) was zero.
+    ZeroStripeWidth,
+    /// A sector must hold at least one user bit.
+    EmptySector,
+    /// The requested utilisation target can never be reached: it exceeds
+    /// the supremum `1 / (1 + ecc_ratio)` imposed by the ECC policy.
+    UtilizationUnreachable {
+        /// The requested utilisation as a fraction.
+        requested: f64,
+        /// The asymptotic maximum for this format.
+        supremum: f64,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::ZeroStripeWidth => {
+                write!(f, "stripe width (active probes) must be positive")
+            }
+            FormatError::EmptySector => write!(f, "sector must hold at least one user bit"),
+            FormatError::UtilizationUnreachable {
+                requested,
+                supremum,
+            } => write!(
+                f,
+                "utilisation target {:.2}% exceeds the format's supremum {:.2}%",
+                requested * 100.0,
+                supremum * 100.0
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_message_shows_both_percentages() {
+        let e = FormatError::UtilizationUnreachable {
+            requested: 0.95,
+            supremum: 8.0 / 9.0,
+        };
+        let text = e.to_string();
+        assert!(text.contains("95.00%"));
+        assert!(text.contains("88.89%"));
+    }
+}

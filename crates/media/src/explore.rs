@@ -1,0 +1,200 @@
+//! Format design-space exploration: what striping width, sync-bit count
+//! and ECC policy do to capacity.
+//!
+//! Eq. (2) fixes the paper's format (`K = 1024`, 3 sync bits, ⌈Su/8⌉ ECC),
+//! but the equation exposes three knobs a device architect controls. This
+//! module sweeps them, quantifying e.g. how widening the stripe trades
+//! parallel bandwidth against sync-bit overhead — the ablation behind the
+//! paper's remark that the subsector size is "crucial".
+
+use memstream_units::{DataSize, Ratio};
+
+use crate::ecc::EccPolicy;
+use crate::error::FormatError;
+use crate::layout::SectorFormat;
+
+/// One sample of a format sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatSweepPoint {
+    /// The format sampled.
+    pub format: SectorFormat,
+    /// Utilisation at the probe sector size.
+    pub utilization: Ratio,
+    /// Sector bits at the probe sector size.
+    pub sector_bits: u64,
+    /// Smallest user payload reaching the target utilisation under this
+    /// format, if the target is reachable at all.
+    pub min_user_for_target: Option<DataSize>,
+}
+
+/// Sweeps the striping width `K` at a fixed sector payload, reporting the
+/// utilisation and the smallest sector reaching `target` for each width.
+///
+/// Wider stripes mean more sync bits per sector (one set per subsector),
+/// so at a fixed payload the utilisation *falls* with `K` — the price of
+/// the bandwidth that `K` active probes buy.
+///
+/// # Errors
+///
+/// Returns [`FormatError::ZeroStripeWidth`] if any width is zero.
+pub fn stripe_width_sweep(
+    widths: impl IntoIterator<Item = u32>,
+    payload: DataSize,
+    ecc: EccPolicy,
+    sync_bits: u64,
+    target: Ratio,
+) -> Result<Vec<FormatSweepPoint>, FormatError> {
+    widths
+        .into_iter()
+        .map(|k| {
+            let format = SectorFormat::new(k, ecc, sync_bits)?;
+            Ok(sample(format, payload, target))
+        })
+        .collect()
+}
+
+/// Sweeps the sync-bit count per subsector at the paper's stripe width.
+///
+/// The paper assumes 3 bits (a 30 µs window); device architects quote
+/// anywhere from 1 to a few tens. Utilisation falls roughly linearly in
+/// the count at small sectors and is insensitive at large ones.
+#[must_use]
+pub fn sync_bits_sweep(
+    counts: impl IntoIterator<Item = u64>,
+    payload: DataSize,
+    target: Ratio,
+) -> Vec<FormatSweepPoint> {
+    counts
+        .into_iter()
+        .map(|sync| {
+            let format = SectorFormat::new(1024, EccPolicy::MEMS, sync)
+                .expect("fixed positive stripe width");
+            sample(format, payload, target)
+        })
+        .collect()
+}
+
+/// Compares ECC policies at the paper's stripe width and sync count.
+#[must_use]
+pub fn ecc_policy_sweep(
+    policies: impl IntoIterator<Item = EccPolicy>,
+    payload: DataSize,
+    target: Ratio,
+) -> Vec<FormatSweepPoint> {
+    policies
+        .into_iter()
+        .map(|ecc| {
+            let format = SectorFormat::new(1024, ecc, 3).expect("fixed positive stripe width");
+            sample(format, payload, target)
+        })
+        .collect()
+}
+
+fn sample(format: SectorFormat, payload: DataSize, target: Ratio) -> FormatSweepPoint {
+    let layout = format.layout(payload);
+    FormatSweepPoint {
+        utilization: layout.utilization(),
+        sector_bits: layout.sector_bits(),
+        min_user_for_target: crate::solver::min_user_bits_for_utilization(&format, target)
+            .ok()
+            .map(DataSize::from_bit_count),
+        format,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_falls_with_stripe_width_at_fixed_payload() {
+        let points = stripe_width_sweep(
+            [64, 256, 1024, 4096],
+            DataSize::from_kibibytes(8.0),
+            EccPolicy::MEMS,
+            3,
+            Ratio::from_percent(85.0),
+        )
+        .unwrap();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].utilization <= pair[0].utilization,
+                "wider stripe should not improve utilisation at fixed payload"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_stripes_need_bigger_sectors_for_the_same_target() {
+        let points = stripe_width_sweep(
+            [64, 1024],
+            DataSize::from_kibibytes(8.0),
+            EccPolicy::MEMS,
+            3,
+            Ratio::from_percent(88.0),
+        )
+        .unwrap();
+        let narrow = points[0].min_user_for_target.unwrap();
+        let wide = points[1].min_user_for_target.unwrap();
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn more_sync_bits_cost_capacity() {
+        let points = sync_bits_sweep(
+            [1, 3, 10, 30],
+            DataSize::from_kibibytes(4.0),
+            Ratio::from_percent(85.0),
+        );
+        for pair in points.windows(2) {
+            assert!(pair[1].utilization < pair[0].utilization);
+        }
+    }
+
+    #[test]
+    fn zero_sync_bits_reach_the_pure_ecc_bound() {
+        let points = sync_bits_sweep(
+            [0],
+            DataSize::from_kibibytes(64.0),
+            Ratio::from_percent(88.0),
+        );
+        // With no sync bits and an aligned payload, utilisation is within
+        // a whisker of 8/9.
+        assert!(points[0].utilization.fraction() > 0.888);
+    }
+
+    #[test]
+    fn ecc_policies_order_as_expected() {
+        let points = ecc_policy_sweep(
+            [EccPolicy::None, EccPolicy::DISK, EccPolicy::MEMS],
+            DataSize::from_kibibytes(32.0),
+            Ratio::from_percent(80.0),
+        );
+        // Less ECC, more utilisation.
+        assert!(points[0].utilization > points[1].utilization);
+        assert!(points[1].utilization > points[2].utilization);
+    }
+
+    #[test]
+    fn zero_width_is_rejected() {
+        let err = stripe_width_sweep(
+            [0],
+            DataSize::from_kibibytes(1.0),
+            EccPolicy::MEMS,
+            3,
+            Ratio::from_percent(50.0),
+        )
+        .unwrap_err();
+        assert_eq!(err, FormatError::ZeroStripeWidth);
+    }
+
+    #[test]
+    fn unreachable_targets_yield_none() {
+        let points = sync_bits_sweep(
+            [3],
+            DataSize::from_kibibytes(4.0),
+            Ratio::from_percent(95.0),
+        );
+        assert!(points[0].min_user_for_target.is_none());
+    }
+}

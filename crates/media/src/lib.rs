@@ -1,0 +1,53 @@
+//! On-media format model for probe storage: Eqs. (2)–(4) of the paper.
+//!
+//! A MEMS storage device stripes each sector across `K` simultaneously
+//! active probes; each probe stores a *subsector* consisting of its share of
+//! the user data + ECC, plus a handful of synchronisation bits. Because sync
+//! bits are paid **per subsector** (not per sector, as on a disk), small
+//! sectors waste a large fraction of the medium — this is the capacity leg
+//! of the paper's three-way trade-off, and the reason the streaming buffer
+//! cannot be arbitrarily small (`B ≥ Su`).
+//!
+//! ```
+//! use memstream_media::SectorFormat;
+//! use memstream_units::DataSize;
+//!
+//! let fmt = SectorFormat::paper_default();
+//! let layout = fmt.layout(DataSize::from_kibibytes(4.0));
+//! assert!(layout.utilization().fraction() > 0.80);
+//! // and the asymptote is 8/9 ~ 88.9% (the paper's "tops with 88%"):
+//! assert!((fmt.utilization_supremum().fraction() - 8.0 / 9.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecc;
+mod error;
+mod explore;
+mod layout;
+mod solver;
+
+pub use ecc::EccPolicy;
+pub use error::FormatError;
+pub use explore::{ecc_policy_sweep, stripe_width_sweep, sync_bits_sweep, FormatSweepPoint};
+pub use layout::{SectorFormat, SectorLayout};
+pub use solver::{
+    max_utilization_upto, min_user_bits_for_utilization, min_user_bits_for_utilization_at_least,
+    utilization_profile,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn types_are_send_sync() {
+        assert_send_sync::<SectorFormat>();
+        assert_send_sync::<SectorLayout>();
+        assert_send_sync::<EccPolicy>();
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,288 @@
+//! The DRAM streaming buffer: continuous fill/drain with underrun tracking.
+
+use std::fmt;
+
+use memstream_units::{BitRate, DataSize, Duration};
+
+/// The staging buffer of Fig. 1a, tracked in continuous bits.
+///
+/// Between simulator events the buffer's level changes linearly (drain at
+/// the consumption rate, plus fill at the media rate during refills);
+/// [`StreamBuffer::advance`] applies such a linear segment exactly and
+/// reports any underrun (the decoder starving).
+///
+/// ```
+/// use memstream_sim::StreamBuffer;
+/// use memstream_units::{BitRate, DataSize, Duration};
+///
+/// let mut buf = StreamBuffer::full(DataSize::from_kibibytes(8.0));
+/// let starve = buf.advance(
+///     Duration::from_seconds(0.01),
+///     BitRate::ZERO,                   // no refill
+///     BitRate::from_kbps(1024.0),      // decoder drains
+/// );
+/// assert!(starve.is_zero());
+/// assert!(buf.level() < buf.capacity());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamBuffer {
+    capacity_bits: f64,
+    level_bits: f64,
+    min_level_bits: f64,
+    total_consumed_bits: f64,
+    total_filled_bits: f64,
+    underrun_events: u64,
+    starved_bits: f64,
+}
+
+impl StreamBuffer {
+    /// Creates a buffer of the given capacity, initially full (the system
+    /// starts with a primed buffer, as the paper's cycle does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    #[must_use]
+    pub fn full(capacity: DataSize) -> Self {
+        assert!(!capacity.is_zero(), "buffer capacity must be positive");
+        StreamBuffer {
+            capacity_bits: capacity.bits(),
+            level_bits: capacity.bits(),
+            min_level_bits: capacity.bits(),
+            total_consumed_bits: 0.0,
+            total_filled_bits: 0.0,
+            underrun_events: 0,
+            starved_bits: 0.0,
+        }
+    }
+
+    /// The buffer capacity.
+    #[must_use]
+    pub fn capacity(&self) -> DataSize {
+        DataSize::from_bits(self.capacity_bits)
+    }
+
+    /// The current fill level.
+    #[must_use]
+    pub fn level(&self) -> DataSize {
+        DataSize::from_bits(self.level_bits)
+    }
+
+    /// The lowest level ever observed (headroom diagnostics).
+    #[must_use]
+    pub fn min_level(&self) -> DataSize {
+        DataSize::from_bits(self.min_level_bits)
+    }
+
+    /// Total data delivered to the decoder.
+    #[must_use]
+    pub fn total_consumed(&self) -> DataSize {
+        DataSize::from_bits(self.total_consumed_bits)
+    }
+
+    /// Total data refilled from the device.
+    #[must_use]
+    pub fn total_filled(&self) -> DataSize {
+        DataSize::from_bits(self.total_filled_bits)
+    }
+
+    /// Number of distinct underrun (starvation) episodes.
+    #[must_use]
+    pub fn underrun_events(&self) -> u64 {
+        self.underrun_events
+    }
+
+    /// Total data the decoder demanded but could not get.
+    #[must_use]
+    pub fn starved(&self) -> DataSize {
+        DataSize::from_bits(self.starved_bits)
+    }
+
+    /// Whether the buffer is full (to float tolerance).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.level_bits >= self.capacity_bits - 1e-6
+    }
+
+    /// Advances the buffer through a linear segment of `dt` with the given
+    /// fill and drain rates, returning the amount the decoder starved for.
+    ///
+    /// Fill saturates at capacity (the refill controller stops at full) and
+    /// drain saturates at empty (starvation is recorded, the decoder
+    /// stalls).
+    pub fn advance(&mut self, dt: Duration, fill: BitRate, drain: BitRate) -> DataSize {
+        let seconds = dt.seconds();
+        let fill_bits = fill.bits_per_second() * seconds;
+        let drain_bits = drain.bits_per_second() * seconds;
+
+        // Net linear move, then clamp. Because segments are short (the
+        // simulator breaks at every state change) the clamp-order error is
+        // bounded by one segment and only occurs in misdimensioned runs.
+        let unclamped = self.level_bits + fill_bits - drain_bits;
+        let mut starved = 0.0;
+        let mut new_level = unclamped;
+        if unclamped < 0.0 {
+            starved = -unclamped;
+            new_level = 0.0;
+            self.underrun_events += 1;
+            self.starved_bits += starved;
+        }
+        if new_level > self.capacity_bits {
+            new_level = self.capacity_bits;
+        }
+
+        self.total_filled_bits += fill_bits.min(self.capacity_bits - self.level_bits + drain_bits);
+        self.total_consumed_bits += drain_bits - starved;
+        self.level_bits = new_level;
+        self.min_level_bits = self.min_level_bits.min(new_level);
+        DataSize::from_bits(starved)
+    }
+
+    /// Time until the level falls to `threshold` draining at `drain`
+    /// (no fill), or `None` if it is already at or below the threshold or
+    /// the drain rate is zero.
+    #[must_use]
+    pub fn time_to_reach(&self, threshold: DataSize, drain: BitRate) -> Option<Duration> {
+        if drain.is_zero() || self.level_bits <= threshold.bits() {
+            return None;
+        }
+        Some(Duration::from_seconds(
+            (self.level_bits - threshold.bits()) / drain.bits_per_second(),
+        ))
+    }
+
+    /// Time to refill to capacity at net rate `fill − drain`, or `None`
+    /// if the net rate is non-positive.
+    #[must_use]
+    pub fn time_to_full(&self, fill: BitRate, drain: BitRate) -> Option<Duration> {
+        let net = fill.bits_per_second() - drain.bits_per_second();
+        if net <= 0.0 {
+            return None;
+        }
+        Some(Duration::from_seconds(
+            (self.capacity_bits - self.level_bits) / net,
+        ))
+    }
+}
+
+impl fmt::Display for StreamBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer {}/{} (min {}, {} underruns)",
+            self.level(),
+            self.capacity(),
+            self.min_level(),
+            self.underrun_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn drain_then_fill_roundtrips() {
+        let mut buf = StreamBuffer::full(DataSize::from_kibibytes(8.0));
+        let rs = BitRate::from_kbps(1024.0);
+        buf.advance(Duration::from_seconds(0.05), BitRate::ZERO, rs);
+        let expected = 8.0 * 8192.0 - 0.05 * 1_024_000.0;
+        assert!((buf.level().bits() - expected).abs() < 1e-6);
+        // Refill to full.
+        let rm = BitRate::from_mbps(102.4);
+        let t = buf.time_to_full(rm, rs).unwrap();
+        buf.advance(t, rm, rs);
+        assert!(buf.is_full());
+    }
+
+    #[test]
+    fn underrun_is_recorded_and_level_clamped() {
+        let mut buf = StreamBuffer::full(DataSize::from_bits(1000.0));
+        let starved = buf.advance(
+            Duration::from_seconds(1.0),
+            BitRate::ZERO,
+            BitRate::from_bits_per_second(3000.0),
+        );
+        assert!((starved.bits() - 2000.0).abs() < 1e-9);
+        assert_eq!(buf.underrun_events(), 1);
+        assert_eq!(buf.level().bits(), 0.0);
+        assert!((buf.total_consumed().bits() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_reach_threshold() {
+        let buf = StreamBuffer::full(DataSize::from_bits(10_000.0));
+        let t = buf
+            .time_to_reach(
+                DataSize::from_bits(4_000.0),
+                BitRate::from_bits_per_second(600.0),
+            )
+            .unwrap();
+        assert!((t.seconds() - 10.0).abs() < 1e-12);
+        assert!(buf
+            .time_to_reach(
+                DataSize::from_bits(20_000.0),
+                BitRate::from_bits_per_second(1.0)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn time_to_full_requires_positive_net() {
+        let mut buf = StreamBuffer::full(DataSize::from_bits(1000.0));
+        buf.advance(
+            Duration::from_seconds(0.5),
+            BitRate::ZERO,
+            BitRate::from_bits_per_second(1000.0),
+        );
+        assert!(buf
+            .time_to_full(
+                BitRate::from_bits_per_second(100.0),
+                BitRate::from_bits_per_second(200.0)
+            )
+            .is_none());
+        assert!(buf
+            .time_to_full(
+                BitRate::from_bits_per_second(300.0),
+                BitRate::from_bits_per_second(200.0)
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn min_level_tracks_the_trough() {
+        let mut buf = StreamBuffer::full(DataSize::from_bits(1000.0));
+        buf.advance(
+            Duration::from_seconds(0.8),
+            BitRate::ZERO,
+            BitRate::from_bits_per_second(1000.0),
+        );
+        buf.advance(
+            Duration::from_seconds(1.0),
+            BitRate::from_bits_per_second(900.0),
+            BitRate::from_bits_per_second(100.0),
+        );
+        assert!((buf.min_level().bits() - 200.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn level_always_within_bounds(
+            segments in prop::collection::vec((0.0..2.0f64, 0.0..1e6f64, 0.0..1e6f64), 1..50)
+        ) {
+            let mut buf = StreamBuffer::full(DataSize::from_bits(50_000.0));
+            for (dt, fill, drain) in segments {
+                buf.advance(
+                    Duration::from_seconds(dt),
+                    BitRate::from_bits_per_second(fill),
+                    BitRate::from_bits_per_second(drain),
+                );
+                prop_assert!(buf.level().bits() >= 0.0);
+                prop_assert!(buf.level().bits() <= buf.capacity().bits() + 1e-6);
+                prop_assert!(buf.min_level() <= buf.level());
+            }
+        }
+    }
+}

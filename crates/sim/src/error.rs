@@ -1,0 +1,63 @@
+//! Simulation-construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a simulation configuration cannot run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The stream (plus best-effort reservation) exceeds the media rate:
+    /// refills can never catch up with the decoder.
+    RateExceedsBandwidth {
+        /// Requested peak consumption rate, bits per second.
+        stream_bps: f64,
+        /// Media rate available for refills, bits per second.
+        available_bps: f64,
+    },
+    /// The buffer cannot even cover the consumption during one seek: the
+    /// decoder starves before the first refill begins.
+    BufferTooSmall {
+        /// Configured buffer in bits.
+        buffer_bits: f64,
+        /// Bits consumed during one seek at the peak rate.
+        seek_demand_bits: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RateExceedsBandwidth {
+                stream_bps,
+                available_bps,
+            } => write!(
+                f,
+                "stream rate {stream_bps:.0} b/s exceeds the {available_bps:.0} b/s refill bandwidth"
+            ),
+            SimError::BufferTooSmall {
+                buffer_bits,
+                seek_demand_bits,
+            } => write!(
+                f,
+                "buffer of {buffer_bits:.0} bits cannot cover the {seek_demand_bits:.0} bits \
+                 consumed during one seek"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = SimError::BufferTooSmall {
+            buffer_bits: 100.0,
+            seek_demand_bits: 2048.0,
+        };
+        assert!(e.to_string().contains("2048"));
+    }
+}

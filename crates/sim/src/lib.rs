@@ -1,0 +1,69 @@
+//! Discrete-event simulator of the MEMS–DRAM streaming pipeline.
+//!
+//! The paper's results are analytic (Eqs. (1)–(6)). This crate builds the
+//! machinery the authors' evaluation implies but never published: an
+//! executable model of the Fig. 1 architecture that *simulates* refill
+//! cycles — seek, refill, best-effort service, shutdown, standby — against
+//! a consumption schedule, while metering energy per power state, counting
+//! spring duty cycles and accounting probe write wear.
+//!
+//! Running the simulator and comparing against the closed forms is the
+//! workspace's executable proof that the equations are the right ones (see
+//! `tests/sim_vs_model.rs`); running it on VBR streams explores territory
+//! the closed forms cannot reach.
+//!
+//! ```
+//! use memstream_device::MemsDevice;
+//! use memstream_sim::{SimConfig, StreamingSimulation};
+//! use memstream_units::{BitRate, DataSize, Duration};
+//! use memstream_workload::Workload;
+//!
+//! # fn main() -> Result<(), memstream_sim::SimError> {
+//! let config = SimConfig::cbr(
+//!     MemsDevice::table1(),
+//!     Workload::paper_default(BitRate::from_kbps(1024.0)),
+//!     DataSize::from_kibibytes(20.0),
+//! );
+//! let report = StreamingSimulation::new(config)?.run(Duration::from_hours(1.0));
+//! assert_eq!(report.underruns, 0);
+//! assert!(report.cycles > 10_000); // ~0.16 s per cycle
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod engine;
+mod error;
+mod meter;
+mod report;
+mod system;
+mod time;
+mod wear;
+
+pub use buffer::StreamBuffer;
+pub use engine::{EventQueue, ScheduledEvent};
+pub use error::SimError;
+pub use meter::EnergyMeter;
+pub use report::SimReport;
+pub use system::{BestEffortMode, SimConfig, StreamingSimulation};
+pub use time::SimTime;
+pub use wear::WearAccount;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn types_are_send_sync() {
+        assert_send_sync::<SimTime>();
+        assert_send_sync::<StreamBuffer>();
+        assert_send_sync::<WearAccount>();
+        assert_send_sync::<SimReport>();
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-state energy metering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use memstream_device::PowerState;
+use memstream_units::{Duration, Energy, Power};
+
+/// Integrates energy state-by-state as the device transitions.
+///
+/// ```
+/// use memstream_device::PowerState;
+/// use memstream_sim::EnergyMeter;
+/// use memstream_units::{Duration, Power};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.charge(PowerState::Seek, Duration::from_millis(2.0), Power::from_milliwatts(672.0));
+/// meter.charge(PowerState::Standby, Duration::from_seconds(1.0), Power::from_milliwatts(5.0));
+/// assert!(meter.total().millijoules() > 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyMeter {
+    per_state: BTreeMap<PowerState, (Duration, Energy)>,
+    dram: Energy,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Charges `dt` spent in `state` at `power`.
+    pub fn charge(&mut self, state: PowerState, dt: Duration, power: Power) {
+        let entry = self
+            .per_state
+            .entry(state)
+            .or_insert((Duration::ZERO, Energy::ZERO));
+        entry.0 += dt;
+        entry.1 += power * dt;
+    }
+
+    /// Charges DRAM energy (tracked separately from device states).
+    pub fn charge_dram(&mut self, energy: Energy) {
+        self.dram += energy;
+    }
+
+    /// Time spent in `state` so far.
+    #[must_use]
+    pub fn time_in(&self, state: PowerState) -> Duration {
+        self.per_state
+            .get(&state)
+            .map(|(t, _)| *t)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Energy spent in `state` so far.
+    #[must_use]
+    pub fn energy_in(&self, state: PowerState) -> Energy {
+        self.per_state
+            .get(&state)
+            .map(|(_, e)| *e)
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// DRAM energy charged so far.
+    #[must_use]
+    pub fn dram_energy(&self) -> Energy {
+        self.dram
+    }
+
+    /// Device energy (sum over states, excluding DRAM).
+    #[must_use]
+    pub fn device_total(&self) -> Energy {
+        self.per_state.values().map(|(_, e)| *e).sum()
+    }
+
+    /// Total energy including DRAM.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.device_total() + self.dram
+    }
+
+    /// Total metered time across all states.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.per_state.values().map(|(t, _)| *t).sum()
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "energy:")?;
+        for (state, (t, e)) in &self.per_state {
+            write!(f, " {state} {e} over {t};")?;
+        }
+        write!(f, " dram {}; total {}", self.dram, self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_state() {
+        let mut m = EnergyMeter::new();
+        let p = Power::from_milliwatts(100.0);
+        m.charge(PowerState::Idle, Duration::from_seconds(1.0), p);
+        m.charge(PowerState::Idle, Duration::from_seconds(1.0), p);
+        assert_eq!(m.time_in(PowerState::Idle).seconds(), 2.0);
+        assert!((m.energy_in(PowerState::Idle).millijoules() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_states_are_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.time_in(PowerState::Seek), Duration::ZERO);
+        assert_eq!(m.energy_in(PowerState::Seek), Energy::ZERO);
+    }
+
+    #[test]
+    fn dram_is_separate_from_device() {
+        let mut m = EnergyMeter::new();
+        m.charge(
+            PowerState::ReadWrite,
+            Duration::from_seconds(1.0),
+            Power::from_milliwatts(316.0),
+        );
+        m.charge_dram(Energy::from_millijoules(1.0));
+        assert!((m.device_total().millijoules() - 316.0).abs() < 1e-9);
+        assert!((m.total().millijoules() - 317.0).abs() < 1e-9);
+        assert!((m.dram_energy().millijoules() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_time_sums_states() {
+        let mut m = EnergyMeter::new();
+        let p = Power::from_milliwatts(1.0);
+        m.charge(PowerState::Seek, Duration::from_millis(2.0), p);
+        m.charge(PowerState::Shutdown, Duration::from_millis(1.0), p);
+        assert!((m.total_time().millis() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! The simulation output record.
+
+use std::fmt;
+
+use memstream_device::PowerState;
+use memstream_units::{DataSize, Duration, Energy, EnergyPerBit, Power, Years};
+
+use crate::meter::EnergyMeter;
+use crate::wear::WearAccount;
+
+/// Everything a simulation run measured.
+///
+/// Produced by [`crate::StreamingSimulation::run`]; the integration tests
+/// compare its fields against the analytic model term by term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated wall-clock time.
+    pub sim_time: Duration,
+    /// Completed refill cycles (seek → ... → shutdown).
+    pub cycles: u64,
+    /// Data delivered to the decoder.
+    pub bits_consumed: DataSize,
+    /// Data refilled from the device.
+    pub bits_refilled: DataSize,
+    /// Distinct decoder-starvation episodes.
+    pub underruns: u64,
+    /// Total data the decoder starved for.
+    pub starved: DataSize,
+    /// Lowest buffer level observed.
+    pub min_buffer_level: DataSize,
+    /// Per-state energy/time meter.
+    pub meter: EnergyMeter,
+    /// Wear account for springs and probes.
+    pub wear: WearAccount,
+}
+
+impl SimReport {
+    /// Total energy (device + DRAM).
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.meter.total()
+    }
+
+    /// Measured per-bit energy: total energy over bits consumed — the
+    /// simulated counterpart of Eq. (1)'s `Em(B)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run consumed no data.
+    #[must_use]
+    pub fn energy_per_bit(&self) -> EnergyPerBit {
+        assert!(
+            !self.bits_consumed.is_zero(),
+            "per-bit energy undefined: nothing was consumed"
+        );
+        self.total_energy() / self.bits_consumed
+    }
+
+    /// Mean power draw over the run.
+    #[must_use]
+    pub fn mean_power(&self) -> Power {
+        self.total_energy() / self.sim_time
+    }
+
+    /// Time fraction spent in `state`.
+    #[must_use]
+    pub fn time_fraction(&self, state: PowerState) -> f64 {
+        self.meter.time_in(state).seconds() / self.sim_time.seconds()
+    }
+
+    /// Springs lifetime projected from this run, assuming the run is a
+    /// representative slice of a year with `playback_seconds_per_year`
+    /// seconds of streaming.
+    #[must_use]
+    pub fn projected_springs_lifetime(&self, playback_seconds_per_year: f64) -> Years {
+        self.wear
+            .projected_springs_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+    }
+
+    /// Probes lifetime projected from this run (same convention).
+    #[must_use]
+    pub fn projected_probes_lifetime(&self, playback_seconds_per_year: f64) -> Years {
+        self.wear
+            .projected_probes_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+    }
+
+    /// Probes lifetime limited by the hottest probe (differs from
+    /// [`SimReport::projected_probes_lifetime`] only under injected wear
+    /// imbalance; see [`crate::WearAccount::projected_probes_lifetime_worst`]).
+    #[must_use]
+    pub fn projected_probes_lifetime_worst(&self, playback_seconds_per_year: f64) -> Years {
+        self.wear
+            .projected_probes_lifetime_worst(self.sim_time.seconds() / playback_seconds_per_year)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulated {}: {} cycles, {} consumed, {} underruns",
+            self.sim_time, self.cycles, self.bits_consumed, self.underruns
+        )?;
+        writeln!(f, "  {}", self.meter)?;
+        write!(f, "  {}", self.wear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut meter = EnergyMeter::new();
+        meter.charge(
+            PowerState::Standby,
+            Duration::from_seconds(9.0),
+            Power::from_milliwatts(5.0),
+        );
+        meter.charge(
+            PowerState::ReadWrite,
+            Duration::from_seconds(1.0),
+            Power::from_milliwatts(316.0),
+        );
+        SimReport {
+            sim_time: Duration::from_seconds(10.0),
+            cycles: 3,
+            bits_consumed: DataSize::from_bits(1e6),
+            bits_refilled: DataSize::from_bits(1e6),
+            underruns: 0,
+            starved: DataSize::ZERO,
+            min_buffer_level: DataSize::from_bits(100.0),
+            meter,
+            wear: WearAccount::new(1024, 1e8, 1e15),
+        }
+    }
+
+    #[test]
+    fn per_bit_energy_divides_totals() {
+        let r = report();
+        let expected = (0.045 + 0.316) / 1e6;
+        assert!((r.energy_per_bit().joules_per_bit() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_power_divides_by_time() {
+        let r = report();
+        assert!((r.mean_power().watts() - (0.045 + 0.316) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_fractions() {
+        let r = report();
+        assert!((r.time_fraction(PowerState::Standby) - 0.9).abs() < 1e-12);
+        assert!((r.time_fraction(PowerState::Seek) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing was consumed")]
+    fn per_bit_energy_panics_on_empty_run() {
+        let mut r = report();
+        r.bits_consumed = DataSize::ZERO;
+        let _ = r.energy_per_bit();
+    }
+}

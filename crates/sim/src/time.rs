@@ -1,0 +1,152 @@
+//! Simulation clock: integer nanoseconds.
+//!
+//! Event ordering must be total and exact; `f64` seconds are neither. The
+//! simulator therefore keeps time as `u64` nanoseconds (enough for ~584
+//! simulated years) and converts to [`Duration`] only at the API boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use memstream_units::Duration;
+
+/// An instant on the simulation clock, in nanoseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime {
+    nanos: u64,
+}
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime { nanos: 0 };
+
+    /// Creates an instant from raw nanoseconds.
+    #[must_use]
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime { nanos }
+    }
+
+    /// Creates an instant from a wall-clock offset.
+    ///
+    /// Sub-nanosecond parts round to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` exceeds the ~584-year range of the clock.
+    #[must_use]
+    pub fn from_duration(d: Duration) -> Self {
+        let nanos = d.seconds() * 1e9;
+        assert!(
+            nanos <= u64::MAX as f64,
+            "duration {d} overflows the simulation clock"
+        );
+        SimTime {
+            nanos: nanos.round() as u64,
+        }
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[must_use]
+    pub fn nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// The instant as a wall-clock offset.
+    #[must_use]
+    pub fn as_duration(self) -> Duration {
+        Duration::from_seconds(self.nanos as f64 * 1e-9)
+    }
+
+    /// Seconds since simulation start (convenience for metering math).
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.nanos as f64 * 1e-9
+    }
+
+    /// Saturating difference (zero if `earlier` is later than `self`).
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_seconds(self.nanos.saturating_sub(earlier.nanos) as f64 * 1e-9)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.as_duration())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    // The unit conversion (seconds -> nanoseconds) inside Add is intended.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime {
+            nanos: self
+                .nanos
+                .saturating_add((rhs.seconds() * 1e9).round() as u64),
+        }
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that is expected.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self >= rhs, "sim time moved backwards: {self} - {rhs}");
+        self.saturating_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn duration_roundtrip_at_nanosecond_grain() {
+        let t = SimTime::from_duration(Duration::from_millis(2.0));
+        assert_eq!(t.nanos(), 2_000_000);
+        assert!((t.as_duration().millis() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_then_subtract_roundtrips() {
+        let start = SimTime::from_nanos(5_000);
+        let later = start + Duration::from_micros(3.0);
+        assert!((later - start).seconds() - 3e-6 < 1e-15);
+    }
+
+    #[test]
+    fn a_simulated_year_fits() {
+        let year = SimTime::from_duration(Duration::from_hours(24.0 * 365.0));
+        assert!(year.nanos() < u64::MAX / 500);
+    }
+
+    proptest! {
+        #[test]
+        fn saturating_since_never_panics(a in 0u64..1u64 << 60, b in 0u64..1u64 << 60) {
+            let ta = SimTime::from_nanos(a);
+            let tb = SimTime::from_nanos(b);
+            let d = ta.saturating_since(tb);
+            prop_assert!(d.seconds() >= 0.0);
+        }
+    }
+}

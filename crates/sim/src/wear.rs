@@ -1,0 +1,319 @@
+//! Mechanical wear accounting: spring duty cycles and probe write wear.
+
+use std::fmt;
+
+use memstream_units::{DataSize, Years};
+
+/// Tracks the two wear mechanisms of §III-C over a simulation run and
+/// projects them to device lifetime.
+///
+/// * **Springs** wear one duty cycle per seek-and-shutdown round trip.
+/// * **Probes** wear in proportion to *physical* bits written — user data
+///   inflated by the format overhead (`S/Su`), since sync and ECC bits are
+///   written with the same tips.
+///
+/// ```
+/// use memstream_sim::WearAccount;
+/// use memstream_units::DataSize;
+///
+/// let mut wear = WearAccount::new(1024, 1e8, DataSize::from_gigabytes(120.0).bits() * 100.0);
+/// wear.record_cycle();
+/// wear.record_write(DataSize::from_kibibytes(8.0), 1.25); // 8 KiB at S/Su = 1.25
+/// assert_eq!(wear.spring_cycles(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearAccount {
+    active_probes: u32,
+    spring_rating: f64,
+    /// Total device write budget in bit-writes (`C · Dpb`).
+    probe_budget_bits: f64,
+    spring_cycles: u64,
+    physical_bits_written: f64,
+    /// Per-probe written bits; writes are striped evenly, so this mainly
+    /// documents the "perfect balance" assumption of Eq. (6) and lets
+    /// imbalance experiments perturb it.
+    per_probe_bits: Vec<f64>,
+}
+
+impl WearAccount {
+    /// Creates an account for a device with `active_probes` striped probes,
+    /// a spring rating of `spring_rating` duty cycles, and a total write
+    /// budget of `probe_budget_bits` bit-writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_probes` is zero or either rating is non-positive.
+    #[must_use]
+    pub fn new(active_probes: u32, spring_rating: f64, probe_budget_bits: f64) -> Self {
+        assert!(active_probes > 0, "need at least one probe");
+        assert!(spring_rating > 0.0, "spring rating must be positive");
+        assert!(probe_budget_bits > 0.0, "probe budget must be positive");
+        WearAccount {
+            active_probes,
+            spring_rating,
+            probe_budget_bits,
+            spring_cycles: 0,
+            physical_bits_written: 0.0,
+            per_probe_bits: vec![0.0; active_probes as usize],
+        }
+    }
+
+    /// Records one seek-and-shutdown round trip (one spring duty cycle).
+    pub fn record_cycle(&mut self) {
+        self.spring_cycles += 1;
+    }
+
+    /// Records a write of `user_data`, inflated by the format's
+    /// sector-to-user ratio `expansion = S/Su ≥ 1`, striped evenly across
+    /// the probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expansion < 1`.
+    pub fn record_write(&mut self, user_data: DataSize, expansion: f64) {
+        self.record_write_skewed(user_data, expansion, 0.0);
+    }
+
+    /// Like [`WearAccount::record_write`] but with a linear wear skew
+    /// across the stripe: probe `i` receives a share proportional to
+    /// `1 + skew·(i/(K−1) − 1/2)`, so `skew = 0` is the paper's
+    /// perfect-balance assumption and `skew = 1` makes the hottest probe
+    /// wear 1.5× the mean. Total written bits are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expansion < 1` or `skew` is outside `[0, 2]` (beyond 2
+    /// the coolest probe's share would go negative).
+    pub fn record_write_skewed(&mut self, user_data: DataSize, expansion: f64, skew: f64) {
+        assert!(expansion >= 1.0, "format expansion must be >= 1");
+        assert!((0.0..=2.0).contains(&skew), "skew must lie in [0, 2]");
+        let physical = user_data.bits() * expansion;
+        self.physical_bits_written += physical;
+        let k = f64::from(self.active_probes);
+        let mean_share = physical / k;
+        if self.active_probes == 1 || skew == 0.0 {
+            for p in &mut self.per_probe_bits {
+                *p += mean_share;
+            }
+            return;
+        }
+        for (i, p) in self.per_probe_bits.iter_mut().enumerate() {
+            let position = i as f64 / (k - 1.0); // 0..=1 across the stripe
+            *p += mean_share * (1.0 + skew * (position - 0.5));
+        }
+    }
+
+    /// Spring duty cycles consumed.
+    #[must_use]
+    pub fn spring_cycles(&self) -> u64 {
+        self.spring_cycles
+    }
+
+    /// Physical bits written (user + overhead).
+    #[must_use]
+    pub fn physical_bits_written(&self) -> DataSize {
+        DataSize::from_bits(self.physical_bits_written)
+    }
+
+    /// Fraction of the spring rating consumed.
+    #[must_use]
+    pub fn spring_wear_fraction(&self) -> f64 {
+        self.spring_cycles as f64 / self.spring_rating
+    }
+
+    /// Fraction of the probe write budget consumed.
+    #[must_use]
+    pub fn probe_wear_fraction(&self) -> f64 {
+        self.physical_bits_written / self.probe_budget_bits
+    }
+
+    /// The largest per-probe imbalance relative to the mean (0 under the
+    /// perfect-balance assumption).
+    #[must_use]
+    pub fn probe_imbalance(&self) -> f64 {
+        let mean = self.physical_bits_written / f64::from(self.active_probes);
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.per_probe_bits
+            .iter()
+            .map(|p| (p - mean).abs() / mean)
+            .fold(0.0, f64::max)
+    }
+
+    /// Projects springs lifetime from wear accumulated over
+    /// `simulated_fraction_of_year` (e.g. `1/365` for one simulated day of
+    /// the paper's calendar).
+    #[must_use]
+    pub fn projected_springs_lifetime(&self, simulated_fraction_of_year: f64) -> Years {
+        let cycles_per_year = self.spring_cycles as f64 / simulated_fraction_of_year;
+        if cycles_per_year == 0.0 {
+            return Years::unbounded();
+        }
+        Years::new(self.spring_rating / cycles_per_year)
+    }
+
+    /// Projects probes lifetime from wear accumulated over
+    /// `simulated_fraction_of_year`.
+    #[must_use]
+    pub fn projected_probes_lifetime(&self, simulated_fraction_of_year: f64) -> Years {
+        let bits_per_year = self.physical_bits_written / simulated_fraction_of_year;
+        if bits_per_year == 0.0 {
+            return Years::unbounded();
+        }
+        Years::new(self.probe_budget_bits / bits_per_year)
+    }
+
+    /// Projects probes lifetime limited by the *hottest* probe: the device
+    /// fails when any probe exhausts its share of the budget. Equals
+    /// [`WearAccount::projected_probes_lifetime`] under perfect balance,
+    /// and degrades by `1/(1 + skew/2)` under a linear skew — quantifying
+    /// what Eq. (6)'s balance assumption is worth.
+    #[must_use]
+    pub fn projected_probes_lifetime_worst(&self, simulated_fraction_of_year: f64) -> Years {
+        let hottest = self
+            .per_probe_bits
+            .iter()
+            .fold(0.0f64, |acc, p| acc.max(*p));
+        if hottest == 0.0 {
+            return Years::unbounded();
+        }
+        let per_probe_budget = self.probe_budget_bits / f64::from(self.active_probes);
+        let hottest_per_year = hottest / simulated_fraction_of_year;
+        Years::new(per_probe_budget / hottest_per_year)
+    }
+}
+
+impl fmt::Display for WearAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wear: {} spring cycles ({:.2e} of rating), {} written ({:.2e} of budget)",
+            self.spring_cycles,
+            self.spring_wear_fraction(),
+            self.physical_bits_written(),
+            self.probe_wear_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn account() -> WearAccount {
+        WearAccount::new(1024, 1e8, 120e9 * 8.0 * 100.0)
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let mut w = account();
+        for _ in 0..100 {
+            w.record_cycle();
+        }
+        assert_eq!(w.spring_cycles(), 100);
+        assert!((w.spring_wear_fraction() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn writes_are_inflated_by_expansion() {
+        let mut w = account();
+        w.record_write(DataSize::from_bits(1000.0), 1.5);
+        assert!((w.physical_bits_written().bits() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn striping_is_balanced() {
+        let mut w = account();
+        w.record_write(DataSize::from_kibibytes(100.0), 1.2);
+        assert_eq!(w.probe_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn projected_springs_lifetime_matches_equation_five() {
+        // One simulated day with N cycles projects to 365*N cycles/year;
+        // Eq. (5) then gives Dsp / (365 N) years.
+        let mut w = account();
+        for _ in 0..5000 {
+            w.record_cycle();
+        }
+        let life = w.projected_springs_lifetime(1.0 / 365.0);
+        let expected = 1e8 / (5000.0 * 365.0);
+        assert!((life.get() - expected).abs() < expected * 1e-12);
+    }
+
+    #[test]
+    fn no_writes_means_unbounded_probe_life() {
+        let w = account();
+        assert!(w.projected_probes_lifetime(1.0 / 365.0).is_unbounded());
+    }
+
+    #[test]
+    #[should_panic(expected = "expansion must be >= 1")]
+    fn sub_unity_expansion_panics() {
+        account().record_write(DataSize::from_bits(1.0), 0.5);
+    }
+
+    #[test]
+    fn skewed_writes_conserve_total() {
+        let mut balanced = account();
+        let mut skewed = account();
+        balanced.record_write(DataSize::from_kibibytes(100.0), 1.125);
+        skewed.record_write_skewed(DataSize::from_kibibytes(100.0), 1.125, 1.0);
+        assert!(
+            (balanced.physical_bits_written().bits() - skewed.physical_bits_written().bits()).abs()
+                < 1e-6
+        );
+        assert_eq!(balanced.probe_imbalance(), 0.0);
+        assert!((skewed.probe_imbalance() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_probe_lifetime_equals_mean_under_balance() {
+        let mut w = account();
+        w.record_write(DataSize::from_kibibytes(100.0), 1.125);
+        let mean = w.projected_probes_lifetime(1.0 / 365.0);
+        let worst = w.projected_probes_lifetime_worst(1.0 / 365.0);
+        assert!((mean.get() - worst.get()).abs() < mean.get() * 1e-9);
+    }
+
+    #[test]
+    fn skew_shortens_worst_probe_lifetime_by_the_expected_factor() {
+        let mut w = account();
+        w.record_write_skewed(DataSize::from_kibibytes(100.0), 1.125, 1.0);
+        let mean = w.projected_probes_lifetime(1.0 / 365.0);
+        let worst = w.projected_probes_lifetime_worst(1.0 / 365.0);
+        // Hottest probe gets 1.5x the mean share -> lifetime / 1.5.
+        assert!((mean.get() / worst.get() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must lie in")]
+    fn excessive_skew_panics() {
+        account().record_write_skewed(DataSize::from_bits(1.0), 1.0, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn skewed_wear_never_negative(skew in 0.0..=2.0f64) {
+            let mut w = account();
+            w.record_write_skewed(DataSize::from_kibibytes(10.0), 1.2, skew);
+            prop_assert!(w.probe_imbalance() <= skew / 2.0 + 1e-9);
+            prop_assert!(
+                w.projected_probes_lifetime_worst(0.01).get()
+                    <= w.projected_probes_lifetime(0.01).get() + 1e-9
+            );
+        }
+
+        #[test]
+        fn wear_fractions_scale_linearly(writes in 1u32..100) {
+            let mut w = account();
+            for _ in 0..writes {
+                w.record_write(DataSize::from_kibibytes(64.0), 1.125);
+            }
+            let expected = f64::from(writes) * 64.0 * 8192.0 * 1.125 / (120e9 * 8.0 * 100.0);
+            prop_assert!((w.probe_wear_fraction() - expected).abs() < expected * 1e-9);
+        }
+    }
+}

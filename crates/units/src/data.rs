@@ -1,0 +1,369 @@
+//! Data sizes measured in bits.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use crate::error::{check_non_negative, QuantityError};
+use crate::{BitRate, Duration, Energy, EnergyPerBit, Ratio};
+
+/// An amount of data, stored internally in bits.
+///
+/// The paper's buffer sizes are quoted in `kB` (1024-based) while stream
+/// rates are in `kbps` (1000-based); this type carries bits and offers both
+/// families of constructors and accessors so the conversion happens exactly
+/// once, at the boundary.
+///
+/// ```
+/// use memstream_units::DataSize;
+///
+/// let buffer = DataSize::from_kibibytes(8.87);
+/// assert!((buffer.bytes() - 8.87 * 1024.0).abs() < 1e-9);
+/// assert!((buffer.bits() - 8.87 * 1024.0 * 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct DataSize {
+    bits: f64,
+}
+
+impl DataSize {
+    /// Zero bits.
+    pub const ZERO: DataSize = DataSize { bits: 0.0 };
+
+    /// Creates a size from a bit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is negative or not finite; use
+    /// [`DataSize::try_from_bits`] for fallible construction.
+    #[must_use]
+    pub fn from_bits(bits: f64) -> Self {
+        Self::try_from_bits(bits).expect("data size")
+    }
+
+    /// Fallible variant of [`DataSize::from_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] if `bits` is negative, NaN or infinite.
+    pub fn try_from_bits(bits: f64) -> Result<Self, QuantityError> {
+        check_non_negative("data size", bits).map(|bits| Self { bits })
+    }
+
+    /// Creates a size from an exact bit count.
+    #[must_use]
+    pub fn from_bit_count(bits: u64) -> Self {
+        Self { bits: bits as f64 }
+    }
+
+    /// Creates a size from bytes (8 bits each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or not finite.
+    #[must_use]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self::from_bits(bytes * 8.0)
+    }
+
+    /// Creates a size from kibibytes (1024 bytes), the paper's buffer "kB".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kib` is negative or not finite.
+    #[must_use]
+    pub fn from_kibibytes(kib: f64) -> Self {
+        Self::from_bytes(kib * 1024.0)
+    }
+
+    /// Creates a size from mebibytes (1024² bytes), the paper's buffer "MB".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mib` is negative or not finite.
+    #[must_use]
+    pub fn from_mebibytes(mib: f64) -> Self {
+        Self::from_bytes(mib * 1024.0 * 1024.0)
+    }
+
+    /// Creates a size from decimal gigabytes (10⁹ bytes), the drive-vendor
+    /// convention used for device capacity ("120 GB").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb` is negative or not finite.
+    #[must_use]
+    pub fn from_gigabytes(gb: f64) -> Self {
+        Self::from_bytes(gb * 1e9)
+    }
+
+    /// The size in bits.
+    #[must_use]
+    pub fn bits(self) -> f64 {
+        self.bits
+    }
+
+    /// The size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> f64 {
+        self.bits / 8.0
+    }
+
+    /// The size in kibibytes (the paper's buffer "kB").
+    #[must_use]
+    pub fn kibibytes(self) -> f64 {
+        self.bytes() / 1024.0
+    }
+
+    /// The size in mebibytes (the paper's buffer "MB").
+    #[must_use]
+    pub fn mebibytes(self) -> f64 {
+        self.bytes() / (1024.0 * 1024.0)
+    }
+
+    /// The size in decimal gigabytes (10⁹ bytes).
+    #[must_use]
+    pub fn gigabytes(self) -> f64 {
+        self.bytes() / 1e9
+    }
+
+    /// Returns `true` for the zero size.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0.0
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits.min(other.bits),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits.max(other.bits),
+        }
+    }
+
+    /// Saturating subtraction: never goes below zero.
+    ///
+    /// Useful when draining a buffer that may already be empty.
+    #[must_use]
+    pub fn saturating_sub(self, other: DataSize) -> DataSize {
+        DataSize {
+            bits: (self.bits - other.bits).max(0.0),
+        }
+    }
+}
+
+impl fmt::Display for DataSize {
+    /// Renders using the most natural 1024-based unit.
+    ///
+    /// ```
+    /// use memstream_units::DataSize;
+    /// assert_eq!(DataSize::from_bytes(512.0).to_string(), "512.00 B");
+    /// assert_eq!(DataSize::from_kibibytes(8.87).to_string(), "8.87 KiB");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.bytes();
+        if bytes < 1.0 {
+            write!(f, "{:.0} b", self.bits)
+        } else if bytes < 1024.0 {
+            write!(f, "{bytes:.2} B")
+        } else if bytes < 1024.0 * 1024.0 {
+            write!(f, "{:.2} KiB", self.kibibytes())
+        } else if bytes < 1024.0 * 1024.0 * 1024.0 {
+            write!(f, "{:.2} MiB", self.mebibytes())
+        } else {
+            write!(f, "{:.2} GiB", bytes / (1024.0 * 1024.0 * 1024.0))
+        }
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        self.bits += rhs.bits;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative; use
+    /// [`DataSize::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: DataSize) -> DataSize {
+        debug_assert!(
+            self.bits >= rhs.bits,
+            "data size subtraction underflow: {} - {}",
+            self.bits,
+            rhs.bits
+        );
+        DataSize {
+            bits: (self.bits - rhs.bits).max(0.0),
+        }
+    }
+}
+
+impl SubAssign for DataSize {
+    fn sub_assign(&mut self, rhs: DataSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: f64) -> DataSize {
+        DataSize::from_bits(self.bits * rhs)
+    }
+}
+
+impl Mul<DataSize> for f64 {
+    type Output = DataSize;
+    fn mul(self, rhs: DataSize) -> DataSize {
+        rhs * self
+    }
+}
+
+impl Mul<Ratio> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: Ratio) -> DataSize {
+        self * rhs.fraction()
+    }
+}
+
+impl Div<f64> for DataSize {
+    type Output = DataSize;
+    fn div(self, rhs: f64) -> DataSize {
+        DataSize::from_bits(self.bits / rhs)
+    }
+}
+
+/// `bits / (bits/s) = s`: the time a rate takes to produce/consume the data.
+impl Div<BitRate> for DataSize {
+    type Output = Duration;
+    fn div(self, rhs: BitRate) -> Duration {
+        Duration::from_seconds(self.bits / rhs.bits_per_second())
+    }
+}
+
+/// Dimensionless ratio of two sizes.
+impl Div<DataSize> for DataSize {
+    type Output = f64;
+    fn div(self, rhs: DataSize) -> f64 {
+        self.bits / rhs.bits
+    }
+}
+
+/// `(J/bit) * bits = J`.
+impl Mul<EnergyPerBit> for DataSize {
+    type Output = Energy;
+    fn mul(self, rhs: EnergyPerBit) -> Energy {
+        Energy::from_joules(self.bits * rhs.joules_per_bit())
+    }
+}
+
+impl Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        let a = DataSize::from_kibibytes(1.0);
+        let b = DataSize::from_bytes(1024.0);
+        let c = DataSize::from_bits(8192.0);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(
+            DataSize::from_mebibytes(1.0),
+            DataSize::from_kibibytes(1024.0)
+        );
+        assert_eq!(DataSize::from_gigabytes(1.0), DataSize::from_bytes(1e9));
+    }
+
+    #[test]
+    fn paper_capacity_in_bits() {
+        // Table I: 120 GB device capacity.
+        let c = DataSize::from_gigabytes(120.0);
+        assert_eq!(c.bits(), 120.0 * 1e9 * 8.0);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let small = DataSize::from_bits(10.0);
+        let big = DataSize::from_bits(100.0);
+        assert_eq!(small.saturating_sub(big), DataSize::ZERO);
+        assert_eq!(big.saturating_sub(small), DataSize::from_bits(90.0));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(DataSize::from_bits(3.0).to_string(), "3 b");
+        assert_eq!(DataSize::from_mebibytes(9.29).to_string(), "9.29 MiB");
+        assert_eq!(DataSize::from_gigabytes(120.0).to_string(), "111.76 GiB");
+    }
+
+    #[test]
+    fn division_by_rate_gives_duration() {
+        let size = DataSize::from_bits(1_024_000.0);
+        let rate = crate::BitRate::from_kbps(1024.0);
+        assert!((size / rate).seconds() - 1.0 < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_sizes() {
+        let total: DataSize = (1..=4).map(|i| DataSize::from_bits(f64::from(i))).sum();
+        assert_eq!(total, DataSize::from_bits(10.0));
+    }
+
+    #[test]
+    fn try_from_bits_rejects_bad_values() {
+        assert!(DataSize::try_from_bits(f64::NAN).is_err());
+        assert!(DataSize::try_from_bits(-1.0).is_err());
+        assert!(DataSize::try_from_bits(1.0).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_bytes(bytes in 0.0..1e15f64) {
+            let s = DataSize::from_bytes(bytes);
+            prop_assert!((s.bytes() - bytes).abs() <= bytes * 1e-12);
+        }
+
+        #[test]
+        fn add_then_sub_is_identity(a in 0.0..1e12f64, b in 0.0..1e12f64) {
+            let x = DataSize::from_bits(a);
+            let y = DataSize::from_bits(b);
+            let back = (x + y) - y;
+            prop_assert!((back.bits() - a).abs() <= 1e-3 + a * 1e-12);
+        }
+
+        #[test]
+        fn min_max_ordering(a in 0.0..1e12f64, b in 0.0..1e12f64) {
+            let x = DataSize::from_bits(a);
+            let y = DataSize::from_bits(b);
+            prop_assert!(x.min(y) <= x.max(y));
+            prop_assert_eq!(x.min(y) + x.max(y), x + y);
+        }
+    }
+}

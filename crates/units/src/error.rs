@@ -1,0 +1,143 @@
+//! Error type shared by all quantity constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a quantity from an invalid raw value.
+///
+/// Every checked constructor in this crate (`try_new`) validates that the
+/// underlying `f64` is finite and, where the quantity is intrinsically
+/// non-negative (sizes, rates, durations, powers), that it is `>= 0`.
+///
+/// ```
+/// use memstream_units::{DataSize, QuantityError};
+///
+/// let err = DataSize::try_from_bits(-1.0).unwrap_err();
+/// assert!(matches!(err, QuantityError::Negative { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantityError {
+    /// The raw value was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The raw value was negative for a non-negative quantity.
+    Negative {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The raw value fell outside an inclusive range (used by [`crate::Ratio`]).
+    OutOfRange {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantityError::NotFinite { quantity, value } => {
+                write!(f, "{quantity} must be finite, got {value}")
+            }
+            QuantityError::Negative { quantity, value } => {
+                write!(f, "{quantity} must be non-negative, got {value}")
+            }
+            QuantityError::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => write!(f, "{quantity} must lie in [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl Error for QuantityError {}
+
+/// Validates a finite, non-negative raw value.
+pub(crate) fn check_non_negative(quantity: &'static str, value: f64) -> Result<f64, QuantityError> {
+    if !value.is_finite() {
+        Err(QuantityError::NotFinite { quantity, value })
+    } else if value < 0.0 {
+        Err(QuantityError::Negative { quantity, value })
+    } else {
+        Ok(value)
+    }
+}
+
+/// Validates a finite raw value inside an inclusive range.
+pub(crate) fn check_in_range(
+    quantity: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, QuantityError> {
+    if !value.is_finite() {
+        Err(QuantityError::NotFinite { quantity, value })
+    } else if value < min || value > max {
+        Err(QuantityError::OutOfRange {
+            quantity,
+            value,
+            min,
+            max,
+        })
+    } else {
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = QuantityError::NotFinite {
+            quantity: "bit rate",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().starts_with("bit rate must be finite"));
+        let e = QuantityError::Negative {
+            quantity: "power",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "power must be non-negative, got -1");
+        let e = QuantityError::OutOfRange {
+            quantity: "ratio",
+            value: 2.0,
+            min: 0.0,
+            max: 1.0,
+        };
+        assert_eq!(e.to_string(), "ratio must lie in [0, 1], got 2");
+    }
+
+    #[test]
+    fn check_non_negative_accepts_zero() {
+        assert_eq!(check_non_negative("x", 0.0), Ok(0.0));
+    }
+
+    #[test]
+    fn check_non_negative_rejects_nan_and_negatives() {
+        assert!(check_non_negative("x", f64::NAN).is_err());
+        assert!(check_non_negative("x", f64::INFINITY).is_err());
+        assert!(check_non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn check_in_range_bounds_are_inclusive() {
+        assert_eq!(check_in_range("x", 0.0, 0.0, 1.0), Ok(0.0));
+        assert_eq!(check_in_range("x", 1.0, 0.0, 1.0), Ok(1.0));
+        assert!(check_in_range("x", 1.0001, 0.0, 1.0).is_err());
+    }
+}

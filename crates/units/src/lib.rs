@@ -1,0 +1,94 @@
+//! Typed physical quantities for the `memstream` workspace.
+//!
+//! The buffering model of Khatib & Abelmann (DATE 2011) mixes data sizes
+//! (bits, kB buffers, GB devices), bit rates (kbps streams, Mbps media
+//! rates), durations (milliseconds of seek, years of lifetime), power
+//! (milliwatts) and energy (millijoules, nanojoule-per-bit). Mixing those up
+//! silently is the classic failure mode of this kind of study, so every
+//! quantity in this workspace is a newtype with checked constructors and the
+//! physically meaningful arithmetic implemented as operator overloads:
+//!
+//! ```
+//! use memstream_units::{BitRate, DataSize, Duration, Energy, Power};
+//!
+//! let rate = BitRate::from_kbps(1024.0);
+//! let buffer = DataSize::from_kibibytes(20.0);
+//! let drain_time: Duration = buffer / rate;          // bits / (bits/s) = s
+//! let standby: Power = Power::from_milliwatts(5.0);
+//! let energy: Energy = standby * drain_time;         // W * s = J
+//! assert!(energy.joules() > 0.0);
+//! ```
+//!
+//! # Conventions (documented in `DESIGN.md`)
+//!
+//! * `kbps` means `1000 bit/s` (telecom convention used by the paper).
+//! * Buffer sizes `kB`/`MB` are 1024-based ([`DataSize::from_kibibytes`]),
+//!   matching the systems literature of the period.
+//! * Device capacity `GB` is decimal (`10^9` bytes,
+//!   [`DataSize::from_gigabytes`]), matching drive-vendor convention.
+//!
+//! All quantities are `f64`-backed: the model is continuous mathematics.
+//! Exact integer bit layout (sector formatting) lives in `memstream-media`
+//! and only converts to these types at the API boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod energy;
+mod error;
+mod parse;
+mod power;
+mod rate;
+mod ratio;
+mod time;
+
+pub use data::DataSize;
+pub use energy::{Energy, EnergyPerBit};
+pub use error::QuantityError;
+pub use parse::{ParseQuantityError, ParseQuantityReason};
+pub use power::Power;
+pub use rate::BitRate;
+pub use ratio::Ratio;
+pub use time::{Duration, Years, SECONDS_PER_YEAR};
+
+/// Convenience prelude exporting every quantity type.
+pub mod prelude {
+    pub use crate::{
+        BitRate, DataSize, Duration, Energy, EnergyPerBit, Power, QuantityError, Ratio, Years,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn quantities_are_send_sync() {
+        assert_send_sync::<DataSize>();
+        assert_send_sync::<BitRate>();
+        assert_send_sync::<Duration>();
+        assert_send_sync::<Power>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<EnergyPerBit>();
+        assert_send_sync::<Ratio>();
+        assert_send_sync::<Years>();
+        assert_send_sync::<QuantityError>();
+    }
+
+    #[test]
+    fn end_to_end_dimension_chain() {
+        // Stream 1024 kbps out of a 20 KiB buffer: drain time, then energy at
+        // standby power, then per-bit energy, reproduces hand arithmetic.
+        let rate = BitRate::from_kbps(1024.0);
+        let buffer = DataSize::from_kibibytes(20.0);
+        let t = buffer / rate;
+        assert!((t.seconds() - 20.0 * 1024.0 * 8.0 / 1_024_000.0).abs() < 1e-9);
+        let e = Power::from_milliwatts(5.0) * t;
+        let per_bit = e / buffer;
+        let expected = 0.005 * t.seconds() / (20.0 * 1024.0 * 8.0);
+        assert!((per_bit.joules_per_bit() - expected).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,344 @@
+//! Parsing quantities from human-friendly strings.
+//!
+//! The bench harness accepts operating points on the command line
+//! (`--rate 1024kbps --buffer 20KiB --saving 70%`); these `FromStr`
+//! implementations define that syntax. Parsing is case-insensitive in the
+//! unit, permissive about whitespace between number and unit, and rejects
+//! anything it does not fully understand.
+
+use std::str::FromStr;
+
+use crate::error::QuantityError;
+use crate::{BitRate, DataSize, Duration, Power, Ratio, Years};
+
+/// Error produced when a quantity string cannot be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQuantityError {
+    /// The offending input.
+    pub input: String,
+    /// What went wrong.
+    pub reason: ParseQuantityReason,
+}
+
+/// Why a quantity string failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseQuantityReason {
+    /// No numeric prefix was found.
+    MissingNumber,
+    /// The numeric prefix was not a valid float.
+    BadNumber,
+    /// The unit suffix was not recognised for this quantity.
+    UnknownUnit {
+        /// The suffix that was not understood.
+        unit: String,
+    },
+    /// The value parsed but failed the quantity's range check.
+    OutOfRange(QuantityError),
+}
+
+impl std::fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reason {
+            ParseQuantityReason::MissingNumber => {
+                write!(f, "`{}`: expected a number followed by a unit", self.input)
+            }
+            ParseQuantityReason::BadNumber => {
+                write!(f, "`{}`: invalid numeric value", self.input)
+            }
+            ParseQuantityReason::UnknownUnit { unit } => {
+                write!(f, "`{}`: unknown unit `{unit}`", self.input)
+            }
+            ParseQuantityReason::OutOfRange(e) => write!(f, "`{}`: {e}", self.input),
+        }
+    }
+}
+
+impl std::error::Error for ParseQuantityError {}
+
+/// Splits `"12.5 KiB"` into `(12.5, "kib")`.
+fn split(input: &str) -> Result<(f64, String), ParseQuantityError> {
+    let s = input.trim();
+    let split_at = s
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(s.len());
+    // Walk back if we swallowed a unit-leading 'e'/'E' (e.g. "5e3" vs "5eB").
+    let (num_str, unit_str) = s.split_at(split_at);
+    if num_str.is_empty() {
+        return Err(ParseQuantityError {
+            input: input.to_owned(),
+            reason: ParseQuantityReason::MissingNumber,
+        });
+    }
+    let value = f64::from_str(num_str.trim()).map_err(|_| ParseQuantityError {
+        input: input.to_owned(),
+        reason: ParseQuantityReason::BadNumber,
+    })?;
+    Ok((value, unit_str.trim().to_lowercase()))
+}
+
+fn out_of_range(input: &str, e: QuantityError) -> ParseQuantityError {
+    ParseQuantityError {
+        input: input.to_owned(),
+        reason: ParseQuantityReason::OutOfRange(e),
+    }
+}
+
+fn unknown_unit(input: &str, unit: &str) -> ParseQuantityError {
+    ParseQuantityError {
+        input: input.to_owned(),
+        reason: ParseQuantityReason::UnknownUnit {
+            unit: unit.to_owned(),
+        },
+    }
+}
+
+impl FromStr for DataSize {
+    type Err = ParseQuantityError;
+
+    /// Parses `"8.87KiB"`, `"120 GB"`, `"512b"`, `"64B"`, `"9.29MiB"`, ...
+    ///
+    /// Binary units (`KiB`/`MiB`/`GiB`, and bare `kB`/`MB`/`GB` read the
+    /// same way, matching the paper's usage) are 1024-based except `GB`,
+    /// which is the decimal drive-vendor gigabyte.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        let bits = match unit.as_str() {
+            "b" | "bit" | "bits" => v,
+            "" | "byte" | "bytes" => v * 8.0,
+            "kib" | "kb" => v * 8.0 * 1024.0,
+            "mib" | "mb" => v * 8.0 * 1024.0 * 1024.0,
+            "gib" => v * 8.0 * 1024.0 * 1024.0 * 1024.0,
+            "gb" => v * 8.0 * 1e9,
+            other => return Err(unknown_unit(s, other)),
+        };
+        DataSize::try_from_bits(bits).map_err(|e| out_of_range(s, e))
+    }
+}
+
+impl FromStr for BitRate {
+    type Err = ParseQuantityError;
+
+    /// Parses `"1024kbps"`, `"102.4 Mbps"`, `"32000bps"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        let bps = match unit.as_str() {
+            "bps" | "b/s" => v,
+            "" | "kbps" | "kb/s" => v * 1e3,
+            "mbps" | "mb/s" => v * 1e6,
+            other => return Err(unknown_unit(s, other)),
+        };
+        BitRate::try_from_bits_per_second(bps).map_err(|e| out_of_range(s, e))
+    }
+}
+
+impl FromStr for Duration {
+    type Err = ParseQuantityError;
+
+    /// Parses `"2ms"`, `"30us"`, `"1.5s"`, `"8h"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        let seconds = match unit.as_str() {
+            "" | "s" | "sec" | "seconds" => v,
+            "ms" => v * 1e-3,
+            "us" | "µs" => v * 1e-6,
+            "min" => v * 60.0,
+            "h" | "hours" => v * 3600.0,
+            other => return Err(unknown_unit(s, other)),
+        };
+        Duration::try_from_seconds(seconds).map_err(|e| out_of_range(s, e))
+    }
+}
+
+impl FromStr for Power {
+    type Err = ParseQuantityError;
+
+    /// Parses `"316mW"`, `"2.2W"`, `"70uW"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        let watts = match unit.as_str() {
+            "" | "w" => v,
+            "mw" => v * 1e-3,
+            "uw" | "µw" => v * 1e-6,
+            other => return Err(unknown_unit(s, other)),
+        };
+        Power::try_from_watts(watts).map_err(|e| out_of_range(s, e))
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseQuantityError;
+
+    /// Parses `"70%"` or a bare fraction `"0.7"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        match unit.as_str() {
+            "%" | "percent" => Ratio::try_from_percent(v).map_err(|e| out_of_range(s, e)),
+            "" => Ratio::try_from_fraction(v).map_err(|e| out_of_range(s, e)),
+            other => Err(unknown_unit(s, other)),
+        }
+    }
+}
+
+impl FromStr for Years {
+    type Err = ParseQuantityError;
+
+    /// Parses `"7y"`, `"7 years"`, or a bare `"7"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (v, unit) = split(s)?;
+        match unit.as_str() {
+            "" | "y" | "yr" | "year" | "years" => {
+                if v.is_nan() || v < 0.0 {
+                    Err(out_of_range(
+                        s,
+                        QuantityError::Negative {
+                            quantity: "lifetime",
+                            value: v,
+                        },
+                    ))
+                } else {
+                    Ok(Years::new(v))
+                }
+            }
+            other => Err(unknown_unit(s, other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_sizes_parse_paper_values() {
+        assert_eq!(
+            "8.87KiB".parse::<DataSize>().unwrap(),
+            DataSize::from_kibibytes(8.87)
+        );
+        assert_eq!(
+            "9.29 MiB".parse::<DataSize>().unwrap(),
+            DataSize::from_mebibytes(9.29)
+        );
+        assert_eq!(
+            "120GB".parse::<DataSize>().unwrap(),
+            DataSize::from_gigabytes(120.0)
+        );
+        assert_eq!(
+            "512b".parse::<DataSize>().unwrap(),
+            DataSize::from_bits(512.0)
+        );
+        assert_eq!(
+            "64 bytes".parse::<DataSize>().unwrap(),
+            DataSize::from_bytes(64.0)
+        );
+        // The paper's "kB" means the 1024 convention here.
+        assert_eq!(
+            "20kB".parse::<DataSize>().unwrap(),
+            DataSize::from_kibibytes(20.0)
+        );
+    }
+
+    #[test]
+    fn rates_parse_both_conventions() {
+        assert_eq!(
+            "1024kbps".parse::<BitRate>().unwrap(),
+            BitRate::from_kbps(1024.0)
+        );
+        assert_eq!(
+            "102.4 Mbps".parse::<BitRate>().unwrap(),
+            BitRate::from_mbps(102.4)
+        );
+        assert_eq!(
+            "1024".parse::<BitRate>().unwrap(),
+            BitRate::from_kbps(1024.0)
+        );
+    }
+
+    #[test]
+    fn durations_and_powers() {
+        assert_eq!(
+            "2ms".parse::<Duration>().unwrap(),
+            Duration::from_millis(2.0)
+        );
+        assert_eq!("8h".parse::<Duration>().unwrap(), Duration::from_hours(8.0));
+        assert_eq!(
+            "316mW".parse::<Power>().unwrap(),
+            Power::from_milliwatts(316.0)
+        );
+    }
+
+    #[test]
+    fn ratios_percent_and_fraction() {
+        assert_eq!("70%".parse::<Ratio>().unwrap(), Ratio::from_percent(70.0));
+        assert_eq!("0.7".parse::<Ratio>().unwrap(), Ratio::from_fraction(0.7));
+        assert!("170%".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn years_with_and_without_suffix() {
+        assert_eq!("7y".parse::<Years>().unwrap(), Years::new(7.0));
+        assert_eq!("7 years".parse::<Years>().unwrap(), Years::new(7.0));
+        assert_eq!("7".parse::<Years>().unwrap(), Years::new(7.0));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_reasons() {
+        let err = "KiB".parse::<DataSize>().unwrap_err();
+        assert!(matches!(err.reason, ParseQuantityReason::MissingNumber));
+        let err = "12parsec".parse::<DataSize>().unwrap_err();
+        assert!(matches!(
+            err.reason,
+            ParseQuantityReason::UnknownUnit { .. }
+        ));
+        let err = "-5KiB".parse::<DataSize>().unwrap_err();
+        assert!(matches!(err.reason, ParseQuantityReason::OutOfRange(_)));
+    }
+
+    mod roundtrip {
+        //! `parse(display(x))` recovers `x` (to display precision) for
+        //! every quantity with both impls.
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn data_size(bytes in 1.0..1e13f64) {
+                let x = DataSize::from_bytes(bytes);
+                let back: DataSize = x.to_string().parse().unwrap();
+                // Display keeps 2 decimals of the chosen unit: 1% slack.
+                prop_assert!((back.bytes() - x.bytes()).abs() <= x.bytes() * 0.01 + 1.0);
+            }
+
+            #[test]
+            fn bit_rate(bps in 1.0..1e9f64) {
+                let x = BitRate::from_bits_per_second(bps);
+                let back: BitRate = x.to_string().parse().unwrap();
+                prop_assert!(
+                    (back.bits_per_second() - bps).abs() <= bps * 0.01 + 1.0
+                );
+            }
+
+            #[test]
+            fn ratio(f in 0.0..=1.0f64) {
+                let x = Ratio::from_fraction(f);
+                let back: Ratio = x.to_string().parse().unwrap();
+                prop_assert!((back.fraction() - f).abs() <= 0.001);
+            }
+
+            #[test]
+            fn power(w in 1e-4..100.0f64) {
+                let x = Power::from_watts(w);
+                let back: Power = x.to_string().parse().unwrap();
+                prop_assert!((back.watts() - w).abs() <= w * 0.01 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_cite_the_input() {
+        let err = "12parsec".parse::<BitRate>().unwrap_err();
+        assert!(err.to_string().contains("12parsec"));
+        assert!(err.to_string().contains("parsec"));
+    }
+}

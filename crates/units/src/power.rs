@@ -1,0 +1,232 @@
+//! Power draw.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+use crate::error::{check_non_negative, QuantityError};
+use crate::{Duration, Energy, Ratio};
+
+/// Electrical power in watts.
+///
+/// Table I of the paper quotes every device power in milliwatts
+/// (read/write 316 mW, seek 672 mW, standby 5 mW, idle 120 mW, ...).
+///
+/// ```
+/// use memstream_units::{Duration, Power};
+///
+/// let seek = Power::from_milliwatts(672.0) * Duration::from_millis(2.0);
+/// assert!((seek.millijoules() - 1.344).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power {
+    watts: f64,
+}
+
+impl Power {
+    /// Zero watts.
+    pub const ZERO: Power = Power { watts: 0.0 };
+
+    /// Creates a power from watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or not finite; use
+    /// [`Power::try_from_watts`] for fallible construction.
+    #[must_use]
+    pub fn from_watts(watts: f64) -> Self {
+        Self::try_from_watts(watts).expect("power")
+    }
+
+    /// Fallible variant of [`Power::from_watts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] if `watts` is negative, NaN or infinite.
+    pub fn try_from_watts(watts: f64) -> Result<Self, QuantityError> {
+        check_non_negative("power", watts).map(|watts| Self { watts })
+    }
+
+    /// Creates a power from milliwatts (Table I convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::from_watts(mw * 1e-3)
+    }
+
+    /// The power in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        self.watts
+    }
+
+    /// The power in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.watts * 1e3
+    }
+
+    /// Saturating subtraction: clamps at zero instead of underflowing.
+    ///
+    /// The model frequently forms differences such as `P_RW − P_sb`; with
+    /// physically sensible parameters these are positive, but user-supplied
+    /// device descriptions may invert them and the model treats that as
+    /// "no saving available" rather than an error.
+    #[must_use]
+    pub fn saturating_sub(self, other: Power) -> Power {
+        Power {
+            watts: (self.watts - other.watts).max(0.0),
+        }
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Power) -> Power {
+        Power {
+            watts: self.watts.min(other.watts),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Power) -> Power {
+        Power {
+            watts: self.watts.max(other.watts),
+        }
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.watts >= 1.0 {
+            write!(f, "{:.3} W", self.watts)
+        } else {
+            write!(f, "{:.1} mW", self.milliwatts())
+        }
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power {
+            watts: self.watts + rhs.watts,
+        }
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Power::saturating_sub`] when the difference may be negative.
+    fn sub(self, rhs: Power) -> Power {
+        debug_assert!(
+            self.watts >= rhs.watts,
+            "power subtraction underflow: {} - {}",
+            self.watts,
+            rhs.watts
+        );
+        Power {
+            watts: (self.watts - rhs.watts).max(0.0),
+        }
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power::from_watts(self.watts * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Ratio> for Power {
+    type Output = Power;
+    fn mul(self, rhs: Ratio) -> Power {
+        self * rhs.fraction()
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power::from_watts(self.watts / rhs)
+    }
+}
+
+/// Dimensionless ratio of two powers.
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.watts / rhs.watts
+    }
+}
+
+/// `W * s = J`.
+impl Mul<Duration> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Duration) -> Energy {
+        Energy::from_joules(self.watts * rhs.seconds())
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table1_powers() {
+        assert_eq!(Power::from_milliwatts(316.0).watts(), 0.316);
+        assert_eq!(Power::from_milliwatts(672.0).watts(), 0.672);
+        assert_eq!(Power::from_milliwatts(5.0).watts(), 0.005);
+    }
+
+    #[test]
+    fn overhead_energy_from_table1() {
+        // Eoh = tsk*Psk + tsd*Psd = 2ms*672mW + 1ms*672mW = 2.016 mJ.
+        let eoh = Power::from_milliwatts(672.0) * Duration::from_millis(2.0)
+            + Power::from_milliwatts(672.0) * Duration::from_millis(1.0);
+        assert!((eoh.millijoules() - 2.016).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let small = Power::from_milliwatts(5.0);
+        let big = Power::from_milliwatts(120.0);
+        assert_eq!(small.saturating_sub(big), Power::ZERO);
+        assert!((big.saturating_sub(small).milliwatts() - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Power::from_milliwatts(316.0).to_string(), "316.0 mW");
+        assert_eq!(Power::from_watts(1.4).to_string(), "1.400 W");
+    }
+
+    proptest! {
+        #[test]
+        fn power_times_duration_is_bilinear(w in 0.0..10.0f64, s in 0.0..1e4f64, k in 0.1..10.0f64) {
+            let e1 = Power::from_watts(w * k) * Duration::from_seconds(s);
+            let e2 = Power::from_watts(w) * Duration::from_seconds(s * k);
+            prop_assert!((e1.joules() - e2.joules()).abs() <= 1e-9 + e1.joules().abs() * 1e-9);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Bit rates.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use crate::error::{check_non_negative, QuantityError};
+use crate::{DataSize, Duration, Ratio};
+
+/// A data rate in bits per second.
+///
+/// The paper quotes stream rates in `kbps` with the telecom convention
+/// `1 kbps = 1000 bit/s` (see `DESIGN.md` §4.1), and device media rates in
+/// `kbps` per probe (Table I: 100 kbps/probe × 1024 active probes).
+///
+/// ```
+/// use memstream_units::BitRate;
+///
+/// let per_probe = BitRate::from_kbps(100.0);
+/// let media = per_probe * 1024.0;
+/// assert_eq!(media.megabits_per_second(), 102.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BitRate {
+    bits_per_second: f64,
+}
+
+impl BitRate {
+    /// Zero bits per second.
+    pub const ZERO: BitRate = BitRate {
+        bits_per_second: 0.0,
+    };
+
+    /// Creates a rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite; use
+    /// [`BitRate::try_from_bits_per_second`] for fallible construction.
+    #[must_use]
+    pub fn from_bits_per_second(bps: f64) -> Self {
+        Self::try_from_bits_per_second(bps).expect("bit rate")
+    }
+
+    /// Fallible variant of [`BitRate::from_bits_per_second`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] if the value is negative, NaN or infinite.
+    pub fn try_from_bits_per_second(bps: f64) -> Result<Self, QuantityError> {
+        check_non_negative("bit rate", bps).map(|bits_per_second| Self { bits_per_second })
+    }
+
+    /// Creates a rate from kilobits per second (`1 kbps = 1000 bit/s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    #[must_use]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::from_bits_per_second(kbps * 1e3)
+    }
+
+    /// Creates a rate from megabits per second (`10^6 bit/s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    #[must_use]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::from_bits_per_second(mbps * 1e6)
+    }
+
+    /// The rate in bits per second.
+    #[must_use]
+    pub fn bits_per_second(self) -> f64 {
+        self.bits_per_second
+    }
+
+    /// The rate in kilobits per second.
+    #[must_use]
+    pub fn kilobits_per_second(self) -> f64 {
+        self.bits_per_second / 1e3
+    }
+
+    /// The rate in megabits per second.
+    #[must_use]
+    pub fn megabits_per_second(self) -> f64 {
+        self.bits_per_second / 1e6
+    }
+
+    /// Returns `true` for the zero rate.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.bits_per_second == 0.0
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: BitRate) -> BitRate {
+        BitRate {
+            bits_per_second: self.bits_per_second.min(other.bits_per_second),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: BitRate) -> BitRate {
+        BitRate {
+            bits_per_second: self.bits_per_second.max(other.bits_per_second),
+        }
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits_per_second >= 1e6 {
+            write!(f, "{:.2} Mbps", self.megabits_per_second())
+        } else if self.bits_per_second >= 1e3 {
+            write!(f, "{:.1} kbps", self.kilobits_per_second())
+        } else {
+            write!(f, "{:.0} bps", self.bits_per_second)
+        }
+    }
+}
+
+impl Add for BitRate {
+    type Output = BitRate;
+    fn add(self, rhs: BitRate) -> BitRate {
+        BitRate {
+            bits_per_second: self.bits_per_second + rhs.bits_per_second,
+        }
+    }
+}
+
+impl Sub for BitRate {
+    type Output = BitRate;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative (a refill
+    /// requires the media rate to exceed the stream rate).
+    fn sub(self, rhs: BitRate) -> BitRate {
+        debug_assert!(
+            self.bits_per_second >= rhs.bits_per_second,
+            "bit rate subtraction underflow: {} - {}",
+            self.bits_per_second,
+            rhs.bits_per_second
+        );
+        BitRate {
+            bits_per_second: (self.bits_per_second - rhs.bits_per_second).max(0.0),
+        }
+    }
+}
+
+impl Mul<f64> for BitRate {
+    type Output = BitRate;
+    fn mul(self, rhs: f64) -> BitRate {
+        BitRate::from_bits_per_second(self.bits_per_second * rhs)
+    }
+}
+
+impl Mul<BitRate> for f64 {
+    type Output = BitRate;
+    fn mul(self, rhs: BitRate) -> BitRate {
+        rhs * self
+    }
+}
+
+impl Mul<Ratio> for BitRate {
+    type Output = BitRate;
+    fn mul(self, rhs: Ratio) -> BitRate {
+        self * rhs.fraction()
+    }
+}
+
+impl Div<f64> for BitRate {
+    type Output = BitRate;
+    fn div(self, rhs: f64) -> BitRate {
+        BitRate::from_bits_per_second(self.bits_per_second / rhs)
+    }
+}
+
+/// Dimensionless ratio of two rates.
+impl Div<BitRate> for BitRate {
+    type Output = f64;
+    fn div(self, rhs: BitRate) -> f64 {
+        self.bits_per_second / rhs.bits_per_second
+    }
+}
+
+/// `(bits/s) * s = bits`.
+impl Mul<Duration> for BitRate {
+    type Output = DataSize;
+    fn mul(self, rhs: Duration) -> DataSize {
+        DataSize::from_bits(self.bits_per_second * rhs.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_media_rate() {
+        // Table I: 1024 active probes x 100 kbps/probe = 102.4 Mbps.
+        let media = BitRate::from_kbps(100.0) * 1024.0;
+        assert_eq!(media.bits_per_second(), 102_400_000.0);
+    }
+
+    #[test]
+    fn kbps_is_decimal() {
+        assert_eq!(BitRate::from_kbps(32.0).bits_per_second(), 32_000.0);
+        assert_eq!(BitRate::from_kbps(4096.0).bits_per_second(), 4_096_000.0);
+    }
+
+    #[test]
+    fn net_fill_rate() {
+        let rm = BitRate::from_mbps(102.4);
+        let rs = BitRate::from_kbps(1024.0);
+        let net = rm - rs;
+        assert_eq!(net.bits_per_second(), 102_400_000.0 - 1_024_000.0);
+    }
+
+    #[test]
+    fn rate_times_duration_gives_size() {
+        let rs = BitRate::from_kbps(1024.0);
+        let bits = rs * Duration::from_seconds(2.0);
+        assert_eq!(bits.bits(), 2_048_000.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitRate::from_kbps(32.0).to_string(), "32.0 kbps");
+        assert_eq!(BitRate::from_mbps(102.4).to_string(), "102.40 Mbps");
+        assert_eq!(BitRate::from_bits_per_second(500.0).to_string(), "500 bps");
+    }
+
+    proptest! {
+        #[test]
+        fn ratio_of_rate_with_itself_is_one(bps in 1.0..1e9f64) {
+            let r = BitRate::from_bits_per_second(bps);
+            prop_assert!((r / r - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn scaling_is_linear(bps in 0.0..1e9f64, k in 0.0..100.0f64) {
+            let r = BitRate::from_bits_per_second(bps);
+            prop_assert!(((r * k).bits_per_second() - bps * k).abs() <= 1e-6 + bps * k * 1e-12);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Dimensionless fractions (energy savings, utilisations, write fractions).
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use crate::error::{check_in_range, QuantityError};
+
+/// A dimensionless fraction in `[0, 1]`.
+///
+/// The paper expresses three of its key quantities as fractions: the energy
+/// saving goal `E` (e.g. 80 %), the capacity utilisation `C` (e.g. 88 %) and
+/// the write fraction `w` (40 %). Keeping them in a clamped newtype avoids
+/// percent-vs-fraction confusion at call sites.
+///
+/// ```
+/// use memstream_units::Ratio;
+///
+/// let saving = Ratio::from_percent(80.0);
+/// assert_eq!(saving.fraction(), 0.8);
+/// assert!((saving.complement().percent() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ratio {
+    fraction: f64,
+}
+
+impl Ratio {
+    /// The zero fraction.
+    pub const ZERO: Ratio = Ratio { fraction: 0.0 };
+    /// The unit fraction (100 %).
+    pub const ONE: Ratio = Ratio { fraction: 1.0 };
+
+    /// Creates a ratio from a fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` lies outside `[0, 1]` or is not finite; use
+    /// [`Ratio::try_from_fraction`] for fallible construction.
+    #[must_use]
+    pub fn from_fraction(fraction: f64) -> Self {
+        Self::try_from_fraction(fraction).expect("ratio")
+    }
+
+    /// Fallible variant of [`Ratio::from_fraction`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] if `fraction` is outside `[0, 1]` or not
+    /// finite.
+    pub fn try_from_fraction(fraction: f64) -> Result<Self, QuantityError> {
+        check_in_range("ratio", fraction, 0.0, 1.0).map(|fraction| Self { fraction })
+    }
+
+    /// Creates a ratio from a percentage in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` lies outside `[0, 100]` or is not finite.
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Self {
+        Self::try_from_percent(percent).expect("ratio")
+    }
+
+    /// Fallible variant of [`Ratio::from_percent`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] if `percent` is outside `[0, 100]` or not
+    /// finite.
+    pub fn try_from_percent(percent: f64) -> Result<Self, QuantityError> {
+        check_in_range("ratio", percent, 0.0, 100.0).map(|p| Self {
+            fraction: p / 100.0,
+        })
+    }
+
+    /// The ratio as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.fraction
+    }
+
+    /// The ratio as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.fraction * 100.0
+    }
+
+    /// `1 − self`; e.g. the energy *budget* left after a saving goal.
+    #[must_use]
+    pub fn complement(self) -> Ratio {
+        Ratio {
+            fraction: (1.0 - self.fraction).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Ratio) -> Ratio {
+        Ratio {
+            fraction: self.fraction.min(other.fraction),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Ratio) -> Ratio {
+        Ratio {
+            fraction: self.fraction.max(other.fraction),
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    /// Saturates at 100 %.
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio {
+            fraction: (self.fraction + rhs.fraction).min(1.0),
+        }
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    /// Saturates at 0 %.
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio {
+            fraction: (self.fraction - rhs.fraction).max(0.0),
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio {
+            fraction: self.fraction * rhs.fraction,
+        }
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = f64;
+    fn mul(self, rhs: f64) -> f64 {
+        self.fraction * rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percent_and_fraction_agree() {
+        assert_eq!(Ratio::from_percent(40.0), Ratio::from_fraction(0.4));
+        assert_eq!(Ratio::from_percent(88.0).fraction(), 0.88);
+    }
+
+    #[test]
+    fn complement_of_saving_goal() {
+        let e = Ratio::from_percent(80.0);
+        assert!((e.complement().fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(Ratio::try_from_fraction(1.01).is_err());
+        assert!(Ratio::try_from_percent(-5.0).is_err());
+        assert!(Ratio::try_from_fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn add_saturates_at_one() {
+        assert_eq!(
+            Ratio::from_percent(70.0) + Ratio::from_percent(70.0),
+            Ratio::ONE
+        );
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        assert_eq!(
+            Ratio::from_percent(10.0) - Ratio::from_percent(70.0),
+            Ratio::ZERO
+        );
+    }
+
+    #[test]
+    fn display_uses_percent() {
+        assert_eq!(Ratio::from_percent(88.0).to_string(), "88.0%");
+    }
+
+    proptest! {
+        #[test]
+        fn complement_involution(f in 0.0..=1.0f64) {
+            let r = Ratio::from_fraction(f);
+            prop_assert!((r.complement().complement().fraction() - f).abs() < 1e-12);
+        }
+
+        #[test]
+        fn product_stays_in_range(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+            let p = Ratio::from_fraction(a) * Ratio::from_fraction(b);
+            prop_assert!(p.fraction() >= 0.0 && p.fraction() <= 1.0);
+        }
+    }
+}

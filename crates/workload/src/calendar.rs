@@ -1,0 +1,113 @@
+//! Playback calendar: hours/day and days/year to seconds of streaming.
+
+use std::fmt;
+
+use memstream_units::Duration;
+
+use crate::error::WorkloadError;
+
+/// When the streaming system is in use.
+///
+/// Eq. (5) needs `T`, "the total seconds played back per year". The paper
+/// assumes "a playback of eight hours every day all year round"
+/// ([`PlaybackCalendar::paper_default`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaybackCalendar {
+    hours_per_day: f64,
+    days_per_year: f64,
+}
+
+impl PlaybackCalendar {
+    /// The paper's calendar: 8 hours/day, 365 days/year.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PlaybackCalendar {
+            hours_per_day: 8.0,
+            days_per_year: 365.0,
+        }
+    }
+
+    /// Creates a calendar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `hours_per_day` is outside `(0, 24]` or
+    /// `days_per_year` is outside `(0, 366]`.
+    pub fn new(hours_per_day: f64, days_per_year: f64) -> Result<Self, WorkloadError> {
+        if !(hours_per_day > 0.0 && hours_per_day <= 24.0) {
+            return Err(WorkloadError::HoursOutOfRange {
+                hours: hours_per_day,
+            });
+        }
+        if !(days_per_year > 0.0 && days_per_year <= 366.0) {
+            return Err(WorkloadError::DaysOutOfRange {
+                days: days_per_year,
+            });
+        }
+        Ok(PlaybackCalendar {
+            hours_per_day,
+            days_per_year,
+        })
+    }
+
+    /// Playback hours per day.
+    #[must_use]
+    pub fn hours_per_day(&self) -> f64 {
+        self.hours_per_day
+    }
+
+    /// Playback days per year.
+    #[must_use]
+    pub fn days_per_year(&self) -> f64 {
+        self.days_per_year
+    }
+
+    /// `T` of Eq. (5): total seconds of playback per year.
+    #[must_use]
+    pub fn seconds_per_year(&self) -> f64 {
+        self.hours_per_day * 3600.0 * self.days_per_year
+    }
+
+    /// Playback time per day as a [`Duration`].
+    #[must_use]
+    pub fn daily_playback(&self) -> Duration {
+        Duration::from_hours(self.hours_per_day)
+    }
+}
+
+impl Default for PlaybackCalendar {
+    fn default() -> Self {
+        PlaybackCalendar::paper_default()
+    }
+}
+
+impl fmt::Display for PlaybackCalendar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} h/day x {} days/year",
+            self.hours_per_day, self.days_per_year
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calendar_seconds() {
+        let cal = PlaybackCalendar::paper_default();
+        assert_eq!(cal.seconds_per_year(), 10_512_000.0);
+        assert_eq!(cal.daily_playback().hours(), 8.0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        assert!(PlaybackCalendar::new(0.0, 365.0).is_err());
+        assert!(PlaybackCalendar::new(25.0, 365.0).is_err());
+        assert!(PlaybackCalendar::new(8.0, 0.0).is_err());
+        assert!(PlaybackCalendar::new(8.0, 367.0).is_err());
+        assert!(PlaybackCalendar::new(24.0, 366.0).is_ok());
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload-construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a workload description is inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The stream rate must be strictly positive.
+    ZeroStreamRate,
+    /// Playback hours per day must lie in `(0, 24]`.
+    HoursOutOfRange {
+        /// The offending value.
+        hours: f64,
+    },
+    /// Days per year must lie in `(0, 366]`.
+    DaysOutOfRange {
+        /// The offending value.
+        days: f64,
+    },
+    /// The best-effort fraction must leave some of the cycle for refills,
+    /// i.e. lie in `[0, 1)`.
+    BestEffortTooLarge {
+        /// The offending value.
+        fraction: f64,
+    },
+    /// A stream mix must contain at least one stream.
+    EmptyMix,
+    /// A VBR profile's peak rate must be at least its mean rate.
+    VbrPeakBelowMean {
+        /// Mean rate in bits per second.
+        mean_bps: f64,
+        /// Peak rate in bits per second.
+        peak_bps: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroStreamRate => write!(f, "stream rate must be strictly positive"),
+            WorkloadError::HoursOutOfRange { hours } => {
+                write!(f, "playback hours per day must lie in (0, 24], got {hours}")
+            }
+            WorkloadError::DaysOutOfRange { days } => {
+                write!(f, "playback days per year must lie in (0, 366], got {days}")
+            }
+            WorkloadError::BestEffortTooLarge { fraction } => {
+                write!(f, "best-effort fraction must lie in [0, 1), got {fraction}")
+            }
+            WorkloadError::EmptyMix => write!(f, "stream mix must contain at least one stream"),
+            WorkloadError::VbrPeakBelowMean { mean_bps, peak_bps } => write!(
+                f,
+                "vbr peak rate ({peak_bps} b/s) must be at least the mean rate ({mean_bps} b/s)"
+            ),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_values() {
+        let e = WorkloadError::HoursOutOfRange { hours: 25.0 };
+        assert!(e.to_string().contains("25"));
+        let e = WorkloadError::VbrPeakBelowMean {
+            mean_bps: 2000.0,
+            peak_bps: 1000.0,
+        };
+        assert!(e.to_string().contains("2000"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Streaming workload models for the `memstream` workspace.
+//!
+//! §IV-A of the paper fixes one workload for the whole exploration:
+//! playback **8 hours every day all year round**, **40 %** of the traffic
+//! writing to the device (e.g. video recording), and **5 %** of each refill
+//! cycle reserved for best-effort OS/filesystem requests, over stream rates
+//! of **32–4096 kbps**. [`Workload::paper_default`] reproduces it exactly.
+//!
+//! ```
+//! use memstream_workload::Workload;
+//! use memstream_units::BitRate;
+//!
+//! let w = Workload::paper_default(BitRate::from_kbps(1024.0));
+//! assert_eq!(w.playback_seconds_per_year(), 10_512_000.0); // 8 h * 365
+//! assert_eq!(w.write_fraction().percent(), 40.0);
+//! ```
+//!
+//! For the discrete-event simulator the crate also generates reproducible
+//! *traces*: constant-bit-rate and variable-bit-rate consumption schedules
+//! and a Poisson best-effort request process, all seeded (`rand` with a
+//! fixed seed) so experiments are repeatable bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod error;
+mod mix;
+mod spec;
+mod trace;
+
+pub use calendar::PlaybackCalendar;
+pub use error::WorkloadError;
+pub use mix::StreamMix;
+pub use spec::{StreamSpec, Workload};
+pub use trace::{
+    BestEffortProcess, RateSchedule, StepSchedule, TraceEvent, TraceGenerator, VbrProfile,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn types_are_send_sync() {
+        assert_send_sync::<Workload>();
+        assert_send_sync::<StreamSpec>();
+        assert_send_sync::<PlaybackCalendar>();
+        assert_send_sync::<TraceGenerator>();
+        assert_send_sync::<WorkloadError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! Aggregating several concurrent streams into one equivalent stream.
+//!
+//! The paper models a single stream, but its architecture serves a media
+//! player that may record one program while playing another. For CBR
+//! streams sharing one buffer, the aggregate is itself a CBR stream: rates
+//! add, and the write fraction is the bandwidth-weighted mean. This module
+//! performs that reduction so the single-stream models apply unchanged.
+
+use std::fmt;
+
+use memstream_units::{BitRate, Ratio};
+
+use crate::error::WorkloadError;
+use crate::spec::StreamSpec;
+
+/// A set of concurrent CBR streams.
+///
+/// ```
+/// use memstream_units::{BitRate, Ratio};
+/// use memstream_workload::{StreamMix, StreamSpec};
+///
+/// # fn main() -> Result<(), memstream_workload::WorkloadError> {
+/// let playback = StreamSpec::read_only(BitRate::from_kbps(1024.0))?;
+/// let recording = StreamSpec::new(BitRate::from_kbps(512.0), Ratio::ONE)?;
+/// let combined = StreamMix::new(vec![playback, recording])?.aggregate();
+/// assert_eq!(combined.rate(), BitRate::from_kbps(1536.0));
+/// // 512 of 1536 kbps writes:
+/// assert!((combined.write_fraction().fraction() - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamMix {
+    streams: Vec<StreamSpec>,
+}
+
+impl StreamMix {
+    /// Creates a mix from the given streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyMix`] if no streams are given.
+    pub fn new(streams: Vec<StreamSpec>) -> Result<Self, WorkloadError> {
+        if streams.is_empty() {
+            return Err(WorkloadError::EmptyMix);
+        }
+        Ok(StreamMix { streams })
+    }
+
+    /// The component streams.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamSpec] {
+        &self.streams
+    }
+
+    /// Number of component streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Always `false`: construction rejects empty mixes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The total consumption rate of the mix.
+    #[must_use]
+    pub fn total_rate(&self) -> BitRate {
+        self.streams
+            .iter()
+            .fold(BitRate::ZERO, |acc, s| acc + s.rate())
+    }
+
+    /// The bandwidth-weighted write fraction of the mix.
+    #[must_use]
+    pub fn write_fraction(&self) -> Ratio {
+        let total = self.total_rate().bits_per_second();
+        let writes: f64 = self
+            .streams
+            .iter()
+            .map(|s| s.write_rate().bits_per_second())
+            .sum();
+        Ratio::from_fraction((writes / total).clamp(0.0, 1.0))
+    }
+
+    /// Reduces the mix to the equivalent single stream the paper's models
+    /// take as input.
+    #[must_use]
+    pub fn aggregate(&self) -> StreamSpec {
+        StreamSpec::new(self.total_rate(), self.write_fraction())
+            .expect("non-empty mixes of valid streams have a positive rate")
+    }
+}
+
+impl fmt::Display for StreamMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mix of {} streams: {}", self.len(), self.aggregate())
+    }
+}
+
+impl Extend<StreamSpec> for StreamMix {
+    fn extend<T: IntoIterator<Item = StreamSpec>>(&mut self, iter: T) {
+        self.streams.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec(kbps: f64, write_pct: f64) -> StreamSpec {
+        StreamSpec::new(BitRate::from_kbps(kbps), Ratio::from_percent(write_pct))
+            .expect("valid stream")
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        assert_eq!(StreamMix::new(vec![]).unwrap_err(), WorkloadError::EmptyMix);
+    }
+
+    #[test]
+    fn single_stream_aggregates_to_itself() {
+        let s = spec(1024.0, 40.0);
+        let mix = StreamMix::new(vec![s]).unwrap();
+        assert_eq!(mix.aggregate(), s);
+    }
+
+    #[test]
+    fn paper_workload_as_playback_plus_recording() {
+        // 40% writes at 1024 kbps == a 614.4 kbps read-only playback plus a
+        // 409.6 kbps all-write recording.
+        let mix = StreamMix::new(vec![
+            StreamSpec::read_only(BitRate::from_kbps(614.4)).unwrap(),
+            spec(409.6, 100.0),
+        ])
+        .unwrap();
+        let agg = mix.aggregate();
+        assert!((agg.rate().kilobits_per_second() - 1024.0).abs() < 1e-9);
+        assert!((agg.write_fraction().percent() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut mix = StreamMix::new(vec![spec(100.0, 0.0)]).unwrap();
+        mix.extend([spec(200.0, 0.0), spec(300.0, 0.0)]);
+        assert_eq!(mix.len(), 3);
+        assert_eq!(mix.total_rate(), BitRate::from_kbps(600.0));
+    }
+
+    proptest! {
+        #[test]
+        fn aggregate_conserves_write_bandwidth(
+            rates in prop::collection::vec((1.0..4096.0f64, 0.0..=1.0f64), 1..10)
+        ) {
+            let streams: Vec<StreamSpec> = rates
+                .iter()
+                .map(|&(kbps, w)| {
+                    StreamSpec::new(BitRate::from_kbps(kbps), Ratio::from_fraction(w)).unwrap()
+                })
+                .collect();
+            let expected_writes: f64 = streams
+                .iter()
+                .map(|s| s.write_rate().bits_per_second())
+                .sum();
+            let mix = StreamMix::new(streams).unwrap();
+            let agg = mix.aggregate();
+            prop_assert!(
+                (agg.write_rate().bits_per_second() - expected_writes).abs()
+                    <= expected_writes * 1e-9 + 1e-9
+            );
+        }
+
+        #[test]
+        fn write_fraction_stays_in_unit_interval(
+            rates in prop::collection::vec((1.0..4096.0f64, 0.0..=1.0f64), 1..10)
+        ) {
+            let streams: Vec<StreamSpec> = rates
+                .iter()
+                .map(|&(kbps, w)| {
+                    StreamSpec::new(BitRate::from_kbps(kbps), Ratio::from_fraction(w)).unwrap()
+                })
+                .collect();
+            let f = StreamMix::new(streams).unwrap().write_fraction().fraction();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

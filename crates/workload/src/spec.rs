@@ -1,0 +1,254 @@
+//! Stream and workload specifications.
+
+use std::fmt;
+
+use memstream_units::{BitRate, Ratio};
+
+use crate::calendar::PlaybackCalendar;
+use crate::error::WorkloadError;
+
+/// A single stream: its consumption rate and how much of it writes.
+///
+/// ```
+/// use memstream_workload::StreamSpec;
+/// use memstream_units::{BitRate, Ratio};
+///
+/// # fn main() -> Result<(), memstream_workload::WorkloadError> {
+/// let s = StreamSpec::new(BitRate::from_kbps(1024.0), Ratio::from_percent(40.0))?;
+/// assert_eq!(s.write_rate().kilobits_per_second(), 409.6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    rate: BitRate,
+    write_fraction: Ratio,
+}
+
+impl StreamSpec {
+    /// Creates a stream spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroStreamRate`] if `rate` is zero.
+    pub fn new(rate: BitRate, write_fraction: Ratio) -> Result<Self, WorkloadError> {
+        if rate.is_zero() {
+            return Err(WorkloadError::ZeroStreamRate);
+        }
+        Ok(StreamSpec {
+            rate,
+            write_fraction,
+        })
+    }
+
+    /// A read-only stream at the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroStreamRate`] if `rate` is zero.
+    pub fn read_only(rate: BitRate) -> Result<Self, WorkloadError> {
+        StreamSpec::new(rate, Ratio::ZERO)
+    }
+
+    /// The stream consumption rate `rs`.
+    #[must_use]
+    pub fn rate(&self) -> BitRate {
+        self.rate
+    }
+
+    /// The fraction `w` of traffic that writes to the device.
+    #[must_use]
+    pub fn write_fraction(&self) -> Ratio {
+        self.write_fraction
+    }
+
+    /// The effective write bandwidth `w · rs`.
+    #[must_use]
+    pub fn write_rate(&self) -> BitRate {
+        self.rate * self.write_fraction
+    }
+}
+
+impl fmt::Display for StreamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stream, {} writes", self.rate, self.write_fraction)
+    }
+}
+
+/// The full workload of §IV-A: a stream, a playback calendar and a
+/// best-effort reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    stream: StreamSpec,
+    calendar: PlaybackCalendar,
+    best_effort_fraction: Ratio,
+}
+
+impl Workload {
+    /// The paper's workload at the given stream rate: 40 % writes,
+    /// 8 h/day × 365 days, 5 % best-effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero (the paper's rates are 32–4096 kbps).
+    #[must_use]
+    pub fn paper_default(rate: BitRate) -> Self {
+        Workload::new(
+            StreamSpec::new(rate, Ratio::from_percent(40.0)).expect("positive rate"),
+            PlaybackCalendar::paper_default(),
+            Ratio::from_percent(5.0),
+        )
+        .expect("paper workload parameters are valid")
+    }
+
+    /// Creates a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BestEffortTooLarge`] if the best-effort
+    /// fraction is 100 % or more (the cycle must retain room for refills).
+    pub fn new(
+        stream: StreamSpec,
+        calendar: PlaybackCalendar,
+        best_effort_fraction: Ratio,
+    ) -> Result<Self, WorkloadError> {
+        if best_effort_fraction >= Ratio::ONE {
+            return Err(WorkloadError::BestEffortTooLarge {
+                fraction: best_effort_fraction.fraction(),
+            });
+        }
+        Ok(Workload {
+            stream,
+            calendar,
+            best_effort_fraction,
+        })
+    }
+
+    /// The stream spec.
+    #[must_use]
+    pub fn stream(&self) -> StreamSpec {
+        self.stream
+    }
+
+    /// The playback calendar.
+    #[must_use]
+    pub fn calendar(&self) -> PlaybackCalendar {
+        self.calendar
+    }
+
+    /// The stream rate `rs`.
+    #[must_use]
+    pub fn rate(&self) -> BitRate {
+        self.stream.rate()
+    }
+
+    /// The write fraction `w`.
+    #[must_use]
+    pub fn write_fraction(&self) -> Ratio {
+        self.stream.write_fraction()
+    }
+
+    /// The fraction of each refill cycle reserved for best-effort requests.
+    #[must_use]
+    pub fn best_effort_fraction(&self) -> Ratio {
+        self.best_effort_fraction
+    }
+
+    /// `T` of Eqs. (5)–(6): seconds of playback per year.
+    #[must_use]
+    pub fn playback_seconds_per_year(&self) -> f64 {
+        self.calendar.seconds_per_year()
+    }
+
+    /// Bits streamed per year (`T · rs`), the numerator of the refill count.
+    #[must_use]
+    pub fn bits_per_year(&self) -> f64 {
+        self.playback_seconds_per_year() * self.rate().bits_per_second()
+    }
+
+    /// Returns a copy with a different stream rate — the sweep variable of
+    /// every figure in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    #[must_use]
+    pub fn with_rate(&self, rate: BitRate) -> Self {
+        let mut copy = *self;
+        copy.stream = StreamSpec::new(rate, self.stream.write_fraction()).expect("positive rate");
+        copy
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}, {} best-effort",
+            self.stream, self.calendar, self.best_effort_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_workload_matches_table1() {
+        let w = Workload::paper_default(BitRate::from_kbps(1024.0));
+        assert_eq!(w.write_fraction(), Ratio::from_percent(40.0));
+        assert_eq!(w.best_effort_fraction(), Ratio::from_percent(5.0));
+        assert_eq!(w.playback_seconds_per_year(), 10_512_000.0);
+    }
+
+    #[test]
+    fn bits_per_year_at_1024_kbps() {
+        let w = Workload::paper_default(BitRate::from_kbps(1024.0));
+        assert_eq!(w.bits_per_year(), 10_512_000.0 * 1_024_000.0);
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        assert_eq!(
+            StreamSpec::new(BitRate::ZERO, Ratio::ZERO).unwrap_err(),
+            WorkloadError::ZeroStreamRate
+        );
+    }
+
+    #[test]
+    fn full_best_effort_is_rejected() {
+        let err = Workload::new(
+            StreamSpec::read_only(BitRate::from_kbps(64.0)).unwrap(),
+            PlaybackCalendar::paper_default(),
+            Ratio::ONE,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::BestEffortTooLarge { .. }));
+    }
+
+    #[test]
+    fn with_rate_preserves_everything_else() {
+        let w = Workload::paper_default(BitRate::from_kbps(32.0));
+        let w2 = w.with_rate(BitRate::from_kbps(4096.0));
+        assert_eq!(w2.rate(), BitRate::from_kbps(4096.0));
+        assert_eq!(w2.write_fraction(), w.write_fraction());
+        assert_eq!(w2.best_effort_fraction(), w.best_effort_fraction());
+    }
+
+    #[test]
+    fn write_rate_is_product() {
+        let s = StreamSpec::new(BitRate::from_kbps(1000.0), Ratio::from_percent(40.0)).unwrap();
+        assert_eq!(s.write_rate().bits_per_second(), 400_000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_per_year_scales_linearly_with_rate(kbps in 1.0..10_000.0f64) {
+            let w = Workload::paper_default(BitRate::from_kbps(kbps));
+            let per_kbps = w.bits_per_year() / kbps;
+            prop_assert!((per_kbps - 10_512_000.0 * 1000.0).abs() < 1.0);
+        }
+    }
+}

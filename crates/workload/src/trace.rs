@@ -1,0 +1,665 @@
+//! Reproducible traffic traces for the discrete-event simulator.
+//!
+//! The analytic model only needs the workload's scalar parameters; the
+//! simulator additionally needs a *schedule*: what the decoder consumes at
+//! each instant (CBR or VBR) and when best-effort requests arrive. All
+//! randomness is driven by a caller-supplied seed so every experiment is
+//! reproducible bit-for-bit.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memstream_units::{BitRate, DataSize, Duration};
+
+use crate::error::WorkloadError;
+
+/// Shape of a variable-bit-rate stream around its mean.
+///
+/// The simulator's VBR extension (not in the paper, see `DESIGN.md` §6)
+/// modulates the consumption rate sinusoidally between
+/// `mean - (peak - mean)` and `peak` with the given period, which stresses
+/// buffer dimensioning: a buffer sized for the mean underruns at the peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VbrProfile {
+    mean: BitRate,
+    peak: BitRate,
+    period: Duration,
+}
+
+impl VbrProfile {
+    /// Creates a VBR profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if the mean rate is zero or the peak is
+    /// below the mean.
+    pub fn new(mean: BitRate, peak: BitRate, period: Duration) -> Result<Self, WorkloadError> {
+        if mean.is_zero() {
+            return Err(WorkloadError::ZeroStreamRate);
+        }
+        if peak < mean {
+            return Err(WorkloadError::VbrPeakBelowMean {
+                mean_bps: mean.bits_per_second(),
+                peak_bps: peak.bits_per_second(),
+            });
+        }
+        Ok(VbrProfile { mean, peak, period })
+    }
+
+    /// The mean rate.
+    #[must_use]
+    pub fn mean(&self) -> BitRate {
+        self.mean
+    }
+
+    /// The peak rate.
+    #[must_use]
+    pub fn peak(&self) -> BitRate {
+        self.peak
+    }
+
+    /// The modulation period.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+}
+
+/// A piecewise-constant rate schedule, e.g. recovered from a recorded
+/// trace by [`StepSchedule::from_trace`].
+///
+/// Holds the segment boundaries and the rate within each segment; time
+/// past the last boundary repeats the final rate (a trace that ends is
+/// assumed to hold its last observed rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSchedule {
+    /// `(segment start in seconds, rate)` pairs, ascending by start time.
+    steps: std::sync::Arc<Vec<(f64, BitRate)>>,
+}
+
+impl StepSchedule {
+    /// Creates a schedule from `(start, rate)` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or the start times are not strictly
+    /// ascending from zero.
+    #[must_use]
+    pub fn new(steps: Vec<(Duration, BitRate)>) -> Self {
+        assert!(
+            !steps.is_empty(),
+            "step schedule needs at least one segment"
+        );
+        assert!(steps[0].0.is_zero(), "step schedule must start at t = 0");
+        let mut converted = Vec::with_capacity(steps.len());
+        let mut last = -1.0;
+        for (at, rate) in steps {
+            let t = at.seconds();
+            assert!(t > last, "step times must be strictly ascending");
+            last = t;
+            converted.push((t, rate));
+        }
+        StepSchedule {
+            steps: std::sync::Arc::new(converted),
+        }
+    }
+
+    /// Recovers a rate schedule from a recorded trace by bucketing the
+    /// consumption events: each bucket's rate is its consumed volume over
+    /// the bucket length. Best-effort events are ignored (they are device
+    /// traffic, not decoder consumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero or the trace has no consumption events.
+    #[must_use]
+    pub fn from_trace(events: &[TraceEvent], bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "bucket must be positive");
+        let horizon = events
+            .iter()
+            .map(|e| e.at().seconds())
+            .fold(0.0f64, f64::max);
+        let n = (horizon / bucket.seconds()).floor() as usize + 1;
+        let mut volumes = vec![0.0f64; n];
+        let mut any = false;
+        for e in events {
+            if let TraceEvent::Consume { at, size, .. } = e {
+                any = true;
+                let idx = ((at.seconds() / bucket.seconds()) as usize).min(n - 1);
+                volumes[idx] += size.bits();
+            }
+        }
+        assert!(any, "trace has no consumption events");
+        let steps = volumes
+            .into_iter()
+            .enumerate()
+            .map(|(i, bits)| {
+                (
+                    Duration::from_seconds(i as f64 * bucket.seconds()),
+                    BitRate::from_bits_per_second(bits / bucket.seconds()),
+                )
+            })
+            .collect();
+        StepSchedule::new(steps)
+    }
+
+    /// The rate in force at `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: Duration) -> BitRate {
+        let secs = t.seconds();
+        match self
+            .steps
+            .binary_search_by(|(start, _)| start.partial_cmp(&secs).expect("finite times"))
+        {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The time-weighted mean rate over the schedule's defined span.
+    #[must_use]
+    pub fn mean_rate(&self) -> BitRate {
+        if self.steps.len() == 1 {
+            return self.steps[0].1;
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for pair in self.steps.windows(2) {
+            let dt = pair[1].0 - pair[0].0;
+            weighted += pair[0].1.bits_per_second() * dt;
+            total += dt;
+        }
+        // The open-ended final segment contributes one mean bucket width.
+        let tail = total / (self.steps.len() - 1) as f64;
+        weighted += self.steps.last().expect("non-empty").1.bits_per_second() * tail;
+        total += tail;
+        BitRate::from_bits_per_second(weighted / total)
+    }
+
+    /// The largest rate of any segment.
+    #[must_use]
+    pub fn peak_rate(&self) -> BitRate {
+        self.steps
+            .iter()
+            .map(|(_, r)| *r)
+            .fold(BitRate::ZERO, BitRate::max)
+    }
+
+    /// The shortest segment length, the natural re-evaluation step for
+    /// simulators.
+    #[must_use]
+    pub fn min_segment(&self) -> Duration {
+        let mut min = f64::INFINITY;
+        for pair in self.steps.windows(2) {
+            min = min.min(pair[1].0 - pair[0].0);
+        }
+        if min.is_finite() {
+            Duration::from_seconds(min)
+        } else {
+            Duration::from_seconds(1.0)
+        }
+    }
+}
+
+/// A deterministic consumption-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateSchedule {
+    /// Constant bit rate — the paper's workload.
+    Cbr(BitRate),
+    /// Sinusoidal variable bit rate around a mean.
+    Vbr(VbrProfile),
+    /// Piecewise-constant rates, e.g. replayed from a recorded trace.
+    Steps(StepSchedule),
+}
+
+impl RateSchedule {
+    /// The instantaneous consumption rate at time `t` from stream start.
+    #[must_use]
+    pub fn rate_at(&self, t: Duration) -> BitRate {
+        match *self {
+            RateSchedule::Steps(ref steps) => steps.rate_at(t),
+            RateSchedule::Cbr(rate) => rate,
+            RateSchedule::Vbr(profile) => {
+                let amplitude = profile.peak.bits_per_second() - profile.mean.bits_per_second();
+                let phase = if profile.period.is_zero() {
+                    0.0
+                } else {
+                    2.0 * std::f64::consts::PI * t.seconds() / profile.period.seconds()
+                };
+                let bps = profile.mean.bits_per_second() + amplitude * phase.sin();
+                BitRate::from_bits_per_second(bps.max(0.0))
+            }
+        }
+    }
+
+    /// The long-run mean rate of the schedule.
+    #[must_use]
+    pub fn mean_rate(&self) -> BitRate {
+        match *self {
+            RateSchedule::Cbr(rate) => rate,
+            RateSchedule::Vbr(profile) => profile.mean,
+            RateSchedule::Steps(ref steps) => steps.mean_rate(),
+        }
+    }
+
+    /// The worst-case (peak) rate, the one buffers must be dimensioned for.
+    #[must_use]
+    pub fn peak_rate(&self) -> BitRate {
+        match *self {
+            RateSchedule::Cbr(rate) => rate,
+            RateSchedule::Vbr(profile) => profile.peak,
+            RateSchedule::Steps(ref steps) => steps.peak_rate(),
+        }
+    }
+}
+
+impl fmt::Display for RateSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSchedule::Cbr(rate) => write!(f, "cbr {rate}"),
+            RateSchedule::Vbr(p) => write!(f, "vbr mean {} peak {}", p.mean, p.peak),
+            RateSchedule::Steps(s) => write!(
+                f,
+                "trace replay, {} segments, peak {}",
+                s.steps.len(),
+                s.peak_rate()
+            ),
+        }
+    }
+}
+
+/// A Poisson best-effort request process.
+///
+/// The paper reserves 5 % of each refill cycle for best-effort requests;
+/// the simulator realises that reservation as discrete requests with
+/// exponential inter-arrival times and a fixed mean service demand.
+#[derive(Debug, Clone)]
+pub struct BestEffortProcess {
+    rng: StdRng,
+    mean_interarrival: Duration,
+    request_size: DataSize,
+}
+
+impl BestEffortProcess {
+    /// Creates a process with the given mean inter-arrival time and
+    /// per-request transfer size, seeded for reproducibility.
+    #[must_use]
+    pub fn new(mean_interarrival: Duration, request_size: DataSize, seed: u64) -> Self {
+        BestEffortProcess {
+            rng: StdRng::seed_from_u64(seed),
+            mean_interarrival,
+            request_size,
+        }
+    }
+
+    /// The per-request transfer size.
+    #[must_use]
+    pub fn request_size(&self) -> DataSize {
+        self.request_size
+    }
+
+    /// Samples the next inter-arrival gap (exponential distribution).
+    pub fn next_gap(&mut self) -> Duration {
+        // Inverse-transform sampling; guard the log away from 0.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        Duration::from_seconds(-u.ln() * self.mean_interarrival.seconds())
+    }
+}
+
+/// One event of a generated consumption trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The decoder consumed `size` of stream data at `at`.
+    Consume {
+        /// Event time from stream start.
+        at: Duration,
+        /// Amount consumed in this tick.
+        size: DataSize,
+        /// Whether this chunk is recorded (written) rather than played.
+        is_write: bool,
+    },
+    /// A best-effort request demanding `size` of device transfer at `at`.
+    BestEffort {
+        /// Event time from stream start.
+        at: Duration,
+        /// Transfer demanded from the device.
+        size: DataSize,
+    },
+}
+
+impl TraceEvent {
+    /// The event timestamp.
+    #[must_use]
+    pub fn at(&self) -> Duration {
+        match *self {
+            TraceEvent::Consume { at, .. } | TraceEvent::BestEffort { at, .. } => at,
+        }
+    }
+}
+
+/// Generates a merged, time-ordered trace of consumption ticks and
+/// best-effort requests.
+///
+/// ```
+/// use memstream_workload::{RateSchedule, TraceGenerator};
+/// use memstream_units::{BitRate, Duration};
+///
+/// let mut gen = TraceGenerator::new(
+///     RateSchedule::Cbr(BitRate::from_kbps(1024.0)),
+///     Duration::from_millis(100.0), // tick
+///     0.4,                          // write fraction
+///     None,                         // no best-effort process
+///     42,
+/// );
+/// let trace = gen.generate(Duration::from_seconds(10.0));
+/// assert_eq!(trace.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    schedule: RateSchedule,
+    tick: Duration,
+    write_fraction: f64,
+    best_effort: Option<BestEffortProcess>,
+    rng: StdRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    ///
+    /// `tick` is the consumption granularity; `write_fraction` the
+    /// probability that a tick records rather than plays back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or `write_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        schedule: RateSchedule,
+        tick: Duration,
+        write_fraction: f64,
+        best_effort: Option<BestEffortProcess>,
+        seed: u64,
+    ) -> Self {
+        assert!(!tick.is_zero(), "trace tick must be positive");
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction must lie in [0, 1], got {write_fraction}"
+        );
+        TraceGenerator {
+            schedule,
+            tick,
+            write_fraction,
+            best_effort,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The rate schedule driving the trace.
+    #[must_use]
+    pub fn schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
+    /// Generates all events in `[0, horizon)`, time-ordered.
+    pub fn generate(&mut self, horizon: Duration) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        // Consumption ticks, indexed by integer multiple so that float
+        // accumulation error cannot add or drop ticks near the horizon.
+        let mut i: u64 = 0;
+        loop {
+            let t = self.tick * i as f64;
+            if t >= horizon {
+                break;
+            }
+            let rate = self.schedule.rate_at(t);
+            let size = rate * self.tick;
+            let is_write = self.rng.gen_bool(self.write_fraction);
+            events.push(TraceEvent::Consume {
+                at: t,
+                size,
+                is_write,
+            });
+            i += 1;
+        }
+        // Best-effort arrivals.
+        if let Some(be) = self.best_effort.as_mut() {
+            let mut t = be.next_gap();
+            while t < horizon {
+                events.push(TraceEvent::BestEffort {
+                    at: t,
+                    size: be.request_size(),
+                });
+                t += be.next_gap();
+            }
+        }
+        events.sort_by(|a, b| a.at().partial_cmp(&b.at()).expect("finite times"));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cbr_rate_is_constant() {
+        let s = RateSchedule::Cbr(BitRate::from_kbps(1024.0));
+        assert_eq!(
+            s.rate_at(Duration::ZERO),
+            s.rate_at(Duration::from_hours(1.0))
+        );
+        assert_eq!(s.mean_rate(), s.peak_rate());
+    }
+
+    #[test]
+    fn vbr_peaks_and_means() {
+        let p = VbrProfile::new(
+            BitRate::from_kbps(1000.0),
+            BitRate::from_kbps(1500.0),
+            Duration::from_seconds(8.0),
+        )
+        .unwrap();
+        let s = RateSchedule::Vbr(p);
+        // Quarter period hits the sine peak.
+        let at_peak = s.rate_at(Duration::from_seconds(2.0));
+        assert!((at_peak.kilobits_per_second() - 1500.0).abs() < 1e-6);
+        assert_eq!(s.mean_rate(), BitRate::from_kbps(1000.0));
+        assert_eq!(s.peak_rate(), BitRate::from_kbps(1500.0));
+    }
+
+    #[test]
+    fn vbr_rejects_peak_below_mean() {
+        let err = VbrProfile::new(
+            BitRate::from_kbps(2000.0),
+            BitRate::from_kbps(1000.0),
+            Duration::from_seconds(1.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::VbrPeakBelowMean { .. }));
+    }
+
+    #[test]
+    fn step_schedule_rate_lookup() {
+        let s = StepSchedule::new(vec![
+            (Duration::ZERO, BitRate::from_kbps(100.0)),
+            (Duration::from_seconds(1.0), BitRate::from_kbps(200.0)),
+            (Duration::from_seconds(3.0), BitRate::from_kbps(50.0)),
+        ]);
+        assert_eq!(
+            s.rate_at(Duration::from_seconds(0.5)),
+            BitRate::from_kbps(100.0)
+        );
+        assert_eq!(
+            s.rate_at(Duration::from_seconds(1.0)),
+            BitRate::from_kbps(200.0)
+        );
+        assert_eq!(
+            s.rate_at(Duration::from_seconds(2.9)),
+            BitRate::from_kbps(200.0)
+        );
+        // Past the last boundary the final rate holds.
+        assert_eq!(
+            s.rate_at(Duration::from_seconds(99.0)),
+            BitRate::from_kbps(50.0)
+        );
+        assert_eq!(s.peak_rate(), BitRate::from_kbps(200.0));
+        assert_eq!(s.min_segment(), Duration::from_seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t = 0")]
+    fn step_schedule_must_start_at_zero() {
+        let _ = StepSchedule::new(vec![(Duration::from_seconds(1.0), BitRate::from_kbps(1.0))]);
+    }
+
+    #[test]
+    fn cbr_trace_replays_to_its_own_rate() {
+        let rate = BitRate::from_kbps(1024.0);
+        let mut generator = TraceGenerator::new(
+            RateSchedule::Cbr(rate),
+            Duration::from_millis(100.0),
+            0.4,
+            None,
+            11,
+        );
+        let events = generator.generate(Duration::from_seconds(30.0));
+        let replay = StepSchedule::from_trace(&events, Duration::from_seconds(1.0));
+        // Every bucket recovers the CBR rate exactly.
+        assert_eq!(replay.rate_at(Duration::from_seconds(5.5)), rate);
+        assert!((replay.mean_rate().bits_per_second() - rate.bits_per_second()).abs() < 1.0);
+        assert_eq!(replay.peak_rate(), rate);
+    }
+
+    #[test]
+    fn vbr_trace_replay_tracks_the_modulation() {
+        let profile = VbrProfile::new(
+            BitRate::from_kbps(1000.0),
+            BitRate::from_kbps(1500.0),
+            Duration::from_seconds(8.0),
+        )
+        .unwrap();
+        let mut generator = TraceGenerator::new(
+            RateSchedule::Vbr(profile),
+            Duration::from_millis(50.0),
+            0.0,
+            None,
+            5,
+        );
+        let events = generator.generate(Duration::from_seconds(32.0));
+        let replay = StepSchedule::from_trace(&events, Duration::from_millis(500.0));
+        // The replayed peak approaches the true peak and the mean the mean.
+        assert!(replay.peak_rate().kilobits_per_second() > 1400.0);
+        let mean = replay.mean_rate().kilobits_per_second();
+        assert!((mean - 1000.0).abs() < 60.0, "mean {mean}");
+    }
+
+    #[test]
+    fn trace_is_reproducible_for_equal_seeds() {
+        let make = || {
+            TraceGenerator::new(
+                RateSchedule::Cbr(BitRate::from_kbps(512.0)),
+                Duration::from_millis(50.0),
+                0.4,
+                Some(BestEffortProcess::new(
+                    Duration::from_seconds(1.0),
+                    DataSize::from_kibibytes(4.0),
+                    7,
+                )),
+                7,
+            )
+            .generate(Duration::from_seconds(20.0))
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = |seed| {
+            TraceGenerator::new(
+                RateSchedule::Cbr(BitRate::from_kbps(512.0)),
+                Duration::from_millis(50.0),
+                0.4,
+                None,
+                seed,
+            )
+            .generate(Duration::from_seconds(5.0))
+        };
+        assert_ne!(gen(1), gen(2));
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let mut g = TraceGenerator::new(
+            RateSchedule::Cbr(BitRate::from_kbps(512.0)),
+            Duration::from_millis(100.0),
+            0.4,
+            Some(BestEffortProcess::new(
+                Duration::from_millis(300.0),
+                DataSize::from_kibibytes(4.0),
+                3,
+            )),
+            3,
+        );
+        let trace = g.generate(Duration::from_seconds(10.0));
+        for pair in trace.windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    #[test]
+    fn cbr_trace_conserves_volume() {
+        let rate = BitRate::from_kbps(1024.0);
+        let mut g = TraceGenerator::new(
+            RateSchedule::Cbr(rate),
+            Duration::from_millis(100.0),
+            0.0,
+            None,
+            0,
+        );
+        let horizon = Duration::from_seconds(10.0);
+        let total: DataSize = g
+            .generate(horizon)
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Consume { size, .. } => Some(*size),
+                TraceEvent::BestEffort { .. } => None,
+            })
+            .sum();
+        let expected = rate * horizon;
+        assert!((total.bits() - expected.bits()).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn write_fraction_is_respected_in_the_large(frac in 0.0..=1.0f64) {
+            let mut g = TraceGenerator::new(
+                RateSchedule::Cbr(BitRate::from_kbps(100.0)),
+                Duration::from_millis(10.0),
+                frac,
+                None,
+                99,
+            );
+            let trace = g.generate(Duration::from_seconds(100.0)); // 10k ticks
+            let writes = trace.iter().filter(|e| matches!(e,
+                TraceEvent::Consume { is_write: true, .. })).count();
+            let observed = writes as f64 / trace.len() as f64;
+            prop_assert!((observed - frac).abs() < 0.05);
+        }
+
+        #[test]
+        fn exponential_gaps_are_positive(seed in 0u64..1000) {
+            let mut be = BestEffortProcess::new(
+                Duration::from_seconds(1.0),
+                DataSize::from_kibibytes(4.0),
+                seed,
+            );
+            for _ in 0..100 {
+                prop_assert!(be.next_gap().seconds() > 0.0);
+            }
+        }
+    }
+}

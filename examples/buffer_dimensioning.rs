@@ -1,0 +1,75 @@
+//! Buffer dimensioning across the streaming-rate range: a text rendition
+//! of the paper's Fig. 3 exploration.
+//!
+//! For each of the paper's three design goals, sweeps the 32–4096 kbps
+//! range, prints the required buffer, the energy-efficiency buffer and the
+//! dominating requirement per rate, and draws the log-log buffer curve.
+//!
+//! Run with: `cargo run --example buffer_dimensioning`
+
+use memstream_core::{
+    log_spaced_rates, render_ascii_chart, AsciiChart, Axis, DesignGoal, Series, SweepBuilder,
+    SystemModel,
+};
+use memstream_device::MemsDevice;
+use memstream_units::BitRate;
+
+fn explore(title: &str, model: &SystemModel, goal: &DesignGoal) {
+    println!("--- {title}: goal {goal} ---");
+    let sweep = SweepBuilder::new(model);
+    let points = sweep.rate_sweep(goal, log_spaced_rates(32.0, 4096.0, 21));
+
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>9}",
+        "rate", "required", "energy-buffer", "dictated"
+    );
+    let mut required = Vec::new();
+    let mut energy = Vec::new();
+    for p in &points {
+        let kbps = p.rate.kilobits_per_second();
+        let (req, label) = match &p.plan {
+            Ok(plan) => (format!("{}", plan.buffer()), p.region_label()),
+            Err(_) => ("infeasible".to_owned(), "X"),
+        };
+        let eb = p
+            .energy_buffer
+            .map(|b| format!("{b}"))
+            .unwrap_or_else(|| "-".to_owned());
+        println!("{kbps:>8.0} k  {req:>14}  {eb:>14}  {label:>9}");
+        if let Ok(plan) = &p.plan {
+            required.push((kbps, plan.buffer().kibibytes()));
+        }
+        if let Some(b) = p.energy_buffer {
+            energy.push((kbps, b.kibibytes()));
+        }
+    }
+
+    let chart = AsciiChart::new(
+        format!("{title}: buffer vs streaming rate"),
+        Axis::log("streaming rate [kbps]"),
+        Axis::log("buffer [KiB]"),
+        vec![
+            Series::new("minimal required buffer", '*', required),
+            Series::new("energy-efficiency buffer", 'o', energy),
+        ],
+    );
+    println!("\n{}", render_ascii_chart(&chart));
+}
+
+fn main() {
+    let base = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+
+    // Fig. 3a: (E = 80%, C = 88%, L = 7) on the stock device.
+    explore("fig 3a", &base, &DesignGoal::fig3a());
+
+    // Fig. 3b: (E = 70%, C = 88%, L = 7) on the stock device.
+    explore("fig 3b", &base, &DesignGoal::fig3b());
+
+    // Fig. 3c: same goal on the upgraded device (Dpb = 200, silicon springs).
+    let upgraded = base.with_device(
+        MemsDevice::table1()
+            .with_probe_write_cycles(200.0)
+            .with_spring_duty_cycles(1e12),
+    );
+    explore("fig 3c", &upgraded, &DesignGoal::fig3b());
+}

@@ -1,0 +1,59 @@
+//! MEMS versus 1.8-inch disk: the break-even-buffer contrast of §III-A.1.
+//!
+//! The same energy model runs on both devices (they share the
+//! `MechanicalDevice` interface); only the overhead magnitudes differ —
+//! milliseconds and millijoules for MEMS, seconds and joules for the disk —
+//! and the break-even buffers land three orders of magnitude apart.
+//!
+//! Run with: `cargo run --example device_comparison`
+
+use memstream_core::{log_spaced_rates, BestEffortPolicy, EnergyModel};
+use memstream_device::{DiskDevice, MechanicalDevice, MemsDevice};
+use memstream_workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mems = MemsDevice::table1();
+    let disk = DiskDevice::calibrated_1p8_inch();
+    let devices: Vec<&dyn MechanicalDevice> = vec![&mems, &disk];
+
+    println!("device overheads (the root of the contrast):");
+    for d in &devices {
+        println!(
+            "  {:<40} toh = {:>9}, Eoh = {:>10}",
+            d.name(),
+            d.overhead_time(),
+            d.overhead_energy()
+        );
+    }
+
+    println!("\nbreak-even buffer by streaming rate:");
+    println!(
+        "{:>10}  {:>16}  {:>16}  {:>7}",
+        "rate", "MEMS", "1.8\" disk", "ratio"
+    );
+    for rate in log_spaced_rates(32.0, 4096.0, 8) {
+        let workload = Workload::paper_default(rate);
+        let be: Vec<_> = devices
+            .iter()
+            .map(|d| {
+                EnergyModel::new(*d, workload, BestEffortPolicy::AtReadWrite, None)
+                    .break_even_buffer()
+            })
+            .collect::<Result<_, _>>()?;
+        println!(
+            "{:>8.0} k  {:>16}  {:>16}  {:>6.0}x",
+            rate.kilobits_per_second(),
+            format!("{}", be[0]),
+            format!("{}", be[1]),
+            be[1] / be[0]
+        );
+    }
+
+    println!(
+        "\nthe paper's point: the MEMS break-even buffer (0.07-9 kB) is three \
+         orders of\nmagnitude below the disk's (0.08-9 MB) - so small that \
+         capacity formatting and\nspring wear, not energy, dictate MEMS buffer \
+         sizes."
+    );
+    Ok(())
+}

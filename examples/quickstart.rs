@@ -1,0 +1,51 @@
+//! Quickstart: size the streaming buffer of a MEMS storage device.
+//!
+//! Models the paper's reference system (Table I device, 8 h/day playback,
+//! 40 % writes) at a 1024 kbps stream, asks the three §III questions at a
+//! 20 KiB buffer, and then inverts them: what buffer does the mobile-player
+//! goal (70 % energy saving, 88 % capacity, 7-year lifetime) require?
+//!
+//! Run with: `cargo run --example quickstart`
+
+use memstream_core::{DesignGoal, SystemModel};
+use memstream_units::{BitRate, DataSize, Ratio, Years};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+
+    println!("system under study:\n  {model}\n");
+
+    // Forward direction: properties as functions of the buffer size.
+    let buffer = DataSize::from_kibibytes(20.0);
+    println!("at a {buffer} buffer:");
+    println!("  per-bit energy   {}", model.per_bit_energy(buffer)?);
+    println!(
+        "  energy saving    {:.1}% (vs. always-on {})",
+        model.saving(buffer)? * 100.0,
+        model.energy_model().always_on_per_bit()
+    );
+    println!("  utilisation      {}", model.utilization(buffer));
+    println!("  springs lifetime {}", model.springs_lifetime(buffer));
+    println!("  probes lifetime  {}", model.probes_lifetime(buffer));
+    println!("  device lifetime  {}\n", model.device_lifetime(buffer));
+
+    // The break-even buffer below which shutting down wastes energy.
+    println!("break-even buffer: {}\n", model.break_even_buffer()?);
+
+    // Inverse direction: the design question of the paper's §IV-C.
+    let goal = DesignGoal::new()
+        .energy_saving(Ratio::from_percent(70.0))
+        .capacity_utilization(Ratio::from_percent(88.0))
+        .lifetime(Years::new(7.0));
+    let plan = model.dimension(&goal)?;
+    println!("design question: what buffer achieves {goal}?");
+    println!(
+        "  answer: {} — dictated by {}",
+        plan.buffer(),
+        plan.dominant()
+    );
+    for (req, b) in plan.requirements() {
+        println!("    {req:<22} needs {b}");
+    }
+    Ok(())
+}

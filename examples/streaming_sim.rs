@@ -1,0 +1,69 @@
+//! Simulate a full playback day and check the analytic model against the
+//! discrete-event simulator.
+//!
+//! Runs the Fig. 1 architecture for one simulated 8-hour playback day at
+//! 1024 kbps with a 20 KiB buffer, prints the measured energy, state
+//! residencies and wear, and compares each against Eqs. (1), (5) and (6).
+//!
+//! Run with: `cargo run --release --example streaming_sim`
+
+use memstream_core::SystemModel;
+use memstream_device::{DramModel, MemsDevice, PowerState};
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::{BitRate, DataSize, Duration};
+use memstream_workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = BitRate::from_kbps(1024.0);
+    let buffer = DataSize::from_kibibytes(20.0);
+    let workload = Workload::paper_default(rate);
+    let day = Duration::from_hours(8.0);
+
+    println!("simulating one playback day: {rate} stream, {buffer} buffer ...");
+    let config = SimConfig::cbr(MemsDevice::table1(), workload, buffer)
+        .with_dram(DramModel::micron_ddr_mobile());
+    let report = StreamingSimulation::new(config)?.run(day);
+
+    println!("\nmeasured:");
+    println!("  cycles          {}", report.cycles);
+    println!("  consumed        {}", report.bits_consumed);
+    println!("  underruns       {}", report.underruns);
+    println!("  min buffer      {}", report.min_buffer_level);
+    println!("  total energy    {}", report.total_energy());
+    println!("  per-bit energy  {}", report.energy_per_bit());
+    println!("  mean power      {}", report.mean_power());
+    for state in PowerState::ALL {
+        println!(
+            "  {:<12} {:>6.2}% of time, {}",
+            state.to_string(),
+            report.time_fraction(state) * 100.0,
+            report.meter.energy_in(state)
+        );
+    }
+    println!("  dram energy     {}", report.meter.dram_energy());
+
+    let model = SystemModel::paper_default(rate);
+    let t_year = model.workload().playback_seconds_per_year();
+    println!("\nanalytic model (Eqs. (1), (5), (6)) for the same point:");
+    println!("  per-bit energy  {}", model.per_bit_energy(buffer)?);
+    println!("  springs life    {}", model.springs_lifetime(buffer));
+    println!("  probes life     {}", model.probes_lifetime(buffer));
+
+    println!("\nsim-projected lifetimes (from one day of wear):");
+    println!(
+        "  springs life    {}",
+        report.projected_springs_lifetime(t_year)
+    );
+    println!(
+        "  probes life     {}",
+        report.projected_probes_lifetime(t_year)
+    );
+
+    let sim = report.energy_per_bit().joules_per_bit();
+    let ana = model.per_bit_energy(buffer)?.joules_per_bit();
+    println!(
+        "\nagreement: sim vs model per-bit energy differ by {:.3}%",
+        (sim - ana).abs() / ana * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! VBR extension: what variable-bit-rate streams do to buffer dimensioning.
+//!
+//! The paper's model is CBR. This example (an extension, see `DESIGN.md`
+//! §6) streams a sinusoidal VBR load — 1024 kbps mean, 2048 kbps peak —
+//! through the simulator at several buffer sizes and shows that a buffer
+//! dimensioned for the *mean* rate starves at the peak, while dimensioning
+//! for the peak restores clean playback at a modest energy cost.
+//!
+//! Run with: `cargo run --release --example vbr_streaming`
+
+use memstream_core::SystemModel;
+use memstream_device::MemsDevice;
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::{BitRate, DataSize, Duration};
+use memstream_workload::{RateSchedule, VbrProfile, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mean = BitRate::from_kbps(1024.0);
+    let peak = BitRate::from_kbps(2048.0);
+    let vbr = RateSchedule::Vbr(VbrProfile::new(mean, peak, Duration::from_seconds(8.0))?);
+    let horizon = Duration::from_seconds(600.0);
+
+    // Reference buffers from the CBR model at the mean and at the peak.
+    let mean_model = SystemModel::paper_default(mean);
+    let peak_model = SystemModel::paper_default(peak);
+    let be_mean = mean_model.break_even_buffer()?;
+    let be_peak = peak_model.break_even_buffer()?;
+    println!("CBR break-even at mean rate: {be_mean}; at peak rate: {be_peak}\n");
+
+    println!(
+        "{:>12}  {:>10}  {:>14}  {:>14}  {:>12}",
+        "buffer", "underruns", "starved", "min level", "energy/bit"
+    );
+    for kib in [4.0, 8.0, 16.0, 32.0, 64.0] {
+        let buffer = DataSize::from_kibibytes(kib);
+        let config = SimConfig::cbr(MemsDevice::table1(), Workload::paper_default(mean), buffer)
+            .with_schedule(vbr.clone());
+        let report = StreamingSimulation::new(config)?.run(horizon);
+        println!(
+            "{:>12}  {:>10}  {:>14}  {:>14}  {:>12}",
+            format!("{buffer}"),
+            report.underruns,
+            format!("{}", report.starved),
+            format!("{}", report.min_buffer_level),
+            format!("{}", report.energy_per_bit()),
+        );
+    }
+
+    println!(
+        "\nlesson: VBR buffers must be dimensioned against the PEAK rate; the \
+         paper's\ninverse functions applied at the peak give the safe size, \
+         and the capacity\nand lifetime requirements (which already demand \
+         much larger buffers) provide\nthe headroom for free."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Wear-balance and format ablations: stress-testing two assumptions the
+//! paper makes in passing.
+//!
+//! 1. Eq. (6) assumes "a perfect balance in writing across all probes".
+//!    The simulator can skew the write distribution; this example shows
+//!    how quickly the hottest probe erodes the projected lifetime.
+//! 2. Eq. (2) fixes the stripe width at 1024 probes and 3 sync bits. The
+//!    format explorer sweeps both, showing what each buys or costs.
+//!
+//! Run with: `cargo run --release --example wear_and_format`
+
+use memstream_device::MemsDevice;
+use memstream_media::{stripe_width_sweep, sync_bits_sweep, EccPolicy};
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::{BitRate, DataSize, Duration, Ratio};
+use memstream_workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. wear-balance ablation -----------------------------------------
+    println!("probe wear balance (1024 kbps, 20 KiB buffer, one simulated day):");
+    println!(
+        "{:>6}  {:>14}  {:>16}  {:>10}",
+        "skew", "mean-life", "worst-probe life", "imbalance"
+    );
+    let t_year = Workload::paper_default(BitRate::from_kbps(1024.0)).playback_seconds_per_year();
+    for skew in [0.0, 0.5, 1.0, 2.0] {
+        let config = SimConfig::cbr(
+            MemsDevice::table1(),
+            Workload::paper_default(BitRate::from_kbps(1024.0)),
+            DataSize::from_kibibytes(20.0),
+        )
+        .with_probe_skew(skew);
+        let report = StreamingSimulation::new(config)?.run_sessions(1, Duration::from_hours(8.0));
+        println!(
+            "{:>6.1}  {:>14}  {:>16}  {:>9.0}%",
+            skew,
+            format!("{}", report.projected_probes_lifetime(t_year)),
+            format!("{}", report.projected_probes_lifetime_worst(t_year)),
+            report.wear.probe_imbalance() * 100.0,
+        );
+    }
+    println!(
+        "=> a 2x hot/cold spread halves the effective probes lifetime; Eq. (6)'s\n\
+         balance assumption is load-bearing.\n"
+    );
+
+    // --- 2. format design space -------------------------------------------
+    println!("stripe-width sweep (8 KiB payload, MEMS ECC, 3 sync bits):");
+    println!("{:>8}  {:>8}  {:>22}", "K", "u [%]", "min sector for 88%");
+    for p in stripe_width_sweep(
+        [64, 256, 1024, 4096],
+        DataSize::from_kibibytes(8.0),
+        EccPolicy::MEMS,
+        3,
+        Ratio::from_percent(88.0),
+    )? {
+        println!(
+            "{:>8}  {:>8.2}  {:>22}",
+            p.format.stripe_width(),
+            p.utilization.percent(),
+            p.min_user_for_target
+                .map(|b| format!("{b}"))
+                .unwrap_or_else(|| "unreachable".to_owned()),
+        );
+    }
+
+    println!("\nsync-bit sweep (8 KiB payload, K = 1024):");
+    println!(
+        "{:>8}  {:>8}  {:>22}",
+        "sync", "u [%]", "min sector for 88%"
+    );
+    for (count, p) in [1u64, 3, 10, 30].into_iter().zip(sync_bits_sweep(
+        [1, 3, 10, 30],
+        DataSize::from_kibibytes(8.0),
+        Ratio::from_percent(88.0),
+    )) {
+        println!(
+            "{:>8}  {:>8.2}  {:>22}",
+            count,
+            p.utilization.percent(),
+            p.min_user_for_target
+                .map(|b| format!("{b}"))
+                .unwrap_or_else(|| "unreachable".to_owned()),
+        );
+    }
+    println!(
+        "\n=> wider stripes buy bandwidth but pay sync bits per subsector: at the\n\
+         paper's K = 1024 the 88% capacity goal needs a 33 KiB sector, which is\n\
+         why the capacity requirement, not energy, anchors the minimum buffer."
+    );
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! Paper-anchor tests: every number the paper states in prose, checked
+//! against the model. Each test cites the section it reproduces; the
+//! tolerances and known deviations are documented in `EXPERIMENTS.md`.
+
+use memstream_core::{BestEffortPolicy, DesignGoal, EnergyModel, SystemModel};
+use memstream_device::{DiskDevice, MemsDevice};
+use memstream_units::{BitRate, DataSize, Ratio, Years};
+use memstream_workload::Workload;
+
+fn system(kbps: f64) -> SystemModel {
+    SystemModel::paper_default(BitRate::from_kbps(kbps))
+}
+
+// --- §III-A.1: break-even buffers -----------------------------------------
+
+#[test]
+fn n1_mems_break_even_range_is_0_07_to_9_kib() {
+    // "For streaming rates in the range 32-4096 kbps, the break-even buffer
+    // ranges from 0.07 kB to 8.87 kB."
+    let low = system(32.0).break_even_buffer().unwrap().kibibytes();
+    let high = system(4096.0).break_even_buffer().unwrap().kibibytes();
+    assert!((0.06..=0.08).contains(&low), "low end {low} kB");
+    assert!((8.4..=9.7).contains(&high), "high end {high} kB");
+}
+
+#[test]
+fn n1_disk_break_even_range_is_0_08_to_10_mib() {
+    // "In contrast, the break-even buffer of a 1.8-inch disk drive for the
+    // same streaming range is 0.08-9.29 MB."
+    let disk = DiskDevice::calibrated_1p8_inch();
+    let at = |kbps: f64| {
+        let w = Workload::paper_default(BitRate::from_kbps(kbps));
+        EnergyModel::new(&disk, w, BestEffortPolicy::AtReadWrite, None)
+            .break_even_buffer()
+            .unwrap()
+            .mebibytes()
+    };
+    let low = at(32.0);
+    let high = at(4096.0);
+    assert!((0.05..=0.12).contains(&low), "low end {low} MB");
+    assert!((7.0..=11.0).contains(&high), "high end {high} MB");
+}
+
+#[test]
+fn n1_three_orders_of_magnitude_between_devices() {
+    // "a difference of three orders of magnitude".
+    let mems = system(1024.0).break_even_buffer().unwrap();
+    let disk = DiskDevice::calibrated_1p8_inch();
+    let w = Workload::paper_default(BitRate::from_kbps(1024.0));
+    let disk_be = EnergyModel::new(&disk, w, BestEffortPolicy::AtReadWrite, None)
+        .break_even_buffer()
+        .unwrap();
+    let orders = (disk_be / mems).log10();
+    assert!(
+        (2.5..=3.5).contains(&orders),
+        "{orders} orders of magnitude"
+    );
+}
+
+// --- §III-B: capacity ------------------------------------------------------
+
+#[test]
+fn n2_capacity_tops_at_88_percent_about_106_of_120_gb() {
+    // "the capacity utilisation of our MEMS storage device tops with 88%,
+    // approximately 106 GB out of 120 GB".
+    let m = system(1024.0);
+    let big = DataSize::from_kibibytes(512.0);
+    let u = m.utilization(big);
+    assert!((88.0..89.0).contains(&u.percent()), "utilisation {u}");
+    let eff = m.capacity_model().effective_capacity(big);
+    assert!(
+        (105.0..107.0).contains(&eff.gigabytes()),
+        "{} GB",
+        eff.gigabytes()
+    );
+}
+
+#[test]
+fn fig2a_capacity_saturates_beyond_7_kib() {
+    // "Beyond 7 kB the capacity increase saturates."
+    let m = system(1024.0);
+    let at_7 = m.utilization(DataSize::from_kibibytes(7.0)).fraction();
+    let at_45 = m.utilization(DataSize::from_kibibytes(45.0)).fraction();
+    let sup = m.capacity_model().utilization_supremum().fraction();
+    assert!(at_7 / sup > 0.93, "7 KiB is {at_7} of supremum {sup}");
+    assert!(at_45 / sup > 0.98);
+}
+
+// --- Fig. 2a: energy -------------------------------------------------------
+
+#[test]
+fn fig2a_always_on_energy_is_about_120_nj_per_bit() {
+    // The y-axis ceiling of Fig. 2a at 1024 kbps.
+    let nj = system(1024.0)
+        .energy_model()
+        .always_on_per_bit()
+        .nanojoules_per_bit();
+    assert!((115.0..125.0).contains(&nj), "{nj} nJ/b");
+}
+
+#[test]
+fn fig2a_energy_shows_diminishing_returns_beyond_20_kib() {
+    // "The figure shows diminishing returns as the buffer increases beyond
+    // 20 kB."
+    let m = system(1024.0);
+    let e = |kib: f64| {
+        m.per_bit_energy(DataSize::from_kibibytes(kib))
+            .unwrap()
+            .nanojoules_per_bit()
+    };
+    let drop_first = e(2.5) - e(20.0);
+    let drop_second = e(20.0) - e(45.0);
+    assert!(
+        drop_first > 4.0 * drop_second,
+        "first 20 kB saves {drop_first} nJ/b, next 25 kB only {drop_second}"
+    );
+}
+
+#[test]
+fn fig2a_dram_energy_is_present_but_negligible() {
+    // "The DRAM energy is present, but is negligible."
+    let m = system(1024.0);
+    let b = DataSize::from_kibibytes(20.0);
+    let with = m.per_bit_energy(b).unwrap().joules_per_bit();
+    let without = m.without_dram().per_bit_energy(b).unwrap().joules_per_bit();
+    assert!(with > without);
+    assert!((with - without) / without < 0.02);
+}
+
+// --- Fig. 2b: lifetime -----------------------------------------------------
+
+#[test]
+fn fig2b_springs_limit_device_to_about_4_years() {
+    // "the springs at 1e8 limit the device lifetime to just 4 years" (at
+    // the top of the plotted 0-45 kB range).
+    let m = system(1024.0);
+    let l = m.springs_lifetime(DataSize::from_kibibytes(45.0));
+    assert!((3.0..4.6).contains(&l.get()), "{l}");
+}
+
+#[test]
+fn fig2b_90_kib_buys_seven_years() {
+    // "about 90 kB is required to attain a 7-year lifetime".
+    let m = system(1024.0);
+    let b = m.lifetime_model().min_buffer_for_springs(Years::new(7.0));
+    assert!(
+        (85.0..100.0).contains(&b.kibibytes()),
+        "{} KiB",
+        b.kibibytes()
+    );
+}
+
+#[test]
+fn fig2b_probes_lifetime_saturates_near_20_years() {
+    // The probes curve of Fig. 2b tops out around 20 years.
+    let m = system(1024.0);
+    let l = m.probes_lifetime(DataSize::from_kibibytes(45.0));
+    assert!((17.0..22.0).contains(&l.get()), "{l}");
+}
+
+#[test]
+fn fig2b_large_buffer_has_virtually_no_influence_on_probes() {
+    // "a large buffer size has virtually no influence on probes lifetime".
+    let m = system(1024.0);
+    let l45 = m.probes_lifetime(DataSize::from_kibibytes(45.0)).get();
+    let l450 = m.probes_lifetime(DataSize::from_kibibytes(450.0)).get();
+    assert!((l450 - l45) / l45 < 0.02);
+}
+
+// --- Fig. 3: design-space exploration --------------------------------------
+
+#[test]
+fn fig3a_80_percent_goal_has_an_energy_feasibility_limit() {
+    // "At slightly above 1000 kbps the 80% energy-efficiency reaches its
+    // limit". Our calibration places it at ~1.3 Mbps (see EXPERIMENTS.md).
+    assert!(system(1024.0).dimension(&DesignGoal::fig3a()).is_ok());
+    assert!(system(1536.0).dimension(&DesignGoal::fig3a()).is_err());
+}
+
+#[test]
+fn fig3b_70_percent_goal_extends_the_feasible_range() {
+    // "Compared to the previous goal, this goal is feasible for more
+    // streaming rates."
+    let goal = DesignGoal::fig3b();
+    assert!(system(1536.0).dimension(&goal).is_ok());
+    assert!(system(2048.0).dimension(&goal).is_ok());
+}
+
+#[test]
+fn fig3b_buffer_drops_orders_of_magnitude_versus_fig3a() {
+    // "the buffer size drops three orders of magnitude compared to
+    // Figure 3a." The gap diverges as the rate approaches the 80%
+    // feasibility edge (the Fig. 3a curve shoots off the top of the
+    // figure); we sample close to the edge of the device-only model
+    // (~1.27 Mbps) and check the gap is already well over an order of
+    // magnitude and still growing.
+    let near = system(1270.0).without_dram();
+    let nearer = system(1272.0).without_dram();
+    let orders_near = (near.dimension(&DesignGoal::fig3a()).unwrap().buffer()
+        / near.dimension(&DesignGoal::fig3b()).unwrap().buffer())
+    .log10();
+    let orders_nearer = (nearer.dimension(&DesignGoal::fig3a()).unwrap().buffer()
+        / nearer.dimension(&DesignGoal::fig3b()).unwrap().buffer())
+    .log10();
+    assert!(orders_near > 1.4, "only {orders_near} orders of magnitude");
+    assert!(
+        orders_nearer > orders_near,
+        "gap should diverge toward the edge"
+    );
+}
+
+#[test]
+fn fig3b_probes_set_a_hard_rate_limit_at_dpb_100() {
+    // The vertical dashed line of Fig. 3b: a rate beyond which L = 7 is
+    // unreachable regardless of buffer (paper: ~1500 kbps; ours: ~2.9 Mbps
+    // — see EXPERIMENTS.md for the convention gap).
+    let goal = DesignGoal::fig3b();
+    assert!(system(4096.0).dimension(&goal).is_err());
+}
+
+#[test]
+fn fig3c_upgraded_device_is_feasible_across_the_whole_range() {
+    // Dpb = 200 + silicon springs (1e12): goal (70%, 88%, 7) feasible for
+    // 32-4096 kbps, dominated by capacity then energy.
+    let upgraded = MemsDevice::table1()
+        .with_probe_write_cycles(200.0)
+        .with_spring_duty_cycles(1e12);
+    let goal = DesignGoal::fig3b();
+    for kbps in [32.0, 128.0, 1024.0, 2048.0, 4096.0] {
+        let m = system(kbps).with_device(upgraded.clone());
+        let plan = m.dimension(&goal);
+        assert!(plan.is_ok(), "infeasible at {kbps} kbps: {plan:?}");
+    }
+}
+
+#[test]
+fn conclusion_trading_10_percent_saving_shrinks_buffer_three_orders() {
+    // The abstract's headline: "trading off 10% of the optimal energy
+    // saving of a MEMS device reduces its buffer capacity by up to three
+    // orders of magnitude." Compare the energy-only buffers for E = 80%
+    // vs E = 70% near the 80% limit of the device-only model (~1.27 Mbps);
+    // the ratio passes 2 orders there and diverges at the edge itself.
+    let m = system(1270.0).without_dram();
+    let e80 = m
+        .energy_model()
+        .min_buffer_for_saving(Ratio::from_percent(80.0))
+        .unwrap();
+    let e70 = m
+        .energy_model()
+        .min_buffer_for_saving(Ratio::from_percent(70.0))
+        .unwrap();
+    let orders = (e80 / e70).log10();
+    assert!(orders > 2.0, "only {orders} orders of magnitude");
+}

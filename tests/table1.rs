@@ -1,0 +1,86 @@
+//! Experiment T1: the modelled device and workload reproduce Table I of
+//! the paper parameter by parameter.
+
+use memstream_core::SystemModel;
+use memstream_device::{MechanicalDevice, MemsDevice, PowerState};
+use memstream_units::{BitRate, Ratio};
+use memstream_workload::Workload;
+
+#[test]
+fn probe_array_geometry() {
+    let d = MemsDevice::table1();
+    // "Probe-array size 64 x 64", "Active probes 1024",
+    // "Probe-field area 100 x 100 um^2".
+    assert_eq!(d.array().total_probes(), 64 * 64);
+    assert_eq!(d.array().active_probes(), 1024);
+    assert_eq!(d.array().field_area_um2(), 10_000.0);
+}
+
+#[test]
+fn capacity_and_rate() {
+    let d = MemsDevice::table1();
+    // "Capacity 120 GB", "Per-probe data rate 100 kbps".
+    assert_eq!(d.capacity().gigabytes(), 120.0);
+    assert_eq!(d.per_probe_rate(), BitRate::from_kbps(100.0));
+    assert_eq!(d.media_rate(), BitRate::from_mbps(102.4));
+}
+
+#[test]
+fn timing_parameters() {
+    let d = MemsDevice::table1();
+    // "Fast/Slow seek time 2 ms", "Shutdown time 1 ms",
+    // "I/O overhead time 2 ms".
+    assert_eq!(d.seek_time().millis(), 2.0);
+    assert_eq!(d.shutdown_time().millis(), 1.0);
+    assert_eq!(d.io_overhead_time().millis(), 2.0);
+}
+
+#[test]
+fn power_parameters() {
+    let d = MemsDevice::table1();
+    // "Read/Write 316 mW", "Seek 672 mW", "Standby 5 mW", "Idle 120 mW",
+    // "Shutdown 672 mW".
+    assert_eq!(d.power(PowerState::ReadWrite).milliwatts(), 316.0);
+    assert_eq!(d.power(PowerState::Seek).milliwatts(), 672.0);
+    assert_eq!(d.power(PowerState::Standby).milliwatts(), 5.0);
+    assert_eq!(d.power(PowerState::Idle).milliwatts(), 120.0);
+    assert_eq!(d.power(PowerState::Shutdown).milliwatts(), 672.0);
+}
+
+#[test]
+fn wear_ratings() {
+    let d = MemsDevice::table1();
+    // "Probe write cycles 100 & 200", "Springs duty cycles 1e8 & 1e12".
+    assert_eq!(d.probe_write_cycles(), 100.0);
+    assert_eq!(d.with_probe_write_cycles(200.0).probe_write_cycles(), 200.0);
+    assert_eq!(d.spring_duty_cycles(), 1e8);
+    assert_eq!(d.with_spring_duty_cycles(1e12).spring_duty_cycles(), 1e12);
+}
+
+#[test]
+fn workload_parameters() {
+    // "Hours per day 8", "Writes percentage 40%", "Best-effort fraction 5%",
+    // "Stream bit rate 32-4096 kbps".
+    let w = Workload::paper_default(BitRate::from_kbps(32.0));
+    assert_eq!(w.calendar().hours_per_day(), 8.0);
+    assert_eq!(w.write_fraction(), Ratio::from_percent(40.0));
+    assert_eq!(w.best_effort_fraction(), Ratio::from_percent(5.0));
+    assert_eq!(w.playback_seconds_per_year(), 8.0 * 3600.0 * 365.0);
+}
+
+#[test]
+fn derived_overheads_match_hand_arithmetic() {
+    let d = MemsDevice::table1();
+    // toh = 3 ms, Eoh = 2.016 mJ, Poh = 672 mW (all used by Eq. (1)).
+    assert!((d.overhead_time().millis() - 3.0).abs() < 1e-12);
+    assert!((d.overhead_energy().millijoules() - 2.016).abs() < 1e-12);
+    assert!((d.overhead_power().milliwatts() - 672.0).abs() < 1e-9);
+}
+
+#[test]
+fn system_model_wires_table1_together() {
+    let m = SystemModel::paper_default(BitRate::from_kbps(1024.0));
+    assert_eq!(m.device().capacity().gigabytes(), 120.0);
+    assert_eq!(m.format().stripe_width(), 1024);
+    assert!(m.dram().is_some());
+}

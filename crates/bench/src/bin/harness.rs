@@ -4,7 +4,14 @@
 //!
 //! Experiments: `table1`, `breakeven`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
 //! `fig3x` (the C = 85 % variant mentioned in §IV-C without a figure),
-//! `sim`, `ablation`, or `all` (default).
+//! `sim`, `ablation`, `comparison`, `format`, `sensitivity`, `frontier`,
+//! `map`, `custom`, `grid`, or `all` (default).
+//!
+//! `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
+//! explores the scenario grid (devices × workloads × rates × goals) in
+//! parallel and emits the Pareto frontier as CSV plus an ASCII chart. Its
+//! stdout is byte-identical for every `--threads` value; run metadata goes
+//! to stderr.
 
 use memstream_bench::{
     ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
@@ -242,6 +249,78 @@ fn format_space() {
     println!();
 }
 
+/// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
+/// — the parallel scenario-grid exploration (see module docs).
+fn grid(args: &[String]) {
+    use memstream_grid::{report, GridExecutor, ScenarioGrid};
+
+    let mut rates = 24usize;
+    let mut threads = 0usize; // 0 = machine width
+    let mut full_csv = false;
+    let mut validate: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("bad value for {flag}: {e}");
+            std::process::exit(2);
+        };
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--rates" => rates = value().parse().unwrap_or_else(|e| fail(&e)),
+            "--threads" => threads = value().parse().unwrap_or_else(|e| fail(&e)),
+            "--full-csv" => full_csv = true,
+            "--validate" => validate = Some(value().parse().unwrap_or_else(|e| fail(&e))),
+            other => {
+                eprintln!("unknown flag `{other}`; try --rates, --threads, --full-csv, --validate");
+                std::process::exit(2);
+            }
+        }
+    }
+    if rates < 2 {
+        eprintln!("--rates must be at least 2");
+        std::process::exit(2);
+    }
+
+    let spec = ScenarioGrid::paper_baseline(rates);
+    let executor = GridExecutor::parallel(threads);
+    eprintln!(
+        "exploring {} cells on {} worker thread(s)...",
+        spec.len(),
+        executor.threads()
+    );
+    let results = executor.explore(&spec).unwrap_or_else(|e| {
+        eprintln!("grid error: {e}");
+        std::process::exit(2);
+    });
+
+    println!("== G1: scenario grid (devices x workloads x rates x goals) ==");
+    print!("{}", report::summary(&results));
+    println!();
+    print!("{}", report::frontier_chart(&results));
+    println!("pareto frontier csv:\n{}", report::frontier_csv(&results));
+    if full_csv {
+        println!("all cells csv:\n{}", report::cells_csv(&results));
+    }
+    if let Some(seconds) = validate {
+        let validation = memstream_grid::validate_frontier(&results, seconds);
+        println!(
+            "sim validation: {} of {} MEMS frontier cells simulated ({} skipped)",
+            validation.rows.len(),
+            validation.mems_cells,
+            validation.skipped
+        );
+        println!(
+            "sim validation csv:\n{}",
+            report::validation_csv(&validation.rows)
+        );
+    }
+}
+
 /// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]
 /// [--capacity 88%] [--lifetime 7y]` — full report for one operating point.
 fn custom(args: &[String]) {
@@ -299,6 +378,12 @@ fn main() {
                 .filter(|a| a != "--") // tolerate cargo's separator
                 .collect::<Vec<_>>(),
         ),
+        "grid" => grid(
+            &std::env::args()
+                .skip(2)
+                .filter(|a| a != "--")
+                .collect::<Vec<_>>(),
+        ),
         "all" => {
             table1();
             breakeven();
@@ -319,7 +404,7 @@ fn main() {
             eprintln!(
                 "unknown experiment `{other}`; try table1, breakeven, fig2, \
                  fig3a, fig3b, fig3c, fig3x, sim, ablation, comparison, format, \
-                 custom, all"
+                 sensitivity, frontier, map, custom, grid, all"
             );
             std::process::exit(2);
         }

@@ -246,8 +246,9 @@ pub fn sim_crosscheck_rows(seconds: f64) -> Vec<SimCheckRow> {
             ))
             .expect("operating point is valid")
             .run(Duration::from_seconds(seconds));
-            let sim_e =
-                report.total_energy().joules() / (buffer.bits() * report.cycles as f64) * 1e9;
+            let sim_e = report
+                .per_buffered_bit_nanojoules(buffer)
+                .expect("span covers many cycles");
             SimCheckRow {
                 kbps,
                 buffer_kib: kib,

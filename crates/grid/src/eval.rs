@@ -1,0 +1,200 @@
+//! Pure per-cell evaluation: one scenario in, one outcome out.
+//!
+//! Everything here is deterministic and side-effect free; that purity is
+//! what lets the executor fan cells out across threads and still promise
+//! byte-identical results.
+
+use memstream_core::{EnergyModel, ModelError, SystemModel};
+use memstream_device::DramModel;
+use memstream_media::SectorFormat;
+use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
+
+use crate::spec::{DeviceVariant, GridCell, ScenarioGrid};
+
+/// The metrics of a feasible, fully modelled (MEMS) cell at its planned
+/// buffer size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedPoint {
+    /// The minimal buffer satisfying the goal.
+    pub buffer: DataSize,
+    /// The Fig. 3 region label of the dictating requirement.
+    pub dominant: &'static str,
+    /// Energy saving versus always-on at the planned buffer, when the
+    /// refill cycle (and therefore the energy model) exists there.
+    pub saving: Option<f64>,
+    /// Capacity utilisation at the planned buffer.
+    pub utilization: Ratio,
+    /// Device lifetime (min of springs and probes) at the planned buffer.
+    pub lifetime: Years,
+    /// `Em(B)` at the planned buffer, when the cycle exists.
+    pub energy_per_bit: Option<EnergyPerBit>,
+}
+
+impl PlannedPoint {
+    /// The maximised objective vector `(energy saving, capacity
+    /// utilisation, lifetime years)`, or `None` when the saving is not
+    /// measurable at the planned buffer (no refill cycle) — such points
+    /// have no coordinate on the energy axis and stay off the frontier.
+    #[must_use]
+    pub fn objectives(&self) -> Option<[f64; 3]> {
+        self.saving
+            .map(|s| [s, self.utilization.fraction(), self.lifetime.get()])
+    }
+}
+
+/// The metrics of a disk cell, which only the energy model covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyOnlyPoint {
+    /// The break-even buffer of §III-A.1, if the rate is sustainable.
+    pub break_even: Option<DataSize>,
+    /// The minimal buffer for the goal's energy-saving target, if that
+    /// target is set and reachable.
+    pub buffer_for_saving: Option<DataSize>,
+    /// Saving at `buffer_for_saving`.
+    pub saving: Option<f64>,
+}
+
+/// What evaluating one cell produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// A feasible full-model plan.
+    Feasible(PlannedPoint),
+    /// The goal is infeasible at this cell's rate.
+    Infeasible {
+        /// The Fig. 3 region label (`"X"` plus the failing requirement).
+        region: &'static str,
+        /// Human-readable detail from the model error.
+        detail: String,
+    },
+    /// A disk cell: energy metrics only (no utilisation/lifetime model).
+    EnergyOnly(EnergyOnlyPoint),
+}
+
+impl CellOutcome {
+    /// The planned point, when the cell is feasible and fully modelled.
+    #[must_use]
+    pub fn planned(&self) -> Option<&PlannedPoint> {
+        match self {
+            CellOutcome::Feasible(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The region label reported in tables (`dominant`, `"X"`, or
+    /// `"disk"`).
+    #[must_use]
+    pub fn region(&self) -> &'static str {
+        match self {
+            CellOutcome::Feasible(p) => p.dominant,
+            CellOutcome::Infeasible { .. } => "X",
+            CellOutcome::EnergyOnly(_) => "disk",
+        }
+    }
+}
+
+/// Evaluates one cell of `grid`. Pure: equal inputs give equal outputs.
+pub(crate) fn evaluate(grid: &ScenarioGrid, cell: &GridCell) -> CellOutcome {
+    let rate = grid.rates()[cell.rate];
+    let goal = &grid.goals()[cell.goal];
+    let workload = grid.workloads()[cell.workload].workload().with_rate(rate);
+
+    match &grid.devices()[cell.device] {
+        DeviceVariant::Mems { device, .. } => {
+            let format = SectorFormat::for_device(device);
+            let dram = grid.dram_enabled().then(DramModel::micron_ddr_mobile);
+            let model = SystemModel::new(
+                device.clone(),
+                workload,
+                format,
+                dram,
+                grid.best_effort_policy(),
+            );
+            match model.dimension(goal) {
+                Ok(plan) => {
+                    let b = plan.buffer();
+                    CellOutcome::Feasible(PlannedPoint {
+                        buffer: b,
+                        dominant: plan.dominant().label(),
+                        saving: model.saving(b).ok(),
+                        utilization: model.utilization(b),
+                        lifetime: model.device_lifetime(b),
+                        energy_per_bit: model.per_bit_energy(b).ok(),
+                    })
+                }
+                Err(err) => CellOutcome::Infeasible {
+                    region: infeasible_region(&err),
+                    detail: err.to_string(),
+                },
+            }
+        }
+        DeviceVariant::Disk { device, .. } => {
+            let energy = EnergyModel::new(device, workload, grid.best_effort_policy(), None);
+            let buffer_for_saving = goal
+                .energy_saving_target()
+                .and_then(|e| energy.min_buffer_for_saving(e).ok());
+            CellOutcome::EnergyOnly(EnergyOnlyPoint {
+                break_even: energy.break_even_buffer().ok(),
+                buffer_for_saving,
+                saving: buffer_for_saving.and_then(|b| energy.saving(b).ok()),
+            })
+        }
+    }
+}
+
+fn infeasible_region(err: &ModelError) -> &'static str {
+    match err {
+        ModelError::InfeasibleGoal { requirement, .. } => requirement.label(),
+        _ => "X",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioGrid;
+
+    #[test]
+    fn evaluation_is_reproducible() {
+        let grid = ScenarioGrid::paper_baseline(6);
+        for cell in grid.cells() {
+            assert_eq!(evaluate(&grid, &cell), evaluate(&grid, &cell));
+        }
+    }
+
+    #[test]
+    fn disk_cells_are_energy_only() {
+        let grid = ScenarioGrid::paper_baseline(4);
+        let disk_idx = grid
+            .devices()
+            .iter()
+            .position(|d| matches!(d, DeviceVariant::Disk { .. }))
+            .expect("baseline has a disk");
+        let cell = grid
+            .cells()
+            .find(|c| c.device == disk_idx)
+            .expect("disk cell exists");
+        assert!(matches!(evaluate(&grid, &cell), CellOutcome::EnergyOnly(_)));
+    }
+
+    #[test]
+    fn feasible_cells_meet_their_goal() {
+        let grid = ScenarioGrid::paper_baseline(8);
+        let mut feasible = 0;
+        for cell in grid.cells() {
+            if let CellOutcome::Feasible(p) = evaluate(&grid, &cell) {
+                let goal = &grid.goals()[cell.goal];
+                if let Some(e) = goal.energy_saving_target() {
+                    assert!(p.saving.expect("energy goal implies a cycle") + 1e-9 >= e.fraction());
+                }
+                if let Some(c) = goal.capacity_target() {
+                    assert!(p.utilization.fraction() + 1e-9 >= c.fraction());
+                }
+                if let Some(l) = goal.lifetime_target() {
+                    assert!(p.lifetime.get() + 1e-6 >= l.get());
+                }
+                feasible += 1;
+            }
+        }
+        assert!(feasible > 0, "baseline grid has feasible cells");
+    }
+}

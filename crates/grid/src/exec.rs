@@ -1,0 +1,233 @@
+//! The deterministic executor: serial or fan-out over `std::thread`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use crate::eval::{evaluate, CellOutcome};
+use crate::spec::{GridCell, GridError, ScenarioGrid};
+use crate::store::{pareto_frontier, ParetoPoint, ResultStore};
+
+/// Explores a [`ScenarioGrid`] on a fixed number of worker threads.
+///
+/// Workers pull cells from a shared atomic cursor (cheap work stealing:
+/// an idle worker immediately claims the next unevaluated job, so uneven
+/// cell costs cannot idle a core). Results carry their job index, are
+/// re-ordered on collection, and evaluation is pure — so the transcript
+/// of any run is byte-identical to [`GridExecutor::serial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridExecutor {
+    threads: usize,
+}
+
+impl GridExecutor {
+    /// A single-threaded executor (the determinism reference).
+    #[must_use]
+    pub fn serial() -> Self {
+        GridExecutor { threads: 1 }
+    }
+
+    /// An executor over `threads` workers. `0` selects the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn parallel(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        GridExecutor { threads }
+    }
+
+    /// The worker count this executor will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every unique cell of `grid` and returns the collected
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::EmptyAxis`] if any axis of the grid is empty.
+    pub fn explore(&self, grid: &ScenarioGrid) -> Result<GridResults, GridError> {
+        grid.check_axes()?;
+        let (job_cells, cell_to_job) = ResultStore::plan(grid);
+        let workers = self.threads.min(job_cells.len()).max(1);
+        let outcomes = if workers == 1 {
+            job_cells.iter().map(|c| evaluate(grid, c)).collect()
+        } else {
+            fan_out(grid, &job_cells, workers)
+        };
+        let store = ResultStore::new(cell_to_job, job_cells, outcomes);
+        let frontier = pareto_frontier(&store);
+        Ok(GridResults {
+            grid: grid.clone(),
+            store,
+            frontier,
+            workers,
+        })
+    }
+}
+
+/// Evaluates `jobs` on `workers` threads, returning outcomes in job order.
+fn fan_out(grid: &ScenarioGrid, jobs: &[GridCell], workers: usize) -> Vec<CellOutcome> {
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = jobs.get(i) else { break };
+                if tx.send((i, evaluate(grid, cell))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|o| o.expect("every job produced an outcome"))
+            .collect()
+    })
+}
+
+/// The outcome of one exploration: the grid, the deduplicated store and
+/// the aggregations over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResults {
+    grid: ScenarioGrid,
+    store: ResultStore,
+    frontier: Vec<ParetoPoint>,
+    workers: usize,
+}
+
+impl GridResults {
+    /// The explored grid.
+    #[must_use]
+    pub fn grid(&self) -> &ScenarioGrid {
+        &self.grid
+    }
+
+    /// The deduplicated result store.
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// How many worker threads ran the exploration.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total cells in the grid.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.store.total_cells()
+    }
+
+    /// Distinct evaluations performed after deduplication.
+    #[must_use]
+    pub fn unique_evaluations(&self) -> usize {
+        self.store.unique_evaluations()
+    }
+
+    /// The outcome of the cell at canonical index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.total_cells()`.
+    #[must_use]
+    pub fn outcome(&self, index: usize) -> &CellOutcome {
+        self.store.outcome(index)
+    }
+
+    /// Iterates every `(cell, outcome)` in canonical order.
+    pub fn records(&self) -> impl Iterator<Item = (GridCell, &CellOutcome)> + '_ {
+        (0..self.total_cells()).map(|i| (self.grid.cell(i), self.outcome(i)))
+    }
+
+    /// The Pareto frontier over (energy saving, capacity utilisation,
+    /// lifetime) of the feasible, fully modelled scenarios, in canonical
+    /// cell order. Computed once at exploration time.
+    #[must_use]
+    pub fn pareto_frontier(&self) -> &[ParetoPoint] {
+        &self.frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        let err = GridExecutor::serial()
+            .explore(&ScenarioGrid::new())
+            .unwrap_err();
+        assert_eq!(err, GridError::EmptyAxis { axis: "devices" });
+    }
+
+    #[test]
+    fn parallel_zero_resolves_to_machine_width() {
+        assert!(GridExecutor::parallel(0).threads() >= 1);
+        assert_eq!(GridExecutor::parallel(3).threads(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let grid = ScenarioGrid::paper_baseline(7);
+        let serial = GridExecutor::serial().explore(&grid).unwrap();
+        let parallel = GridExecutor::parallel(4).explore(&grid).unwrap();
+        assert_eq!(serial.store(), parallel.store());
+        assert_eq!(serial.pareto_frontier(), parallel.pareto_frontier());
+    }
+
+    #[test]
+    fn dedup_shares_identical_cells() {
+        // Two identically parameterised devices under different names must
+        // halve the evaluation count for their share of the grid.
+        use crate::spec::DeviceVariant;
+        use memstream_core::DesignGoal;
+        use memstream_device::MemsDevice;
+
+        let grid = ScenarioGrid::new()
+            .device(DeviceVariant::mems("a", MemsDevice::table1()))
+            .device(DeviceVariant::mems("b", MemsDevice::table1()))
+            .workload(crate::spec::WorkloadProfile::paper())
+            .rate_span(32.0, 4096.0, 10)
+            .goal(DesignGoal::fig3b());
+        let results = GridExecutor::serial().explore(&grid).unwrap();
+        assert_eq!(results.total_cells(), 20);
+        assert_eq!(results.unique_evaluations(), 10);
+        // Both name-aliases resolve to the same outcome object.
+        for i in 0..10 {
+            assert_eq!(results.outcome(i), results.outcome(10 + i));
+        }
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominated() {
+        let results = GridExecutor::parallel(2)
+            .explore(&ScenarioGrid::paper_baseline(12))
+            .unwrap();
+        let frontier = results.pareto_frontier();
+        assert!(!frontier.is_empty());
+        for a in frontier {
+            for b in frontier {
+                let (oa, ob) = (a.objectives(), b.objectives());
+                let dominates = oa.iter().zip(&ob).all(|(x, y)| x >= y)
+                    && oa.iter().zip(&ob).any(|(x, y)| x > y);
+                assert!(!dominates, "{oa:?} dominates {ob:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `memstream_grid` — a deterministic, multi-threaded design-space
+//! exploration engine over the analytic models of `memstream_core`.
+//!
+//! The paper (Khatib & Abelmann, DATE 2011) explores one device, one
+//! workload and one goal at a time; Fig. 2 and Fig. 3 are slices of a much
+//! larger design space. This crate explores the full **cartesian product**
+//!
+//! ```text
+//! devices (MEMS variants + disks) × workload mixes × stream rates × goals
+//! ```
+//!
+//! and does so in parallel, with three guarantees the rest of the
+//! workspace builds on:
+//!
+//! 1. **Determinism** — cells have a fixed canonical order (device
+//!    outermost, goal innermost) and evaluation is pure, so an `N`-thread
+//!    run produces *byte-identical* output to the serial run.
+//! 2. **Deduplication** — identical cells (same device parameters,
+//!    workload, rate and goal reachable through different axis entries)
+//!    are evaluated once and shared ([`GridResults::unique_evaluations`]).
+//! 3. **Aggregation** — outcomes fold into a Pareto frontier over
+//!    (energy saving, capacity utilisation, device lifetime), the
+//!    three non-functional properties of the paper.
+//!
+//! An optional sim-backed validation mode replays chosen cells through
+//! `memstream_sim` and reports model-vs-simulation deltas.
+//!
+//! # Quick start
+//!
+//! ```
+//! use memstream_grid::{GridExecutor, ScenarioGrid};
+//!
+//! # fn main() -> Result<(), memstream_grid::GridError> {
+//! let grid = ScenarioGrid::paper_baseline(12);
+//! let serial = GridExecutor::serial().explore(&grid)?;
+//! let parallel = GridExecutor::parallel(4).explore(&grid)?;
+//! assert_eq!(
+//!     memstream_grid::report::frontier_csv(&serial),
+//!     memstream_grid::report::frontier_csv(&parallel),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod exec;
+pub mod report;
+mod spec;
+mod store;
+mod validate;
+
+pub use eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
+pub use exec::{GridExecutor, GridResults};
+pub use spec::{DeviceVariant, GridCell, GridError, ScenarioGrid, WorkloadProfile};
+pub use store::{non_dominated, ParetoPoint, ResultStore};
+pub use validate::{validate_frontier, FrontierValidation, ValidationRow};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_sync() {
+        assert_send_sync::<ScenarioGrid>();
+        assert_send_sync::<GridCell>();
+        assert_send_sync::<CellOutcome>();
+        assert_send_sync::<GridResults>();
+        assert_send_sync::<GridError>();
+        assert_send_sync::<ParetoPoint>();
+    }
+}

@@ -1,0 +1,484 @@
+//! The [`ScenarioGrid`] specification: which axes span the design space.
+
+use std::fmt;
+
+use memstream_core::{log_spaced_rates, BestEffortPolicy, DesignGoal};
+use memstream_device::{DiskDevice, MemsDevice};
+use memstream_units::{BitRate, Ratio};
+use memstream_workload::{PlaybackCalendar, StreamMix, Workload};
+
+/// Errors raised while building or exploring a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// An axis of the grid has no entries; the cartesian product is empty.
+    EmptyAxis {
+        /// Which axis is empty (`"devices"`, `"workloads"`, `"rates"`,
+        /// `"goals"`).
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyAxis { axis } => {
+                write!(f, "scenario grid has an empty `{axis}` axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// One entry of the device axis: a named MEMS or disk device.
+///
+/// MEMS variants run the full model pipeline (energy, capacity, lifetime,
+/// dimensioning); disk variants run the energy model only — exactly the
+/// role the 1.8″ disk plays in the paper (§III-A.1's break-even
+/// comparison), since utilisation and probe/spring wear are MEMS concepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceVariant {
+    /// A probe-storage device explored through the full model.
+    Mems {
+        /// Display name used in reports.
+        name: String,
+        /// The device parameters.
+        device: MemsDevice,
+    },
+    /// A disk drive explored through the energy model only.
+    Disk {
+        /// Display name used in reports.
+        name: String,
+        /// The device parameters.
+        device: DiskDevice,
+    },
+}
+
+impl DeviceVariant {
+    /// A named MEMS variant.
+    pub fn mems(name: impl Into<String>, device: MemsDevice) -> Self {
+        DeviceVariant::Mems {
+            name: name.into(),
+            device,
+        }
+    }
+
+    /// A named disk variant.
+    pub fn disk(name: impl Into<String>, device: DiskDevice) -> Self {
+        DeviceVariant::Disk {
+            name: name.into(),
+            device,
+        }
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            DeviceVariant::Mems { name, .. } | DeviceVariant::Disk { name, .. } => name,
+        }
+    }
+
+    /// A canonical content key for deduplication: two variants with equal
+    /// keys model the same physics regardless of their display names.
+    pub(crate) fn dedup_key(&self) -> String {
+        match self {
+            DeviceVariant::Mems { device, .. } => format!("mems:{device:?}"),
+            DeviceVariant::Disk { device, .. } => format!("disk:{device:?}"),
+        }
+    }
+}
+
+/// One entry of the workload axis: a named workload shape (write mix,
+/// playback calendar, best-effort reservation). The *rate* axis of the
+/// grid overrides the profile's stream rate cell by cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    name: String,
+    workload: Workload,
+}
+
+impl WorkloadProfile {
+    /// A named profile from an explicit workload.
+    pub fn new(name: impl Into<String>, workload: Workload) -> Self {
+        WorkloadProfile {
+            name: name.into(),
+            workload,
+        }
+    }
+
+    /// The paper's §IV-A workload: 40 % writes, 8 h/day, 5 % best-effort.
+    #[must_use]
+    pub fn paper() -> Self {
+        WorkloadProfile::new("paper", Workload::paper_default(BitRate::from_kbps(1024.0)))
+    }
+
+    /// A profile aggregated from a [`StreamMix`]: the mix contributes the
+    /// blended write fraction; the grid's rate axis sets the rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`memstream_workload::WorkloadError`] from
+    /// [`Workload::new`] (e.g. a ≥ 100 % best-effort fraction).
+    pub fn from_mix(
+        name: impl Into<String>,
+        mix: &StreamMix,
+        calendar: PlaybackCalendar,
+        best_effort: Ratio,
+    ) -> Result<Self, memstream_workload::WorkloadError> {
+        Ok(WorkloadProfile::new(
+            name,
+            Workload::new(mix.aggregate(), calendar, best_effort)?,
+        ))
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload shape (its rate is a placeholder; see the type docs).
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    pub(crate) fn dedup_key(&self) -> String {
+        // Rate is excluded: it is overridden by the rate axis.
+        format!(
+            "w={:?},cal={:?},be={:?}",
+            self.workload.write_fraction(),
+            self.workload.calendar(),
+            self.workload.best_effort_fraction()
+        )
+    }
+}
+
+/// One coordinate of the grid: indices into the four axes plus the
+/// canonical linear index (device outermost, goal innermost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridCell {
+    /// Canonical linear index of this cell.
+    pub index: usize,
+    /// Index into [`ScenarioGrid::devices`].
+    pub device: usize,
+    /// Index into [`ScenarioGrid::workloads`].
+    pub workload: usize,
+    /// Index into [`ScenarioGrid::rates`].
+    pub rate: usize,
+    /// Index into [`ScenarioGrid::goals`].
+    pub goal: usize,
+}
+
+/// The cartesian-product specification of a design-space exploration.
+///
+/// Axes are ordered; the linear cell order (device, workload, rate, goal)
+/// is part of the crate's determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    devices: Vec<DeviceVariant>,
+    workloads: Vec<WorkloadProfile>,
+    rates: Vec<BitRate>,
+    goals: Vec<DesignGoal>,
+    with_dram: bool,
+    policy: BestEffortPolicy,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid::new()
+    }
+}
+
+impl ScenarioGrid {
+    /// An empty grid; chain the axis builders.
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioGrid {
+            devices: Vec::new(),
+            workloads: Vec::new(),
+            rates: Vec::new(),
+            goals: Vec::new(),
+            with_dram: true,
+            policy: BestEffortPolicy::AtReadWrite,
+        }
+    }
+
+    /// The workspace's reference exploration: four device variants
+    /// (Table I, the wear-hardened Fig. 3c part, an early prototype with
+    /// weak wear ratings, and the 1.8″ disk), three workload shapes
+    /// (paper, read-mostly A/V mix, write-heavy recorder), `n_rates`
+    /// log-spaced rates over the paper's 32–4096 kbps span, and the
+    /// Fig. 3a/3b goals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rates < 2`.
+    #[must_use]
+    pub fn paper_baseline(n_rates: usize) -> Self {
+        use memstream_workload::StreamSpec;
+
+        let mix = StreamMix::new(vec![
+            StreamSpec::new(BitRate::from_kbps(2048.0), Ratio::from_percent(10.0))
+                .expect("positive rate"),
+            StreamSpec::new(BitRate::from_kbps(128.0), Ratio::from_percent(50.0))
+                .expect("positive rate"),
+        ])
+        .expect("non-empty mix");
+
+        ScenarioGrid::new()
+            .device(DeviceVariant::mems("table1", MemsDevice::table1()))
+            .device(DeviceVariant::mems(
+                "wear-hardened",
+                MemsDevice::table1()
+                    .with_probe_write_cycles(200.0)
+                    .with_spring_duty_cycles(1e12),
+            ))
+            .device(DeviceVariant::mems(
+                "prototype",
+                MemsDevice::table1()
+                    .with_probe_write_cycles(50.0)
+                    .with_spring_duty_cycles(1e7),
+            ))
+            .device(DeviceVariant::disk(
+                "disk-1.8in",
+                DiskDevice::calibrated_1p8_inch(),
+            ))
+            .workload(WorkloadProfile::paper())
+            .workload(
+                WorkloadProfile::from_mix(
+                    "av-mix",
+                    &mix,
+                    PlaybackCalendar::paper_default(),
+                    Ratio::from_percent(5.0),
+                )
+                .expect("valid mix profile"),
+            )
+            .workload(WorkloadProfile::new(
+                "recorder",
+                Workload::new(
+                    StreamSpec::new(BitRate::from_kbps(1024.0), Ratio::from_percent(75.0))
+                        .expect("positive rate"),
+                    PlaybackCalendar::paper_default(),
+                    Ratio::from_percent(5.0),
+                )
+                .expect("valid recorder workload"),
+            ))
+            .rate_span(32.0, 4096.0, n_rates)
+            .goal(DesignGoal::fig3a())
+            .goal(DesignGoal::fig3b())
+    }
+
+    /// Appends a device variant.
+    #[must_use]
+    pub fn device(mut self, device: DeviceVariant) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Appends a workload profile.
+    #[must_use]
+    pub fn workload(mut self, profile: WorkloadProfile) -> Self {
+        self.workloads.push(profile);
+        self
+    }
+
+    /// Appends explicit stream rates.
+    #[must_use]
+    pub fn with_rates(mut self, rates: impl IntoIterator<Item = BitRate>) -> Self {
+        self.rates.extend(rates);
+        self
+    }
+
+    /// Appends `n` log-spaced rates between `min_kbps` and `max_kbps`.
+    ///
+    /// # Panics
+    ///
+    /// See [`log_spaced_rates`].
+    #[must_use]
+    pub fn rate_span(self, min_kbps: f64, max_kbps: f64, n: usize) -> Self {
+        self.with_rates(log_spaced_rates(min_kbps, max_kbps, n))
+    }
+
+    /// Appends a design goal.
+    #[must_use]
+    pub fn goal(mut self, goal: DesignGoal) -> Self {
+        self.goals.push(goal);
+        self
+    }
+
+    /// Removes the DRAM term from the energy model (device-only energy,
+    /// the configuration the simulator cross-check uses).
+    #[must_use]
+    pub fn without_dram(mut self) -> Self {
+        self.with_dram = false;
+        self
+    }
+
+    /// Sets the best-effort accounting policy (default: at read/write
+    /// power, the paper's).
+    #[must_use]
+    pub fn policy(mut self, policy: BestEffortPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The device axis.
+    #[must_use]
+    pub fn devices(&self) -> &[DeviceVariant] {
+        &self.devices
+    }
+
+    /// The workload axis.
+    #[must_use]
+    pub fn workloads(&self) -> &[WorkloadProfile] {
+        &self.workloads
+    }
+
+    /// The rate axis.
+    #[must_use]
+    pub fn rates(&self) -> &[BitRate] {
+        &self.rates
+    }
+
+    /// The goal axis.
+    #[must_use]
+    pub fn goals(&self) -> &[DesignGoal] {
+        &self.goals
+    }
+
+    /// Whether the DRAM term is included.
+    #[must_use]
+    pub fn dram_enabled(&self) -> bool {
+        self.with_dram
+    }
+
+    /// The best-effort accounting policy.
+    #[must_use]
+    pub fn best_effort_policy(&self) -> BestEffortPolicy {
+        self.policy
+    }
+
+    /// Total number of cells (the product of the axis lengths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len() * self.workloads.len() * self.rates.len() * self.goals.len()
+    }
+
+    /// Whether the product is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the first empty axis, if any.
+    pub(crate) fn check_axes(&self) -> Result<(), GridError> {
+        for (axis, empty) in [
+            ("devices", self.devices.is_empty()),
+            ("workloads", self.workloads.is_empty()),
+            ("rates", self.rates.is_empty()),
+            ("goals", self.goals.is_empty()),
+        ] {
+            if empty {
+                return Err(GridError::EmptyAxis { axis });
+            }
+        }
+        Ok(())
+    }
+
+    /// The cell at canonical linear index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> GridCell {
+        assert!(index < self.len(), "cell index {index} out of bounds");
+        let goals = self.goals.len();
+        let rates = self.rates.len();
+        let workloads = self.workloads.len();
+        GridCell {
+            index,
+            goal: index % goals,
+            rate: (index / goals) % rates,
+            workload: (index / (goals * rates)) % workloads,
+            device: index / (goals * rates * workloads),
+        }
+    }
+
+    /// Iterates every cell in canonical order.
+    pub fn cells(&self) -> impl Iterator<Item = GridCell> + '_ {
+        (0..self.len()).map(|i| self.cell(i))
+    }
+
+    /// The content key a cell evaluates under — cells with equal keys are
+    /// physically identical scenarios and share one evaluation.
+    #[must_use]
+    pub fn dedup_key(&self, cell: &GridCell) -> String {
+        format!(
+            "{}|{}|r={:?}|g={:?}|dram={}|pol={:?}",
+            self.devices[cell.device].dedup_key(),
+            self.workloads[cell.workload].dedup_key(),
+            self.rates[cell.rate],
+            self.goals[cell.goal],
+            self.with_dram,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_roundtrips_linear_index() {
+        let grid = ScenarioGrid::paper_baseline(5);
+        for (i, cell) in grid.cells().enumerate() {
+            assert_eq!(cell.index, i);
+            let goals = grid.goals().len();
+            let rates = grid.rates().len();
+            let workloads = grid.workloads().len();
+            let reconstructed =
+                ((cell.device * workloads + cell.workload) * rates + cell.rate) * goals + cell.goal;
+            assert_eq!(reconstructed, i);
+        }
+    }
+
+    #[test]
+    fn baseline_grid_shape() {
+        let grid = ScenarioGrid::paper_baseline(24);
+        assert_eq!(grid.devices().len(), 4);
+        assert_eq!(grid.workloads().len(), 3);
+        assert_eq!(grid.rates().len(), 24);
+        assert_eq!(grid.goals().len(), 2);
+        assert_eq!(grid.len(), 4 * 3 * 24 * 2);
+    }
+
+    #[test]
+    fn empty_axis_is_detected() {
+        let grid = ScenarioGrid::new().goal(DesignGoal::fig3a());
+        assert_eq!(
+            grid.check_axes(),
+            Err(GridError::EmptyAxis { axis: "devices" })
+        );
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn duplicate_devices_share_dedup_keys() {
+        let a = DeviceVariant::mems("one", MemsDevice::table1());
+        let b = DeviceVariant::mems("two", MemsDevice::table1());
+        assert_eq!(a.dedup_key(), b.dedup_key());
+        let c = DeviceVariant::mems("three", MemsDevice::table1().with_probe_write_cycles(200.0));
+        assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn workload_profile_rate_is_excluded_from_key() {
+        let a = WorkloadProfile::new("a", Workload::paper_default(BitRate::from_kbps(64.0)));
+        let b = WorkloadProfile::new("b", Workload::paper_default(BitRate::from_kbps(4096.0)));
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+}

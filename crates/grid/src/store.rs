@@ -1,0 +1,170 @@
+//! Result storage: cell→job deduplication and Pareto aggregation.
+
+use std::collections::HashMap;
+
+use crate::eval::{CellOutcome, PlannedPoint};
+use crate::spec::{GridCell, ScenarioGrid};
+
+/// Deduplicated outcome storage.
+///
+/// Physically identical cells (equal [`ScenarioGrid::dedup_key`]) map to
+/// one *job*; each job is evaluated once and its outcome shared by every
+/// cell that references it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultStore {
+    cell_to_job: Vec<usize>,
+    job_cells: Vec<GridCell>,
+    outcomes: Vec<CellOutcome>,
+}
+
+impl ResultStore {
+    /// Plans the job list for `grid`: the representative (first-occurring)
+    /// cell of every distinct dedup key, in canonical order, plus the
+    /// cell→job map. Outcomes are attached later by the executor.
+    #[must_use]
+    pub(crate) fn plan(grid: &ScenarioGrid) -> (Vec<GridCell>, Vec<usize>) {
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut job_cells: Vec<GridCell> = Vec::new();
+        let mut cell_to_job = Vec::with_capacity(grid.len());
+        for cell in grid.cells() {
+            let key = grid.dedup_key(&cell);
+            let job = *by_key.entry(key).or_insert_with(|| {
+                job_cells.push(cell);
+                job_cells.len() - 1
+            });
+            cell_to_job.push(job);
+        }
+        (job_cells, cell_to_job)
+    }
+
+    pub(crate) fn new(
+        cell_to_job: Vec<usize>,
+        job_cells: Vec<GridCell>,
+        outcomes: Vec<CellOutcome>,
+    ) -> Self {
+        debug_assert_eq!(job_cells.len(), outcomes.len());
+        ResultStore {
+            cell_to_job,
+            job_cells,
+            outcomes,
+        }
+    }
+
+    /// Number of cells the store covers.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.cell_to_job.len()
+    }
+
+    /// Number of distinct evaluations performed.
+    #[must_use]
+    pub fn unique_evaluations(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The outcome of the cell at canonical index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn outcome(&self, index: usize) -> &CellOutcome {
+        &self.outcomes[self.cell_to_job[index]]
+    }
+
+    /// Iterates `(representative cell, outcome)` over the unique jobs, in
+    /// canonical order of first occurrence.
+    pub fn jobs(&self) -> impl Iterator<Item = (&GridCell, &CellOutcome)> {
+        self.job_cells.iter().zip(self.outcomes.iter())
+    }
+}
+
+/// One point of the Pareto frontier: a feasible scenario no other feasible
+/// scenario strictly improves on in all three paper metrics at once.
+///
+/// Only constructed by the frontier extraction (the private `objectives`
+/// field keeps the "saving is measurable" invariant enforceable rather
+/// than merely documented).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The representative cell (first in canonical order among duplicates).
+    pub cell: GridCell,
+    /// Its planned metrics.
+    pub point: PlannedPoint,
+    objectives: [f64; 3],
+}
+
+impl ParetoPoint {
+    /// The maximised objective vector:
+    /// `(energy saving, capacity utilisation, lifetime years)`.
+    #[must_use]
+    pub fn objectives(&self) -> [f64; 3] {
+        self.objectives
+    }
+}
+
+/// Returns `true` if `a` dominates `b`: at least as good in every
+/// objective (maximisation) and strictly better in at least one.
+#[must_use]
+fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
+}
+
+/// Indices of the non-dominated entries of `points` (maximising every
+/// coordinate), in input order. Duplicate objective vectors are all kept:
+/// equal points do not dominate each other.
+#[must_use]
+pub fn non_dominated(points: &[[f64; 3]]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|other| dominates(other, &points[i])))
+        .collect()
+}
+
+/// Extracts the Pareto frontier from the feasible, fully modelled jobs.
+#[must_use]
+pub(crate) fn pareto_frontier(store: &ResultStore) -> Vec<ParetoPoint> {
+    let candidates: Vec<ParetoPoint> = store
+        .jobs()
+        .filter_map(|(cell, outcome)| {
+            let point = outcome.planned()?;
+            let objectives = point.objectives()?;
+            Some(ParetoPoint {
+                cell: *cell,
+                point: point.clone(),
+                objectives,
+            })
+        })
+        .collect();
+    let objectives: Vec<[f64; 3]> = candidates.iter().map(ParetoPoint::objectives).collect();
+    non_dominated(&objectives)
+        .into_iter()
+        .map(|i| candidates[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_dominated_drops_strictly_worse_points() {
+        let pts = vec![[1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [2.0, 0.1, 0.1]];
+        assert_eq!(non_dominated(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_points_are_mutually_kept() {
+        let pts = vec![[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]];
+        assert_eq!(non_dominated(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_is_the_frontier() {
+        assert_eq!(non_dominated(&[[0.0, 0.0, 0.0]]), vec![0]);
+    }
+
+    #[test]
+    fn frontier_of_empty_input_is_empty() {
+        assert!(non_dominated(&[]).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Sim-backed validation: replay chosen cells through `memstream_sim` and
+//! report model-vs-simulation deltas.
+
+use memstream_sim::{SimConfig, StreamingSimulation};
+use memstream_units::Duration;
+
+use crate::exec::GridResults;
+use crate::spec::{DeviceVariant, GridCell};
+use crate::store::ParetoPoint;
+
+/// One model-vs-simulation comparison at a planned operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// The validated cell.
+    pub cell: GridCell,
+    /// Stream rate in kbps.
+    pub rate_kbps: f64,
+    /// Planned buffer in KiB.
+    pub buffer_kib: f64,
+    /// Analytic `Em(B)` (device only, no DRAM term) in nJ/b.
+    pub model_nj: f64,
+    /// Simulated energy per buffered bit in nJ/b.
+    pub sim_nj: f64,
+    /// Relative error `|sim - model| / model`.
+    pub rel_err: f64,
+}
+
+/// The outcome of validating a frontier: the comparison rows plus an
+/// account of the cells that could not be simulated, so a missing row is
+/// a visible skip rather than a silent gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierValidation {
+    /// One row per successfully simulated MEMS frontier cell.
+    pub rows: Vec<ValidationRow>,
+    /// MEMS cells on the frontier (disk cells are never simulated).
+    pub mems_cells: usize,
+    /// MEMS cells whose simulation could not run or completed no cycle.
+    pub skipped: usize,
+}
+
+/// Replays the MEMS cells of the Pareto frontier through the
+/// discrete-event simulator for at least `seconds` of simulated playback
+/// (extended so that ≥ 50 refill cycles complete) and compares the
+/// simulated per-bit energy with the analytic Eq. (1). Cells the
+/// simulator rejects (or that complete no cycle) are counted in
+/// [`FrontierValidation::skipped`].
+///
+/// The analytic side drops the DRAM term to match what the simulator
+/// meters, mirroring the V1 cross-check experiment.
+#[must_use]
+pub fn validate_frontier(results: &GridResults, seconds: f64) -> FrontierValidation {
+    let grid = results.grid();
+    let mut rows = Vec::new();
+    let mut mems_cells = 0usize;
+    for point in results.pareto_frontier() {
+        if matches!(
+            grid.devices()[point.cell.device],
+            DeviceVariant::Mems { .. }
+        ) {
+            mems_cells += 1;
+            rows.extend(validate_point(results, point, seconds));
+        }
+    }
+    let skipped = mems_cells - rows.len();
+    FrontierValidation {
+        rows,
+        mems_cells,
+        skipped,
+    }
+}
+
+fn validate_point(
+    results: &GridResults,
+    point: &ParetoPoint,
+    seconds: f64,
+) -> Option<ValidationRow> {
+    let grid = results.grid();
+    let cell = point.cell;
+    let DeviceVariant::Mems { device, .. } = &grid.devices()[cell.device] else {
+        return None;
+    };
+    let rate = grid.rates()[cell.rate];
+    let workload = grid.workloads()[cell.workload].workload().with_rate(rate);
+    let buffer = point.point.buffer;
+
+    let model = memstream_core::SystemModel::new(
+        device.clone(),
+        workload,
+        memstream_media::SectorFormat::for_device(device),
+        None,
+        grid.best_effort_policy(),
+    );
+    let model_nj = model.per_bit_energy(buffer).ok()?.nanojoules_per_bit();
+
+    let period_s = buffer.bits() / rate.bits_per_second();
+    let horizon = Duration::from_seconds(seconds.max(50.0 * period_s));
+    let report = StreamingSimulation::new(SimConfig::cbr(device.clone(), workload, buffer))
+        .ok()?
+        .run(horizon);
+    let sim_nj = report.per_buffered_bit_nanojoules(buffer)?;
+
+    Some(ValidationRow {
+        cell,
+        rate_kbps: rate.kilobits_per_second(),
+        buffer_kib: buffer.kibibytes(),
+        model_nj,
+        sim_nj,
+        rel_err: (sim_nj - model_nj).abs() / model_nj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GridExecutor;
+    use crate::spec::ScenarioGrid;
+
+    #[test]
+    fn frontier_validation_tracks_the_model() {
+        let results = GridExecutor::parallel(2)
+            .explore(&ScenarioGrid::paper_baseline(6))
+            .unwrap();
+        let validation = validate_frontier(&results, 30.0);
+        assert!(
+            !validation.rows.is_empty(),
+            "frontier has MEMS cells to validate"
+        );
+        assert_eq!(
+            validation.rows.len() + validation.skipped,
+            validation.mems_cells,
+            "every MEMS frontier cell is accounted for"
+        );
+        for row in &validation.rows {
+            assert!(
+                row.rel_err < 0.2,
+                "cell {} diverges: model {} nJ/b vs sim {} nJ/b",
+                row.cell.index,
+                row.model_nj,
+                row.sim_nj
+            );
+        }
+    }
+}

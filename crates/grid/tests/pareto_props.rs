@@ -1,0 +1,65 @@
+//! Property tests for the Pareto-frontier extraction.
+
+use memstream_grid::non_dominated;
+use proptest::prelude::*;
+
+fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
+}
+
+proptest! {
+    #[test]
+    fn frontier_points_are_mutually_non_dominated(
+        raw in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0.0..20.0f64), 1..60)
+    ) {
+        let points: Vec<[f64; 3]> = raw.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let frontier = non_dominated(&points);
+        prop_assert!(!frontier.is_empty());
+        for &i in &frontier {
+            for &j in &frontier {
+                prop_assert!(
+                    !dominates(&points[i], &points[j]),
+                    "frontier point {:?} dominates {:?}",
+                    points[i],
+                    points[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_points_are_dominated_by_some_frontier_point(
+        raw in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0.0..20.0f64), 1..40)
+    ) {
+        let points: Vec<[f64; 3]> = raw.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let frontier = non_dominated(&points);
+        for i in 0..points.len() {
+            if !frontier.contains(&i) {
+                prop_assert!(
+                    frontier.iter().any(|&f| dominates(&points[f], &points[i])),
+                    "dropped point {:?} is not dominated",
+                    points[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_order_invariant_as_a_set(
+        raw in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0.0..20.0f64), 1..30)
+    ) {
+        let points: Vec<[f64; 3]> = raw.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let reversed: Vec<[f64; 3]> = points.iter().rev().copied().collect();
+        let mut a: Vec<[u64; 3]> = non_dominated(&points)
+            .into_iter()
+            .map(|i| points[i].map(f64::to_bits))
+            .collect();
+        let mut b: Vec<[u64; 3]> = non_dominated(&reversed)
+            .into_iter()
+            .map(|i| reversed[i].map(f64::to_bits))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline drop-in shim for the subset of the `criterion` API used by the
+//! bench targets: `Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!` and `criterion_main!`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the few crates.io APIs it needs as tiny local packages. Measurement is
+//! deliberately simple — a calibrated fixed-iteration wall-clock median —
+//! enough to compare runs on one machine, with none of criterion's
+//! statistics.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark registry/driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` under `id`, printing a per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: run single iterations until we know roughly how many
+        // fit in the target time, then take the median of three batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (self.target_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                routine(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let ns = samples[1] * 1e9;
+        println!("{id:<40} {ns:>12.1} ns/iter ({iters} iters x 3)");
+        self
+    }
+}
+
+/// Declares a group function that runs each target against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

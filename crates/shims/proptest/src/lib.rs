@@ -1,0 +1,164 @@
+//! Offline drop-in shim for the subset of the `proptest` API used by this
+//! workspace: the `proptest!` macro over `pat in strategy` arguments,
+//! `prop_assert!`/`prop_assert_eq!`, range strategies, tuples of strategies
+//! and `prop::collection::vec`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the few crates.io APIs it needs as tiny local packages. Each property
+//! runs 256 deterministic cases (no time-based seeding); there is no
+//! shrinking — a failing case reports its arguments instead.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__shim_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __shim_rng);)+
+                    let __shim_args = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    );
+                    { $body }
+                    let _ = &__shim_args;
+                    Ok(__shim_args)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0..10.0f64, n in 0u64..100) {
+            prop_assert!((1.0..10.0).contains(&x));
+            prop_assert!(n < 100);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in prop::collection::vec((0.0..1.0f64, 5u64..9), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (f, n) in v {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!((5..9).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_report_arguments() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,70 @@
+//! The deterministic case runner behind the shim's `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cases run per property. Matches upstream proptest's default.
+pub const CASES: u64 = 256;
+
+/// Why a test case did not pass: a genuine failure or a rejected
+/// assumption (`prop_assume!`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The inputs violate an assumption; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` [`CASES`] times with per-case deterministic RNGs derived
+/// from the property name. On success the case returns a rendering of its
+/// arguments (used in failure reports); rejections are skipped.
+///
+/// # Panics
+///
+/// Panics on the first failing case, naming the case index and reason.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<String, TestCaseError>,
+{
+    let base = fnv1a(name);
+    for i in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(base ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        match case(&mut rng) {
+            Ok(_) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("property `{name}` failed at case {i}/{CASES}: {reason}");
+            }
+        }
+    }
+}

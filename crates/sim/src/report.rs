@@ -56,6 +56,17 @@ impl SimReport {
         self.total_energy() / self.bits_consumed
     }
 
+    /// Per-bit energy charged against whole refilled buffers — total
+    /// energy over `buffer × cycles` — the convention of the V1
+    /// model-vs-sim cross-check (Eq. (1) amortises one cycle's energy
+    /// over exactly one buffer of data). Returns `None` when no cycle
+    /// completed (the quotient would be undefined).
+    #[must_use]
+    pub fn per_buffered_bit_nanojoules(&self, buffer: DataSize) -> Option<f64> {
+        (self.cycles > 0)
+            .then(|| self.total_energy().joules() / (buffer.bits() * self.cycles as f64) * 1e9)
+    }
+
     /// Mean power draw over the run.
     #[must_use]
     pub fn mean_power(&self) -> Power {

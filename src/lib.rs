@@ -1,0 +1,29 @@
+//! Umbrella crate for the `memstream` workspace — a reproduction and
+//! extension of Khatib & Abelmann, *"Buffering Implications for the Design
+//! Space of Streaming MEMS Storage"* (DATE 2011).
+//!
+//! Each member crate is re-exported under its short name so downstream
+//! users can depend on one package:
+//!
+//! * [`units`] — strongly typed quantities (bits, joules, watts, years).
+//! * [`device`] — MEMS / disk / DRAM device models (Table I).
+//! * [`media`] — sector formats, ECC and layout (Eqs. (2)–(4) inputs).
+//! * [`workload`] — the §IV-A streaming workload and seeded traces.
+//! * [`core`] — the analytic models and buffer dimensioner (Eqs. (1)–(6)).
+//! * [`sim`] — the discrete-event simulator cross-checking the models.
+//! * [`grid`] — the parallel scenario-grid exploration engine.
+//!
+//! The repo-root `tests/` and `examples/` directories belong to this
+//! package, so `cargo test` and `cargo run --example quickstart` work from
+//! a fresh checkout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use memstream_core as core;
+pub use memstream_device as device;
+pub use memstream_grid as grid;
+pub use memstream_media as media;
+pub use memstream_sim as sim;
+pub use memstream_units as units;
+pub use memstream_workload as workload;

@@ -249,15 +249,21 @@ fn format_space() {
     println!();
 }
 
-/// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
-/// — the parallel scenario-grid exploration (see module docs).
+/// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]
+/// [--cache PATH] [--classic]` — the parallel scenario-grid exploration
+/// (see module docs). `--cache` loads/saves evaluated cells keyed by
+/// scenario content, so re-runs skip already-explored cells without
+/// changing a single output byte; `--classic` restricts the registry to
+/// the paper's four devices (no flash).
 fn grid(args: &[String]) {
-    use memstream_grid::{report, GridExecutor, ScenarioGrid};
+    use memstream_grid::{report, GridExecutor, ResultCache, ScenarioGrid};
 
     let mut rates = 24usize;
     let mut threads = 0usize; // 0 = machine width
     let mut full_csv = false;
     let mut validate: Option<f64> = None;
+    let mut cache_path: Option<String> = None;
+    let mut classic = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let fail = |e: &dyn std::fmt::Display| -> ! {
@@ -275,8 +281,13 @@ fn grid(args: &[String]) {
             "--threads" => threads = value().parse().unwrap_or_else(|e| fail(&e)),
             "--full-csv" => full_csv = true,
             "--validate" => validate = Some(value().parse().unwrap_or_else(|e| fail(&e))),
+            "--cache" => cache_path = Some(value()),
+            "--classic" => classic = true,
             other => {
-                eprintln!("unknown flag `{other}`; try --rates, --threads, --full-csv, --validate");
+                eprintln!(
+                    "unknown flag `{other}`; try --rates, --threads, --full-csv, \
+                     --validate, --cache, --classic"
+                );
                 std::process::exit(2);
             }
         }
@@ -286,34 +297,62 @@ fn grid(args: &[String]) {
         std::process::exit(2);
     }
 
-    let spec = ScenarioGrid::paper_baseline(rates);
+    let spec = if classic {
+        ScenarioGrid::paper_classic(rates)
+    } else {
+        ScenarioGrid::paper_baseline(rates)
+    };
     let executor = GridExecutor::parallel(threads);
     eprintln!(
         "exploring {} cells on {} worker thread(s)...",
         spec.len(),
         executor.threads()
     );
-    let results = executor.explore(&spec).unwrap_or_else(|e| {
-        eprintln!("grid error: {e}");
-        std::process::exit(2);
-    });
+    let results = match &cache_path {
+        Some(path) => {
+            let mut cache = ResultCache::load(path).unwrap_or_else(|e| {
+                eprintln!("cache load error: {e}");
+                std::process::exit(2);
+            });
+            let results = executor
+                .explore_cached(&spec, &mut cache)
+                .unwrap_or_else(|e| {
+                    eprintln!("grid error: {e}");
+                    std::process::exit(2);
+                });
+            eprintln!(
+                "cache: {} hits, {} misses ({} entries saved)",
+                cache.hits(),
+                cache.misses(),
+                cache.len()
+            );
+            cache.save(path).unwrap_or_else(|e| {
+                eprintln!("cache save error: {e}");
+                std::process::exit(2);
+            });
+            results
+        }
+        None => executor.explore(&spec).unwrap_or_else(|e| {
+            eprintln!("grid error: {e}");
+            std::process::exit(2);
+        }),
+    };
 
-    println!("== G1: scenario grid (devices x workloads x rates x goals) ==");
-    print!("{}", report::summary(&results));
-    println!();
-    print!("{}", report::frontier_chart(&results));
-    println!("pareto frontier csv:\n{}", report::frontier_csv(&results));
-    if full_csv {
-        println!("all cells csv:\n{}", report::cells_csv(&results));
-    }
+    print!("{}", report::grid_stdout(&results, full_csv));
     if let Some(seconds) = validate {
         let validation = memstream_grid::validate_frontier(&results, seconds);
         println!(
-            "sim validation: {} of {} MEMS frontier cells simulated ({} skipped)",
+            "sim validation: {} of {} frontier cells simulated ({} skipped)",
             validation.rows.len(),
-            validation.mems_cells,
-            validation.skipped
+            validation.frontier_cells,
+            validation.skips.len()
         );
+        for skip in &validation.skips {
+            println!(
+                "  skipped cell {} ({}): {}",
+                skip.cell.index, skip.device, skip.reason
+            );
+        }
         println!(
             "sim validation csv:\n{}",
             report::validation_csv(&validation.rows)

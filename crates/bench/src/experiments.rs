@@ -3,7 +3,7 @@
 use memstream_core::{
     log_spaced_rates, BestEffortPolicy, DesignGoal, EnergyModel, SweepBuilder, SystemModel,
 };
-use memstream_device::{DiskDevice, MechanicalDevice, MemsDevice, PowerState};
+use memstream_device::{DiskDevice, EnergyModelled, MemsDevice, PowerState};
 use memstream_sim::{SimConfig, StreamingSimulation};
 use memstream_units::{BitRate, DataSize, Duration, Years};
 use memstream_workload::Workload;
@@ -115,7 +115,7 @@ pub fn breakeven_rows(n: usize) -> Vec<BreakEvenRow> {
         .into_iter()
         .map(|rate| {
             let w = Workload::paper_default(rate);
-            let be = |d: &dyn MechanicalDevice| {
+            let be = |d: &dyn EnergyModelled| {
                 EnergyModel::new(d, w, BestEffortPolicy::AtReadWrite, None)
                     .break_even_buffer()
                     .expect("rates in range are sustainable")
@@ -291,7 +291,7 @@ pub fn comparison_rows(saving: memstream_units::Ratio, n: usize) -> Vec<Comparis
         .into_iter()
         .map(|rate| {
             let w = Workload::paper_default(rate);
-            let energy_buffer = |d: &dyn MechanicalDevice| {
+            let energy_buffer = |d: &dyn EnergyModelled| {
                 EnergyModel::new(d, w, BestEffortPolicy::AtReadWrite, None)
                     .min_buffer_for_saving(saving)
                     .ok()

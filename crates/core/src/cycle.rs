@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use memstream_device::MechanicalDevice;
+use memstream_device::EnergyModelled;
 use memstream_units::{DataSize, Duration, Ratio};
 use memstream_workload::Workload;
 
@@ -83,7 +83,7 @@ impl RefillCycle {
     /// * [`ModelError::BufferBelowCycleMinimum`] if the buffer cannot cover
     ///   the seek + shutdown + best-effort time of a single cycle.
     pub fn compute(
-        device: &dyn MechanicalDevice,
+        device: &dyn EnergyModelled,
         workload: &Workload,
         buffer: DataSize,
         policy: BestEffortPolicy,
@@ -136,7 +136,7 @@ impl RefillCycle {
     /// Returns [`ModelError::RateExceedsBandwidth`] if no buffer works at
     /// this stream rate.
     pub fn min_buffer(
-        device: &dyn MechanicalDevice,
+        device: &dyn EnergyModelled,
         workload: &Workload,
         policy: BestEffortPolicy,
     ) -> Result<DataSize, ModelError> {
@@ -229,14 +229,14 @@ impl fmt::Display for RefillCycle {
 }
 
 /// `τ = Tm / B = rm / (rs · (rm − rs))` seconds per buffered bit.
-pub(crate) fn per_bit_period(device: &dyn MechanicalDevice, workload: &Workload) -> f64 {
+pub(crate) fn per_bit_period(device: &dyn EnergyModelled, workload: &Workload) -> f64 {
     let rm = device.media_rate().bits_per_second();
     let rs = workload.rate().bits_per_second();
     rm / (rs * (rm - rs))
 }
 
 /// `ρ = tRW / B = 1 / (rm − rs)` seconds per buffered bit.
-pub(crate) fn per_bit_read_write(device: &dyn MechanicalDevice, workload: &Workload) -> f64 {
+pub(crate) fn per_bit_read_write(device: &dyn EnergyModelled, workload: &Workload) -> f64 {
     let rm = device.media_rate().bits_per_second();
     let rs = workload.rate().bits_per_second();
     1.0 / (rm - rs)

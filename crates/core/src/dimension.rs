@@ -159,20 +159,39 @@ impl<'a> BufferDimensioner<'a> {
             requirements.push((Requirement::Energy, self.energy.min_buffer_for_saving(e)?));
         }
         if let Some(l) = goal.lifetime_target() {
-            requirements.push((
-                Requirement::SpringsLifetime,
-                self.lifetime.min_buffer_for_springs(l),
-            ));
-            if let Some(b) = self.lifetime.min_buffer_for_probes(l)? {
-                requirements.push((Requirement::ProbesLifetime, b));
+            // One entry per wear channel that binds: springs then probes
+            // for the MEMS pair, a single erase budget for flash.
+            for channel in self.lifetime.channels().to_vec() {
+                if let Some(b) = self.lifetime.min_buffer_for_channel(&channel, l)? {
+                    requirements.push((LifetimeModel::channel_requirement(&channel), b));
+                }
             }
         }
 
-        let (dominant, largest) = requirements
+        let (dominant, largest) = match requirements
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite buffers"))
             .copied()
-            .expect("non-empty goal produced at least one requirement");
+        {
+            Some(winner) => winner,
+            // The goal constrains only wear channels that never bind under
+            // this workload (e.g. a lifetime goal over a read-only stream
+            // on a write-wear device): any cycle-capable buffer satisfies
+            // it, and no requirement meaningfully dictates. Label with the
+            // device's own first wear channel so reports never claim a
+            // mechanism the device does not have (a springless flash part
+            // must not read "Lsp").
+            None => {
+                let requirement = self
+                    .lifetime
+                    .channels()
+                    .first()
+                    .map_or(Requirement::SpringsLifetime, |c| {
+                        LifetimeModel::channel_requirement(c)
+                    });
+                (requirement, DataSize::ZERO)
+            }
+        };
 
         let cycle_floor = RefillCycle::min_buffer(
             self.energy.device(),

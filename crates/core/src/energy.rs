@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use memstream_device::{DramModel, MechanicalDevice, PowerState};
+use memstream_device::{DramModel, EnergyModelled, PowerState};
 use memstream_units::{DataSize, Energy, EnergyPerBit, Ratio};
 use memstream_workload::Workload;
 
@@ -68,7 +68,7 @@ impl fmt::Display for CycleEnergy {
     }
 }
 
-/// The energy model of §III-A for any [`MechanicalDevice`].
+/// The energy model of §III-A for any [`EnergyModelled`] device.
 ///
 /// The paper's per-bit energy (Eq. (1)) decomposes, per buffered bit, into
 /// an overhead term that shrinks as `1/B` and constant transfer/standby
@@ -95,7 +95,7 @@ impl fmt::Display for CycleEnergy {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EnergyModel<'a> {
-    device: &'a dyn MechanicalDevice,
+    device: &'a dyn EnergyModelled,
     workload: Workload,
     policy: BestEffortPolicy,
     dram: Option<&'a DramModel>,
@@ -107,7 +107,7 @@ impl<'a> EnergyModel<'a> {
     /// Pass a [`DramModel`] to include buffer retention/access energy as the
     /// paper does (it then verifies the "negligible" claim numerically).
     pub fn new(
-        device: &'a dyn MechanicalDevice,
+        device: &'a dyn EnergyModelled,
         workload: Workload,
         policy: BestEffortPolicy,
         dram: Option<&'a DramModel>,
@@ -122,7 +122,7 @@ impl<'a> EnergyModel<'a> {
 
     /// The device under model.
     #[must_use]
-    pub fn device(&self) -> &dyn MechanicalDevice {
+    pub fn device(&self) -> &dyn EnergyModelled {
         self.device
     }
 

@@ -39,6 +39,23 @@ pub enum ModelError {
     },
     /// The goal named no requirement at all.
     EmptyGoal,
+    /// A device lacks a capability an analysis needs (e.g. asking the full
+    /// model pipeline to plan a device with no wear model).
+    MissingCapability {
+        /// The missing capability (`"energy"`, `"wear"`, `"utilization"`,
+        /// `"sim"`).
+        capability: &'static str,
+    },
+    /// A device exposes a capability with an out-of-range payload (e.g. a
+    /// constant utilisation of 0 or above 1). Registry devices are
+    /// third-party code; malformed payloads surface as errors rather than
+    /// panics inside evaluation workers.
+    InvalidCapability {
+        /// The offending capability.
+        capability: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -65,6 +82,12 @@ impl fmt::Display for ModelError {
                 reason,
             } => write!(f, "design goal infeasible: {requirement} — {reason}"),
             ModelError::EmptyGoal => write!(f, "design goal names no requirement"),
+            ModelError::MissingCapability { capability } => {
+                write!(f, "device does not expose the `{capability}` capability")
+            }
+            ModelError::InvalidCapability { capability, reason } => {
+                write!(f, "device `{capability}` capability is invalid: {reason}")
+            }
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use memstream_units::{BitRate, DataSize, EnergyPerBit, Ratio, Years};
 
+use crate::device_model::AnalyticModel;
 use crate::dimension::BufferPlan;
 use crate::error::ModelError;
 use crate::goal::DesignGoal;
@@ -53,7 +54,9 @@ impl RateSweepPoint {
     }
 }
 
-/// Sweep construction on top of a [`SystemModel`].
+/// Sweep construction on top of any [`AnalyticModel`] — the concrete
+/// [`SystemModel`] or a capability-assembled
+/// [`CapabilityModel`](crate::CapabilityModel).
 ///
 /// ```
 /// use memstream_core::{DesignGoal, SweepBuilder, SystemModel};
@@ -68,14 +71,14 @@ impl RateSweepPoint {
 /// assert_eq!(fig3b.len(), 25);
 /// ```
 #[derive(Debug, Clone)]
-pub struct SweepBuilder<'a> {
-    model: &'a SystemModel,
+pub struct SweepBuilder<'a, M = SystemModel> {
+    model: &'a M,
 }
 
-impl<'a> SweepBuilder<'a> {
+impl<'a, M: AnalyticModel> SweepBuilder<'a, M> {
     /// Creates a sweep builder over `model`.
     #[must_use]
-    pub fn new(model: &'a SystemModel) -> Self {
+    pub fn new(model: &'a M) -> Self {
         SweepBuilder { model }
     }
 

@@ -4,8 +4,9 @@ use std::fmt;
 
 use memstream_units::{Ratio, Years};
 
-/// The four requirements that can dictate the buffer size (the region
-/// labels `E`, `C`, `Lsp`, `Lpb` across the top of Fig. 3).
+/// The requirements that can dictate the buffer size (the region labels
+/// `E`, `C`, `Lsp`, `Lpb` across the top of Fig. 3, plus the erase-budget
+/// label `Lpe` of the flash extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Requirement {
     /// Capacity utilisation (`C`): sync-bit amortisation needs big sectors.
@@ -17,15 +18,20 @@ pub enum Requirement {
     /// Probes lifetime (`Lpb`): write cycles wasted on sync bits need big
     /// sectors.
     ProbesLifetime,
+    /// Erase-block lifetime (`Lpe`): write amplification wasted on partial
+    /// block programs needs big, aligned bursts.
+    EraseLifetime,
 }
 
 impl Requirement {
-    /// All requirements, in the order the paper lists them.
-    pub const ALL: [Requirement; 4] = [
+    /// All requirements: the paper's four in the order it lists them,
+    /// then the flash extension.
+    pub const ALL: [Requirement; 5] = [
         Requirement::Energy,
         Requirement::Capacity,
         Requirement::SpringsLifetime,
         Requirement::ProbesLifetime,
+        Requirement::EraseLifetime,
     ];
 
     /// The short label used across the top of Fig. 3.
@@ -36,6 +42,7 @@ impl Requirement {
             Requirement::Capacity => "C",
             Requirement::SpringsLifetime => "Lsp",
             Requirement::ProbesLifetime => "Lpb",
+            Requirement::EraseLifetime => "Lpe",
         }
     }
 }
@@ -47,6 +54,7 @@ impl fmt::Display for Requirement {
             Requirement::Capacity => "capacity utilisation",
             Requirement::SpringsLifetime => "springs lifetime",
             Requirement::ProbesLifetime => "probes lifetime",
+            Requirement::EraseLifetime => "erase-block lifetime",
         };
         f.write_str(name)
     }

@@ -41,6 +41,7 @@
 
 mod capacity;
 mod cycle;
+mod device_model;
 mod dimension;
 mod energy;
 mod error;
@@ -55,6 +56,7 @@ mod tradeoff;
 
 pub use capacity::CapacityModel;
 pub use cycle::{BestEffortPolicy, RefillCycle};
+pub use device_model::{AnalyticModel, CapabilityModel};
 pub use dimension::{BufferDimensioner, BufferPlan};
 pub use energy::{CycleEnergy, EnergyModel};
 pub use error::ModelError;

@@ -1,8 +1,15 @@
-//! Lifetime as a function of buffer size: Eqs. (5) and (6) of §III-C.
+//! Lifetime as a function of buffer size: Eqs. (5) and (6) of §III-C,
+//! generalised to any [`WearModelled`] device.
+//!
+//! The paper derives two wear laws for the MEMS store — spring duty
+//! cycles (Eq. (5)) and probe write budgets (Eq. (6)). Both are instances
+//! of a *wear channel*: a budget consumed at a buffer-dependent rate. The
+//! model here folds any set of [`WearChannel`]s into years, which is how
+//! the flash backend's erase-block budget reuses the machinery unchanged.
 
 use std::fmt;
 
-use memstream_device::MemsDevice;
+use memstream_device::{WearChannel, WearModelled};
 use memstream_units::{DataSize, Ratio, Years};
 use memstream_workload::Workload;
 
@@ -56,8 +63,14 @@ pub fn min_buffer_for_duty_cycles(rating: f64, target: Years, workload: &Workloa
     DataSize::from_bits(target.get() * workload.bits_per_year() / rating)
 }
 
-/// The wear models of §III-C: springs (seek/shutdown duty cycles) and
-/// probes (write cycles), both driven by the refill count `T·rs/B`.
+/// The wear model: every [`WearChannel`] of a [`WearModelled`] device
+/// folded into years as a function of the buffer size.
+///
+/// For the MEMS device the channels are exactly §III-C's springs
+/// (duty cycles, Eq. (5)) and probes (utilisation-scaled write budget,
+/// Eq. (6)), and the legacy accessors ([`LifetimeModel::springs_lifetime`],
+/// [`LifetimeModel::probes_lifetime`]) read them by kind. A flash device
+/// contributes a single erase-budget channel instead.
 ///
 /// ```
 /// use memstream_core::LifetimeModel;
@@ -75,25 +88,28 @@ pub fn min_buffer_for_duty_cycles(rating: f64, target: Years, workload: &Workloa
 /// ```
 #[derive(Debug, Clone)]
 pub struct LifetimeModel<'a> {
-    device: &'a MemsDevice,
+    device: &'a dyn WearModelled,
     workload: Workload,
     capacity: CapacityModel,
+    channels: Vec<WearChannel>,
 }
 
 impl<'a> LifetimeModel<'a> {
-    /// Creates a lifetime model. The capacity model supplies `u(B)` and the
-    /// sector size `S` of Eq. (6).
-    pub fn new(device: &'a MemsDevice, workload: Workload, capacity: CapacityModel) -> Self {
+    /// Creates a lifetime model. The capacity model supplies `u(B)` for
+    /// utilisation-scaled channels (and the sector size `S` of Eq. (6)).
+    pub fn new(device: &'a dyn WearModelled, workload: Workload, capacity: CapacityModel) -> Self {
+        let channels = device.wear_channels();
         LifetimeModel {
             device,
             workload,
             capacity,
+            channels,
         }
     }
 
     /// The device under model.
     #[must_use]
-    pub fn device(&self) -> &MemsDevice {
+    pub fn device(&self) -> &dyn WearModelled {
         self.device
     }
 
@@ -103,21 +119,162 @@ impl<'a> LifetimeModel<'a> {
         &self.workload
     }
 
+    /// The device's wear channels, in device order.
+    #[must_use]
+    pub fn channels(&self) -> &[WearChannel] {
+        &self.channels
+    }
+
     /// Refill (seek + shutdown) cycles per year: `T · rs / B`.
     #[must_use]
     pub fn refills_per_year(&self, buffer: DataSize) -> f64 {
         self.workload.bits_per_year() / buffer.bits()
     }
 
-    /// Eq. (5): springs lifetime in years,
-    /// `Lsp(B) = Dsp · B / (T · rs)`.
+    /// The requirement a channel dictates under (the Fig. 3 region label).
+    #[must_use]
+    pub fn channel_requirement(channel: &WearChannel) -> Requirement {
+        match channel {
+            WearChannel::DutyCycle { .. } => Requirement::SpringsLifetime,
+            WearChannel::WriteBudget { .. } => Requirement::ProbesLifetime,
+            WearChannel::EraseBudget { .. } => Requirement::EraseLifetime,
+        }
+    }
+
+    /// Lifetime of one channel at buffer `buffer`.
+    #[must_use]
+    pub fn channel_lifetime(&self, channel: &WearChannel, buffer: DataSize) -> Years {
+        let w = self.workload.write_fraction().fraction();
+        match *channel {
+            WearChannel::DutyCycle { rating } => Years::new(rating / self.refills_per_year(buffer)),
+            WearChannel::WriteBudget { budget_bits, .. } => {
+                if w == 0.0 {
+                    return Years::unbounded();
+                }
+                let u = self.capacity.utilization(buffer).fraction();
+                Years::new(budget_bits * u / (w * self.workload.bits_per_year()))
+            }
+            WearChannel::EraseBudget {
+                budget_bits,
+                block_bits,
+                waf_floor,
+            } => {
+                if w == 0.0 {
+                    return Years::unbounded();
+                }
+                let waf = waf_floor + block_bits / buffer.bits();
+                Years::new(budget_bits / (w * self.workload.bits_per_year() * waf))
+            }
+        }
+    }
+
+    /// The best lifetime any buffer can buy on one channel: duty cycles
+    /// and erase budgets improve without bound as `B` grows — only the
+    /// write-amplification floor caps the erase channel — while the
+    /// write-budget channel saturates at the utilisation supremum.
+    #[must_use]
+    pub fn channel_lifetime_ceiling(&self, channel: &WearChannel) -> Years {
+        let w = self.workload.write_fraction().fraction();
+        match *channel {
+            WearChannel::DutyCycle { .. } => Years::unbounded(),
+            WearChannel::WriteBudget { budget_bits, .. } => {
+                if w == 0.0 {
+                    return Years::unbounded();
+                }
+                let u = self.capacity.utilization_supremum().fraction();
+                Years::new(budget_bits * u / (w * self.workload.bits_per_year()))
+            }
+            WearChannel::EraseBudget {
+                budget_bits,
+                waf_floor,
+                ..
+            } => {
+                if w == 0.0 {
+                    return Years::unbounded();
+                }
+                Years::new(budget_bits / (w * self.workload.bits_per_year() * waf_floor))
+            }
+        }
+    }
+
+    /// The smallest buffer giving one channel at least `target` years, or
+    /// `None` when the channel never binds under this workload (e.g. a
+    /// write budget under a read-only stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InfeasibleGoal`] when no buffer reaches
+    /// `target` on this channel (naming the channel's requirement).
+    pub fn min_buffer_for_channel(
+        &self,
+        channel: &WearChannel,
+        target: Years,
+    ) -> Result<Option<DataSize>, ModelError> {
+        let w = self.workload.write_fraction().fraction();
+        match *channel {
+            WearChannel::DutyCycle { rating } => Ok(Some(DataSize::from_bits(
+                target.get() * self.workload.bits_per_year() / rating,
+            ))),
+            WearChannel::WriteBudget { .. } => self.min_buffer_for_write_budget(channel, target),
+            WearChannel::EraseBudget {
+                budget_bits,
+                block_bits,
+                waf_floor,
+            } => {
+                if w == 0.0 || target == Years::ZERO {
+                    return Ok(None);
+                }
+                let headroom =
+                    budget_bits / (target.get() * w * self.workload.bits_per_year()) - waf_floor;
+                if headroom <= 0.0 {
+                    return Err(ModelError::InfeasibleGoal {
+                        requirement: Requirement::EraseLifetime,
+                        reason: format!(
+                            "erase blocks last at most {} at {} even at the \
+                             write-amplification floor {waf_floor}",
+                            self.channel_lifetime_ceiling(channel),
+                            self.workload.rate(),
+                        ),
+                    });
+                }
+                Ok(Some(DataSize::from_bits(block_bits / headroom)))
+            }
+        }
+    }
+
+    /// Device lifetime `L = min` over every wear channel (§III-C's
+    /// `min(Lsp, Lpb)` for the MEMS pair).
+    #[must_use]
+    pub fn device_lifetime(&self, buffer: DataSize) -> Years {
+        self.channels
+            .iter()
+            .map(|c| self.channel_lifetime(c, buffer))
+            .fold(Years::unbounded(), Years::min)
+    }
+
+    fn duty_channel(&self) -> Option<&WearChannel> {
+        self.channels
+            .iter()
+            .find(|c| matches!(c, WearChannel::DutyCycle { .. }))
+    }
+
+    fn write_budget_channel(&self) -> Option<&WearChannel> {
+        self.channels
+            .iter()
+            .find(|c| matches!(c, WearChannel::WriteBudget { .. }))
+    }
+
+    /// Eq. (5): springs lifetime in years, `Lsp(B) = Dsp · B / (T · rs)` —
+    /// the device's duty-cycle channel. Unbounded if the device has none.
     #[must_use]
     pub fn springs_lifetime(&self, buffer: DataSize) -> Years {
-        Years::new(self.device.spring_duty_cycles() / self.refills_per_year(buffer))
+        self.duty_channel()
+            .map_or_else(Years::unbounded, |c| self.channel_lifetime(c, buffer))
     }
 
     /// Eq. (6): probes lifetime in years,
-    /// `Lpb(B) = C · Dpb · B / (w · S · T · rs)`.
+    /// `Lpb(B) = C · Dpb · B / (w · S · T · rs)` — the device's
+    /// write-budget channel. Unbounded if the device has none.
     ///
     /// With `Su = B` this equals `C · Dpb · u(B) / (w · T · rs)`: probes
     /// lifetime follows the capacity-utilisation trend (the paper's
@@ -125,20 +282,8 @@ impl<'a> LifetimeModel<'a> {
     /// wears the probes: the lifetime is unbounded.
     #[must_use]
     pub fn probes_lifetime(&self, buffer: DataSize) -> Years {
-        let w = self.workload.write_fraction().fraction();
-        if w == 0.0 {
-            return Years::unbounded();
-        }
-        let u = self.capacity.utilization(buffer).fraction();
-        let budget = self.device.capacity().bits() * self.device.probe_write_cycles();
-        Years::new(budget * u / (w * self.workload.bits_per_year()))
-    }
-
-    /// Device lifetime `L = min(Lsp, Lpb)` (§III-C).
-    #[must_use]
-    pub fn device_lifetime(&self, buffer: DataSize) -> Years {
-        self.springs_lifetime(buffer)
-            .min(self.probes_lifetime(buffer))
+        self.write_budget_channel()
+            .map_or_else(Years::unbounded, |c| self.channel_lifetime(c, buffer))
     }
 
     /// The probes-lifetime ceiling: the best lifetime any buffer can buy,
@@ -146,27 +291,27 @@ impl<'a> LifetimeModel<'a> {
     /// of Fig. 3b sits where this drops below the goal.
     #[must_use]
     pub fn probes_lifetime_ceiling(&self) -> Years {
-        let w = self.workload.write_fraction().fraction();
-        if w == 0.0 {
-            return Years::unbounded();
-        }
-        let u = self.capacity.utilization_supremum().fraction();
-        let budget = self.device.capacity().bits() * self.device.probe_write_cycles();
-        Years::new(budget * u / (w * self.workload.bits_per_year()))
+        self.write_budget_channel()
+            .map_or_else(Years::unbounded, |c| self.channel_lifetime_ceiling(c))
     }
 
     /// Inverse of Eq. (5): the smallest buffer giving the springs at least
-    /// `target` years — `B ≥ L · T · rs / Dsp`.
+    /// `target` years — `B ≥ L · T · rs / Dsp`. Zero if the device has no
+    /// duty-cycle channel.
     #[must_use]
     pub fn min_buffer_for_springs(&self, target: Years) -> DataSize {
-        DataSize::from_bits(
-            target.get() * self.workload.bits_per_year() / self.device.spring_duty_cycles(),
-        )
+        match self.duty_channel() {
+            Some(WearChannel::DutyCycle { rating }) => {
+                DataSize::from_bits(target.get() * self.workload.bits_per_year() / rating)
+            }
+            _ => DataSize::ZERO,
+        }
     }
 
     /// Inverse of Eq. (6): the smallest buffer giving the probes at least
     /// `target` years. Since `Lpb ∝ u(B)`, this reduces to the capacity
-    /// inverse at the required utilisation.
+    /// inverse at the required utilisation. `None` when the probes never
+    /// wear (read-only workload, or no write-budget channel).
     ///
     /// # Errors
     ///
@@ -174,7 +319,18 @@ impl<'a> LifetimeModel<'a> {
     /// supremum cannot buy `target` years — the hard rate limit the paper
     /// marks with a vertical dashed line in Fig. 3b.
     pub fn min_buffer_for_probes(&self, target: Years) -> Result<Option<DataSize>, ModelError> {
-        let Some(required) = self.required_utilization_for_probes(target)? else {
+        match self.write_budget_channel() {
+            Some(channel) => self.min_buffer_for_write_budget(channel, target),
+            None => Ok(None),
+        }
+    }
+
+    fn min_buffer_for_write_budget(
+        &self,
+        channel: &WearChannel,
+        target: Years,
+    ) -> Result<Option<DataSize>, ModelError> {
+        let Some(required) = self.required_utilization_for_channel(channel, target)? else {
             return Ok(None);
         };
         self.capacity
@@ -203,21 +359,38 @@ impl<'a> LifetimeModel<'a> {
         &self,
         target: Years,
     ) -> Result<Option<Ratio>, ModelError> {
+        match self.write_budget_channel() {
+            Some(channel) => self.required_utilization_for_channel(channel, target),
+            None => Ok(None),
+        }
+    }
+
+    fn required_utilization_for_channel(
+        &self,
+        channel: &WearChannel,
+        target: Years,
+    ) -> Result<Option<Ratio>, ModelError> {
+        let WearChannel::WriteBudget {
+            rating,
+            budget_bits,
+        } = *channel
+        else {
+            return Ok(None);
+        };
         let w = self.workload.write_fraction().fraction();
         if w == 0.0 || target == Years::ZERO {
             return Ok(None); // read-only streams never wear probes out
         }
-        let budget = self.device.capacity().bits() * self.device.probe_write_cycles();
-        let required_u = target.get() * w * self.workload.bits_per_year() / budget;
+        let required_u = target.get() * w * self.workload.bits_per_year() / budget_bits;
         if required_u >= self.capacity.utilization_supremum().fraction() {
             return Err(ModelError::InfeasibleGoal {
                 requirement: Requirement::ProbesLifetime,
                 reason: format!(
                     "probes last at most {} at {} even at full utilisation \
                      (rating {} write cycles)",
-                    self.probes_lifetime_ceiling(),
+                    self.channel_lifetime_ceiling(channel),
                     self.workload.rate(),
-                    self.device.probe_write_cycles()
+                    rating
                 ),
             });
         }
@@ -232,9 +405,8 @@ impl fmt::Display for LifetimeModel<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "lifetime model: Dsp = {:.0e}, Dpb = {:.0}, {}",
-            self.device.spring_duty_cycles(),
-            self.device.probe_write_cycles(),
+            "lifetime model: {} wear channel(s), {}",
+            self.channels.len(),
             self.workload
         )
     }
@@ -243,6 +415,7 @@ impl fmt::Display for LifetimeModel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memstream_device::{FlashDevice, MemsDevice};
     use memstream_units::BitRate;
     use proptest::prelude::*;
 
@@ -251,6 +424,17 @@ mod tests {
             device,
             Workload::paper_default(BitRate::from_kbps(kbps)),
             CapacityModel::paper_default(),
+        )
+    }
+
+    fn flash_model(device: &FlashDevice, kbps: f64) -> LifetimeModel<'_> {
+        LifetimeModel::new(
+            device,
+            Workload::paper_default(BitRate::from_kbps(kbps)),
+            CapacityModel::constant(
+                Ratio::from_fraction(device.fixed_utilization()),
+                device.capacity(),
+            ),
         )
     }
 
@@ -403,6 +587,51 @@ mod tests {
         assert!((disk.get() / mems.get() - 1.0).abs() < 1e-9);
     }
 
+    #[test]
+    fn erase_channel_lifetime_grows_with_buffer() {
+        // Write amplification shrinks as the buffer grows, so erase-block
+        // lifetime is monotone increasing in B.
+        let d = FlashDevice::mobile_mlc();
+        let m = flash_model(&d, 1024.0);
+        let small = m.device_lifetime(DataSize::from_kibibytes(8.0));
+        let large = m.device_lifetime(DataSize::from_kibibytes(128.0));
+        assert!(large.get() > small.get(), "{small} !< {large}");
+        // And it is capped by the write-amplification floor.
+        let ceiling = m.channel_lifetime_ceiling(&m.channels()[0]);
+        assert!(m.device_lifetime(DataSize::from_mebibytes(64.0)).get() <= ceiling.get() + 1e-9);
+    }
+
+    #[test]
+    fn erase_channel_inversion_meets_the_target() {
+        let d = FlashDevice::mobile_mlc();
+        let m = flash_model(&d, 1024.0);
+        let channel = m.channels()[0];
+        let b = m
+            .min_buffer_for_channel(&channel, Years::new(7.0))
+            .unwrap()
+            .expect("writes wear flash");
+        assert!(m.channel_lifetime(&channel, b).get() >= 7.0 - 1e-9);
+        // Slightly below the answer the target is missed.
+        assert!(m.channel_lifetime(&channel, b * 0.95).get() < 7.0);
+    }
+
+    #[test]
+    fn erase_channel_infeasible_target_names_erase_lifetime() {
+        let d = FlashDevice::mobile_mlc();
+        let m = flash_model(&d, 4096.0);
+        let channel = m.channels()[0];
+        let ceiling = m.channel_lifetime_ceiling(&channel);
+        let err = m
+            .min_buffer_for_channel(&channel, Years::new(ceiling.get() * 2.0))
+            .unwrap_err();
+        match err {
+            ModelError::InfeasibleGoal { requirement, .. } => {
+                assert_eq!(requirement, Requirement::EraseLifetime);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
     proptest! {
         #[test]
         fn springs_lifetime_linear_in_buffer(kib in 0.1..1000.0f64) {
@@ -436,6 +665,15 @@ mod tests {
             let m = model(&d, 1024.0);
             let l = m.probes_lifetime(DataSize::from_kibibytes(kib));
             prop_assert!(l.get() <= m.probes_lifetime_ceiling().get() + 1e-9);
+        }
+
+        #[test]
+        fn erase_lifetime_monotone_in_buffer(kib in 1.0..5000.0f64) {
+            let d = FlashDevice::mobile_mlc();
+            let m = flash_model(&d, 1024.0);
+            let l1 = m.device_lifetime(DataSize::from_kibibytes(kib));
+            let l2 = m.device_lifetime(DataSize::from_kibibytes(kib * 1.5));
+            prop_assert!(l2.get() >= l1.get());
         }
     }
 }

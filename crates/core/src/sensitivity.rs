@@ -28,7 +28,7 @@ pub struct SensitivityRow {
 
 /// Rebuilds a builder seeded with every observable parameter of `d`.
 fn builder_from(d: &MemsDevice) -> MemsDeviceBuilder {
-    use memstream_device::MechanicalDevice as _;
+    use memstream_device::EnergyModelled as _;
     MemsDevice::builder()
         .array(*d.array())
         .capacity(d.capacity())
@@ -47,7 +47,7 @@ fn builder_from(d: &MemsDevice) -> MemsDeviceBuilder {
 
 /// Applies a multiplicative perturbation of one named parameter.
 fn perturbed(model: &SystemModel, parameter: &str, factor: f64) -> Option<SystemModel> {
-    use memstream_device::MechanicalDevice as _;
+    use memstream_device::EnergyModelled as _;
     let d = model.device();
     let device = match parameter {
         "spring duty cycles" => Some(d.with_spring_duty_cycles(d.spring_duty_cycles() * factor)),

@@ -11,13 +11,14 @@ use std::fmt;
 
 use memstream_units::{BitRate, DataSize, Duration, Power};
 
+use crate::capability::StorageDevice;
 use crate::error::DeviceError;
-use crate::power::{MechanicalDevice, PowerState};
+use crate::power::{EnergyModelled, MechanicalDevice, PowerState};
 
 /// A small-form-factor disk drive with spin-up/down overheads.
 ///
 /// ```
-/// use memstream_device::{DiskDevice, MechanicalDevice};
+/// use memstream_device::{DiskDevice, EnergyModelled};
 ///
 /// let disk = DiskDevice::calibrated_1p8_inch();
 /// // Disk overhead is seconds, MEMS overhead is milliseconds: the three
@@ -76,7 +77,7 @@ impl DiskDevice {
     }
 }
 
-impl MechanicalDevice for DiskDevice {
+impl EnergyModelled for DiskDevice {
     fn name(&self) -> &str {
         &self.name
     }
@@ -103,6 +104,34 @@ impl MechanicalDevice for DiskDevice {
     /// For a disk the post-transfer overhead is the spin-down.
     fn shutdown_time(&self) -> Duration {
         self.spin_down_time
+    }
+}
+
+impl MechanicalDevice for DiskDevice {}
+
+impl StorageDevice for DiskDevice {
+    fn kind(&self) -> &'static str {
+        "disk"
+    }
+
+    fn dedup_token(&self) -> String {
+        format!("disk:{self:?}")
+    }
+
+    fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    /// The disk participates in the energy analysis only — exactly the
+    /// role the 1.8″ drive plays in §III-A.1's break-even comparison.
+    /// Its start-stop wear and capacity legs are not modelled, and the
+    /// grid reports those gaps explicitly instead of skipping silently.
+    fn energy(&self) -> Option<&dyn EnergyModelled> {
+        Some(self)
+    }
+
+    fn clone_box(&self) -> Box<dyn StorageDevice> {
+        Box::new(self.clone())
     }
 }
 

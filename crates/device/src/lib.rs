@@ -1,23 +1,29 @@
 //! Device models for the `memstream` workspace.
 //!
-//! Three devices appear in Khatib & Abelmann (DATE 2011):
+//! Three storage devices are modelled, plus the DRAM buffer in front of
+//! them:
 //!
 //! 1. A **probe-based MEMS storage device** modelled on the IBM "millipede"
-//!    prototype (Lantz et al. 2007) — parameters in Table I, reproduced by
-//!    [`MemsDevice::table1`]. This is the subject of the study.
+//!    prototype (Lantz et al. 2007) — parameters in Table I of Khatib &
+//!    Abelmann (DATE 2011), reproduced by [`MemsDevice::table1`]. This is
+//!    the subject of the study.
 //! 2. A **1.8-inch disk drive**, the comparison point for the "three orders
 //!    of magnitude" break-even-buffer contrast — [`DiskDevice`].
-//! 3. A **DRAM streaming buffer** whose retention/access energy the paper
+//! 3. A **managed NAND flash part** with erase-block wear —
+//!    [`FlashDevice`], the first device added through the open capability
+//!    seam rather than the paper's closed pair.
+//! 4. A **DRAM streaming buffer** whose retention/access energy the paper
 //!    includes and finds negligible — [`DramModel`], patterned after the
 //!    Micron TN-46-03 DDR power calculator.
 //!
-//! The first two implement [`MechanicalDevice`], the interface the analytic
-//! energy model and the discrete-event simulator are generic over: a medium
-//! that moves (and therefore pays a seek + shutdown *overhead* around every
-//! burst) and that exposes distinct power states.
+//! The device-model seam is [`StorageDevice`] plus opt-in capabilities:
+//! [`EnergyModelled`] (the refill-cycle power model the analytic stack and
+//! the simulator are generic over), [`WearModelled`] (wear channels the
+//! lifetime model folds into years) and [`SimBacked`] (the discrete-event
+//! simulator can replay the device). See [`capability`] for the contract.
 //!
 //! ```
-//! use memstream_device::{MechanicalDevice, MemsDevice, PowerState};
+//! use memstream_device::{EnergyModelled, MemsDevice, PowerState};
 //! use memstream_units::BitRate;
 //!
 //! let mems = MemsDevice::table1();
@@ -28,17 +34,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capability;
 mod disk;
 mod dram;
 mod error;
+mod flash;
 mod mems;
 mod power;
 
+pub use capability::{
+    SimBacked, StorageDevice, UtilizationSpec, WearChannel, WearModelled, WearSpec,
+};
 pub use disk::{DiskDevice, DiskDeviceBuilder};
 pub use dram::{DramEnergyBreakdown, DramModel};
 pub use error::DeviceError;
+pub use flash::{FlashDevice, FlashDeviceBuilder};
 pub use mems::{MemsDevice, MemsDeviceBuilder, ProbeArray};
-pub use power::{MechanicalDevice, PowerState};
+pub use power::{EnergyModelled, MechanicalDevice, PowerState};
 
 #[cfg(test)]
 mod tests {
@@ -51,22 +63,33 @@ mod tests {
     fn devices_are_send_sync() {
         assert_send_sync::<MemsDevice>();
         assert_send_sync::<DiskDevice>();
+        assert_send_sync::<FlashDevice>();
         assert_send_sync::<DramModel>();
         assert_send_sync::<PowerState>();
         assert_send_sync::<DeviceError>();
+        assert_send_sync::<Box<dyn StorageDevice>>();
     }
 
     #[test]
     fn trait_objects_are_usable() {
-        // MechanicalDevice must stay object-safe: the bench harness stores
-        // heterogeneous device lists behind `&dyn MechanicalDevice`.
+        // EnergyModelled must stay object-safe: the bench harness stores
+        // heterogeneous device lists behind `&dyn EnergyModelled`.
         let mems = MemsDevice::table1();
         let disk = DiskDevice::calibrated_1p8_inch();
-        let devices: Vec<&dyn MechanicalDevice> = vec![&mems, &disk];
+        let flash = FlashDevice::mobile_mlc();
+        let devices: Vec<&dyn EnergyModelled> = vec![&mems, &disk, &flash];
         for d in devices {
             assert!(d.overhead_time() > Duration::ZERO);
             assert!(d.power(PowerState::Idle) > Power::ZERO);
             assert!(d.media_rate().bits_per_second() > 0.0);
         }
+    }
+
+    #[test]
+    fn mechanical_marker_covers_the_moving_media() {
+        fn assert_mechanical<T: MechanicalDevice>() {}
+        assert_mechanical::<MemsDevice>();
+        assert_mechanical::<DiskDevice>();
+        // FlashDevice deliberately does not implement MechanicalDevice.
     }
 }

@@ -4,8 +4,11 @@ use std::fmt;
 
 use memstream_units::{BitRate, DataSize, Duration, Power};
 
+use crate::capability::{
+    SimBacked, StorageDevice, UtilizationSpec, WearChannel, WearModelled, WearSpec,
+};
 use crate::error::DeviceError;
-use crate::power::{MechanicalDevice, PowerState};
+use crate::power::{EnergyModelled, MechanicalDevice, PowerState};
 
 /// Geometry of the probe array.
 ///
@@ -111,7 +114,7 @@ impl fmt::Display for ProbeArray {
 /// configuration, or [`MemsDevice::builder`] to explore alternatives.
 ///
 /// ```
-/// use memstream_device::{MechanicalDevice, MemsDevice};
+/// use memstream_device::{EnergyModelled, MemsDevice};
 ///
 /// let mems = MemsDevice::table1();
 /// // rm = 1024 active probes x 100 kbps
@@ -246,7 +249,7 @@ impl MemsDevice {
     }
 }
 
-impl MechanicalDevice for MemsDevice {
+impl EnergyModelled for MemsDevice {
     fn name(&self) -> &str {
         &self.name
     }
@@ -272,6 +275,82 @@ impl MechanicalDevice for MemsDevice {
 
     fn shutdown_time(&self) -> Duration {
         self.shutdown_time
+    }
+}
+
+impl MechanicalDevice for MemsDevice {}
+
+impl WearModelled for MemsDevice {
+    /// Springs first (the Eq. (5) duty-cycle channel), probes second (the
+    /// Eq. (6) utilisation-scaled write budget).
+    fn wear_channels(&self) -> Vec<WearChannel> {
+        vec![
+            WearChannel::DutyCycle {
+                rating: self.spring_duty_cycles,
+            },
+            WearChannel::WriteBudget {
+                rating: self.probe_write_cycles,
+                budget_bits: self.capacity.bits() * self.probe_write_cycles,
+            },
+        ]
+    }
+}
+
+impl SimBacked for MemsDevice {
+    fn io_overhead_time(&self) -> Duration {
+        self.io_overhead_time
+    }
+
+    fn stripe_width(&self) -> u32 {
+        self.array.active_probes()
+    }
+
+    fn wear_spec(&self) -> WearSpec {
+        WearSpec::ProbeFatigue {
+            active_probes: self.array.active_probes(),
+            spring_rating: self.spring_duty_cycles,
+            probe_budget_bits: self.capacity.bits() * self.probe_write_cycles,
+        }
+    }
+
+    fn clone_sim(&self) -> Box<dyn SimBacked> {
+        Box::new(self.clone())
+    }
+}
+
+impl StorageDevice for MemsDevice {
+    fn kind(&self) -> &'static str {
+        "mems"
+    }
+
+    fn dedup_token(&self) -> String {
+        format!("mems:{self:?}")
+    }
+
+    fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    fn energy(&self) -> Option<&dyn EnergyModelled> {
+        Some(self)
+    }
+
+    fn wear(&self) -> Option<&dyn WearModelled> {
+        Some(self)
+    }
+
+    fn sim(&self) -> Option<&dyn SimBacked> {
+        Some(self)
+    }
+
+    fn utilization(&self) -> Option<UtilizationSpec> {
+        Some(UtilizationSpec::SectorFormat {
+            stripe_width: self.array.active_probes(),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn StorageDevice> {
+        Box::new(self.clone())
     }
 }
 

@@ -48,19 +48,22 @@ impl fmt::Display for PowerState {
     }
 }
 
-/// A storage device with a moving medium: it pays a fixed time/energy
-/// overhead (seek + shutdown) around every transfer burst and exposes the
-/// power states of [`PowerState`].
+/// Capability: the device can be driven by the refill-cycle energy model
+/// of Eq. (1). It pays a fixed time/energy overhead (wake-up + shutdown)
+/// around every transfer burst and exposes the power states of
+/// [`PowerState`].
 ///
 /// Both the analytic buffering model (`memstream-core`) and the
 /// discrete-event simulator (`memstream-sim`) are generic over this trait,
-/// which is what lets the paper's MEMS-vs-disk comparison run through the
-/// exact same code path.
+/// which is what lets the paper's MEMS-vs-disk comparison — and any future
+/// device, mechanical or solid-state — run through the exact same code
+/// path. For a MEMS store the overhead is a probe seek; for a disk it is
+/// the spin-up; for a flash part it is the exit from deep power-down.
 ///
 /// The trait is object-safe; heterogeneous device collections can be stored
-/// as `Vec<Box<dyn MechanicalDevice>>`. `Debug` is a supertrait so that
-/// models holding `&dyn MechanicalDevice` can themselves derive `Debug`.
-pub trait MechanicalDevice: std::fmt::Debug {
+/// as `Vec<Box<dyn EnergyModelled>>`. `Debug` is a supertrait so that
+/// models holding `&dyn EnergyModelled` can themselves derive `Debug`.
+pub trait EnergyModelled: std::fmt::Debug {
     /// Human-readable device name for reports.
     fn name(&self) -> &str;
 
@@ -106,6 +109,12 @@ pub trait MechanicalDevice: std::fmt::Debug {
     }
 }
 
+/// Marker: an [`EnergyModelled`] device whose overhead comes from a moving
+/// medium (probe seek, disk spin-up). The original closed world of the
+/// paper — [`crate::MemsDevice`] and [`crate::DiskDevice`] implement it,
+/// solid-state devices do not.
+pub trait MechanicalDevice: EnergyModelled {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,7 +123,7 @@ mod tests {
     #[derive(Debug)]
     struct Toy;
 
-    impl MechanicalDevice for Toy {
+    impl EnergyModelled for Toy {
         fn name(&self) -> &str {
             "toy"
         }

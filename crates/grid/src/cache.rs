@@ -1,0 +1,384 @@
+//! Cross-run result caching: persist evaluated cell outcomes keyed by
+//! [`ScenarioGrid::dedup_key`](crate::ScenarioGrid::dedup_key) so repeated
+//! explorations (CI re-runs, interactive sweeps) skip already-evaluated
+//! cells across process boundaries.
+//!
+//! The on-disk format is a versioned, tab-separated line store
+//! (`memstream-grid-cache v1`). Floats are written with Rust's
+//! shortest-roundtrip formatting, so a warm-cache exploration reproduces
+//! the cold run's reports **byte-identically** — the property the CI
+//! determinism smoke asserts. Unknown or corrupt lines are ignored on
+//! load (they simply become cache misses), so format evolution never
+//! poisons a run.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use memstream_core::Requirement;
+use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
+
+use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
+
+const HEADER: &str = "memstream-grid-cache v1";
+
+/// A persistent map from scenario dedup keys to evaluated outcomes.
+///
+/// ```
+/// use memstream_grid::{GridExecutor, ResultCache, ScenarioGrid};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("memstream-cache-doc");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("grid.cache");
+/// # let _ = std::fs::remove_file(&path);
+/// let grid = ScenarioGrid::paper_baseline(3);
+///
+/// let mut cache = ResultCache::load(&path)?; // empty on first run
+/// let cold = GridExecutor::serial().explore_cached(&grid, &mut cache)?;
+/// cache.save(&path)?;
+///
+/// let mut warm = ResultCache::load(&path)?; // every cell hits
+/// let rerun = GridExecutor::serial().explore_cached(&grid, &mut warm)?;
+/// assert_eq!(warm.hits(), rerun.unique_evaluations());
+/// assert_eq!(
+///     memstream_grid::report::cells_csv(&cold),
+///     memstream_grid::report::cells_csv(&rerun),
+/// );
+/// # std::fs::remove_file(&path)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    entries: HashMap<String, CellOutcome>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ResultCache {
+    /// An empty in-memory cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Loads a cache file. A missing file yields an empty cache;
+    /// unparseable lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found".
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
+            Err(e) => return Err(e),
+        };
+        let mut cache = ResultCache::new();
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            // Unknown version: treat as empty rather than failing the run.
+            return Ok(cache);
+        }
+        for line in lines {
+            if let Some((key, outcome)) = parse_line(line) {
+                cache.entries.insert(key, outcome);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Writes the cache to `path`, sorted by key for reproducible bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        for key in keys {
+            let _ = writeln!(out, "{}", encode_line(key, &self.entries[key]));
+        }
+        fs::write(path, out)
+    }
+
+    /// Number of cached outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits since construction/load.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses since construction/load.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Looks up an outcome, counting the hit/miss.
+    pub(crate) fn lookup(&mut self, key: &str) -> Option<CellOutcome> {
+        match self.entries.get(key) {
+            Some(outcome) => {
+                self.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an outcome under `key`.
+    pub(crate) fn insert(&mut self, key: String, outcome: CellOutcome) {
+        self.entries.insert(key, outcome);
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), fmt_f64)
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    s.parse::<f64>().ok()
+}
+
+fn parse_opt(s: &str) -> Option<Option<f64>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        parse_f64(s).map(Some)
+    }
+}
+
+/// Maps a parsed region/dominant label back to the `&'static str` the
+/// outcome types carry. Only labels the evaluator can produce round-trip;
+/// anything else rejects the line.
+fn static_label(s: &str) -> Option<&'static str> {
+    for requirement in Requirement::ALL {
+        if requirement.label() == s {
+            return Some(requirement.label());
+        }
+    }
+    match s {
+        "X" => Some("X"),
+        "disk" => Some("disk"),
+        "-" => Some("-"),
+        _ => None,
+    }
+}
+
+fn encode_line(key: &str, outcome: &CellOutcome) -> String {
+    let payload = match outcome {
+        CellOutcome::Feasible(p) => format!(
+            "F\t{}\t{}\t{}\t{}\t{}\t{}",
+            fmt_f64(p.buffer.bits()),
+            p.dominant,
+            fmt_opt(p.saving),
+            fmt_f64(p.utilization.fraction()),
+            fmt_f64(p.lifetime.get()),
+            fmt_opt(p.energy_per_bit.map(EnergyPerBit::joules_per_bit)),
+        ),
+        CellOutcome::Infeasible { region, detail } => {
+            format!("X\t{}\t{}", region, escape(detail))
+        }
+        CellOutcome::EnergyOnly(p) => format!(
+            "D\t{}\t{}\t{}",
+            fmt_opt(p.break_even.map(DataSize::bits)),
+            fmt_opt(p.buffer_for_saving.map(DataSize::bits)),
+            fmt_opt(p.saving),
+        ),
+        CellOutcome::Unmodelled { detail } => format!("U\t{}", escape(detail)),
+    };
+    format!("{}\t{}", escape(key), payload)
+}
+
+fn parse_line(line: &str) -> Option<(String, CellOutcome)> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let (&key, rest) = fields.split_first()?;
+    let (&tag, payload) = rest.split_first()?;
+    let outcome = match (tag, payload) {
+        ("F", [buffer, dominant, saving, utilization, lifetime, energy]) => {
+            CellOutcome::Feasible(PlannedPoint {
+                buffer: DataSize::from_bits(parse_f64(buffer)?),
+                dominant: static_label(dominant)?,
+                saving: parse_opt(saving)?,
+                utilization: Ratio::from_fraction(parse_f64(utilization)?),
+                lifetime: Years::new(parse_f64(lifetime)?),
+                energy_per_bit: parse_opt(energy)?.map(EnergyPerBit::from_joules_per_bit),
+            })
+        }
+        ("X", [region, detail]) => CellOutcome::Infeasible {
+            region: static_label(region)?,
+            detail: unescape(detail),
+        },
+        ("D", [break_even, buffer_for_saving, saving]) => {
+            CellOutcome::EnergyOnly(EnergyOnlyPoint {
+                break_even: parse_opt(break_even)?.map(DataSize::from_bits),
+                buffer_for_saving: parse_opt(buffer_for_saving)?.map(DataSize::from_bits),
+                saving: parse_opt(saving)?,
+            })
+        }
+        ("U", [detail]) => CellOutcome::Unmodelled {
+            detail: unescape(detail),
+        },
+        _ => return None,
+    };
+    Some((unescape(key), outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GridExecutor;
+    use crate::spec::ScenarioGrid;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("memstream-grid-cache-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn every_outcome_kind_round_trips_exactly() {
+        let grid = ScenarioGrid::paper_baseline(6);
+        let results = GridExecutor::serial().explore(&grid).unwrap();
+        let mut seen_kinds = std::collections::HashSet::new();
+        for (cell, outcome) in results.records() {
+            let key = grid.dedup_key(&cell);
+            let line = encode_line(&key, outcome);
+            let (parsed_key, parsed) = parse_line(&line).expect("line parses");
+            assert_eq!(parsed_key, key);
+            assert_eq!(&parsed, outcome, "roundtrip drift for {key}");
+            seen_kinds.insert(std::mem::discriminant(outcome));
+        }
+        // The baseline exercises feasible, infeasible and energy-only.
+        assert_eq!(seen_kinds.len(), 3);
+    }
+
+    #[test]
+    fn unbounded_lifetimes_survive_the_roundtrip() {
+        let outcome = CellOutcome::Feasible(PlannedPoint {
+            buffer: DataSize::from_kibibytes(12.0),
+            dominant: "Lpe",
+            saving: Some(0.75),
+            utilization: Ratio::from_fraction(0.93),
+            lifetime: Years::unbounded(),
+            energy_per_bit: None,
+        });
+        let line = encode_line("k", &outcome);
+        let (_, parsed) = parse_line(&line).unwrap();
+        assert_eq!(parsed, outcome);
+    }
+
+    #[test]
+    fn hostile_strings_are_escaped() {
+        let outcome = CellOutcome::Infeasible {
+            region: "X",
+            detail: "tab\there\nnewline\\backslash".to_owned(),
+        };
+        let line = encode_line("key\twith\ttabs", &outcome);
+        assert_eq!(line.lines().count(), 1, "escaping keeps one line per entry");
+        let (key, parsed) = parse_line(&line).unwrap();
+        assert_eq!(key, "key\twith\ttabs");
+        assert_eq!(parsed, outcome);
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let path = temp_path("roundtrip.cache");
+        let grid = ScenarioGrid::paper_baseline(4);
+        let mut cache = ResultCache::new();
+        let results = GridExecutor::serial()
+            .explore_cached(&grid, &mut cache)
+            .unwrap();
+        assert_eq!(cache.misses(), results.unique_evaluations());
+        cache.save(&path).unwrap();
+
+        let mut loaded = ResultCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), cache.len());
+        let warm = GridExecutor::parallel(4)
+            .explore_cached(&grid, &mut loaded)
+            .unwrap();
+        assert_eq!(loaded.hits(), warm.unique_evaluations());
+        assert_eq!(loaded.misses(), 0);
+        assert_eq!(
+            crate::report::cells_csv(&results),
+            crate::report::cells_csv(&warm),
+            "warm cache must reproduce cold bytes"
+        );
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_become_misses() {
+        let path = temp_path("corrupt.cache");
+        fs::write(&path, format!("{HEADER}\nnot-a-valid-line\nk\tF\tbogus\n")).unwrap();
+        let cache = ResultCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unknown_header_is_an_empty_cache() {
+        let path = temp_path("future.cache");
+        fs::write(&path, "memstream-grid-cache v99\nwhatever\n").unwrap();
+        let cache = ResultCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_cache() {
+        let cache = ResultCache::load(temp_path("does-not-exist.cache")).unwrap();
+        assert!(cache.is_empty());
+    }
+}

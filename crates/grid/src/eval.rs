@@ -4,12 +4,11 @@
 //! what lets the executor fan cells out across threads and still promise
 //! byte-identical results.
 
-use memstream_core::{EnergyModel, ModelError, SystemModel};
+use memstream_core::{AnalyticModel, CapabilityModel, EnergyModel, ModelError};
 use memstream_device::DramModel;
-use memstream_media::SectorFormat;
 use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 
-use crate::spec::{DeviceVariant, GridCell, ScenarioGrid};
+use crate::spec::{GridCell, ScenarioGrid};
 
 /// The metrics of a feasible, fully modelled (MEMS) cell at its planned
 /// buffer size.
@@ -66,8 +65,14 @@ pub enum CellOutcome {
         /// Human-readable detail from the model error.
         detail: String,
     },
-    /// A disk cell: energy metrics only (no utilisation/lifetime model).
+    /// An energy-only cell: the device exposes no wear/utilisation
+    /// capabilities (the 1.8″ disk), so only the energy model speaks.
     EnergyOnly(EnergyOnlyPoint),
+    /// The device exposes no capability the grid can evaluate at all.
+    Unmodelled {
+        /// Which capability was missing.
+        detail: String,
+    },
 }
 
 impl CellOutcome {
@@ -80,64 +85,73 @@ impl CellOutcome {
         }
     }
 
-    /// The region label reported in tables (`dominant`, `"X"`, or
-    /// `"disk"`).
+    /// The region label reported in tables: the dominant requirement,
+    /// `"X"` for infeasible cells, `"disk"` for energy-only cells (the
+    /// historical label of the only energy-only device family), or `"-"`
+    /// for unmodelled cells.
     #[must_use]
     pub fn region(&self) -> &'static str {
         match self {
             CellOutcome::Feasible(p) => p.dominant,
             CellOutcome::Infeasible { .. } => "X",
             CellOutcome::EnergyOnly(_) => "disk",
+            CellOutcome::Unmodelled { .. } => "-",
         }
     }
 }
 
-/// Evaluates one cell of `grid`. Pure: equal inputs give equal outputs.
+/// Evaluates one cell of `grid`, dispatching on the capabilities the
+/// cell's device exposes. Pure: equal inputs give equal outputs.
 pub(crate) fn evaluate(grid: &ScenarioGrid, cell: &GridCell) -> CellOutcome {
     let rate = grid.rates()[cell.rate];
     let goal = &grid.goals()[cell.goal];
     let workload = grid.workloads()[cell.workload].workload().with_rate(rate);
+    let device = grid.devices()[cell.device].device();
 
-    match &grid.devices()[cell.device] {
-        DeviceVariant::Mems { device, .. } => {
-            let format = SectorFormat::for_device(device);
-            let dram = grid.dram_enabled().then(DramModel::micron_ddr_mobile);
-            let model = SystemModel::new(
-                device.clone(),
-                workload,
-                format,
-                dram,
-                grid.best_effort_policy(),
-            );
-            match model.dimension(goal) {
-                Ok(plan) => {
-                    let b = plan.buffer();
-                    CellOutcome::Feasible(PlannedPoint {
-                        buffer: b,
-                        dominant: plan.dominant().label(),
-                        saving: model.saving(b).ok(),
-                        utilization: model.utilization(b),
-                        lifetime: model.device_lifetime(b),
-                        energy_per_bit: model.per_bit_energy(b).ok(),
-                    })
-                }
-                Err(err) => CellOutcome::Infeasible {
-                    region: infeasible_region(&err),
-                    detail: err.to_string(),
-                },
+    // Full pipeline when the device carries energy + wear + utilisation.
+    let dram = grid.dram_enabled().then(DramModel::micron_ddr_mobile);
+    match CapabilityModel::new(device, workload, dram, grid.best_effort_policy()) {
+        Ok(model) => match model.dimension(goal) {
+            Ok(plan) => {
+                let b = plan.buffer();
+                CellOutcome::Feasible(PlannedPoint {
+                    buffer: b,
+                    dominant: plan.dominant().label(),
+                    saving: model.saving(b).ok(),
+                    utilization: model.utilization(b),
+                    lifetime: model.device_lifetime(b),
+                    energy_per_bit: model.per_bit_energy(b).ok(),
+                })
             }
-        }
-        DeviceVariant::Disk { device, .. } => {
-            let energy = EnergyModel::new(device, workload, grid.best_effort_policy(), None);
-            let buffer_for_saving = goal
-                .energy_saving_target()
-                .and_then(|e| energy.min_buffer_for_saving(e).ok());
-            CellOutcome::EnergyOnly(EnergyOnlyPoint {
-                break_even: energy.break_even_buffer().ok(),
-                buffer_for_saving,
-                saving: buffer_for_saving.and_then(|b| energy.saving(b).ok()),
-            })
-        }
+            Err(err) => CellOutcome::Infeasible {
+                region: infeasible_region(&err),
+                detail: err.to_string(),
+            },
+        },
+        // Devices that genuinely lack full-pipeline capabilities fall back
+        // to the energy-only path; a device that *claims* the capabilities
+        // but reports a malformed payload is a misconfiguration and must
+        // stay visible, not masquerade as an intentional energy-only disk.
+        Err(err @ ModelError::MissingCapability { .. }) => match device.energy() {
+            Some(energy_device) => {
+                let energy =
+                    EnergyModel::new(energy_device, workload, grid.best_effort_policy(), None);
+                let buffer_for_saving = goal
+                    .energy_saving_target()
+                    .and_then(|e| energy.min_buffer_for_saving(e).ok());
+                CellOutcome::EnergyOnly(EnergyOnlyPoint {
+                    break_even: energy.break_even_buffer().ok(),
+                    buffer_for_saving,
+                    saving: buffer_for_saving.and_then(|b| energy.saving(b).ok()),
+                })
+            }
+            None => CellOutcome::Unmodelled {
+                detail: err.to_string(),
+            },
+        },
+        Err(invalid) => CellOutcome::Unmodelled {
+            detail: invalid.to_string(),
+        },
     }
 }
 
@@ -162,18 +176,95 @@ mod tests {
     }
 
     #[test]
+    fn invalid_capability_payloads_surface_as_unmodelled() {
+        // A device that *claims* the full pipeline but reports a malformed
+        // utilisation spec must not be silently demoted to the energy-only
+        // path (it would be indistinguishable from an intentional disk).
+        use crate::spec::DeviceEntry;
+        use memstream_core::DesignGoal;
+        use memstream_device::{
+            EnergyModelled, FlashDevice, StorageDevice, UtilizationSpec, WearModelled,
+        };
+
+        #[derive(Debug, Clone)]
+        struct BrokenFlash(FlashDevice);
+        impl StorageDevice for BrokenFlash {
+            fn kind(&self) -> &'static str {
+                "broken-flash"
+            }
+            fn dedup_token(&self) -> String {
+                "broken-flash".to_owned()
+            }
+            fn capacity(&self) -> memstream_units::DataSize {
+                StorageDevice::capacity(&self.0)
+            }
+            fn energy(&self) -> Option<&dyn EnergyModelled> {
+                Some(&self.0)
+            }
+            fn wear(&self) -> Option<&dyn WearModelled> {
+                Some(&self.0)
+            }
+            fn utilization(&self) -> Option<UtilizationSpec> {
+                Some(UtilizationSpec::Constant { fraction: 2.0 })
+            }
+            fn clone_box(&self) -> Box<dyn StorageDevice> {
+                Box::new(self.clone())
+            }
+        }
+
+        let grid = ScenarioGrid::new()
+            .device(DeviceEntry::new(
+                "broken",
+                BrokenFlash(FlashDevice::mobile_mlc()),
+            ))
+            .workload(crate::spec::WorkloadProfile::paper())
+            .rate_span(256.0, 1024.0, 2)
+            .goal(DesignGoal::fig3b());
+        for cell in grid.cells() {
+            match evaluate(&grid, &cell) {
+                CellOutcome::Unmodelled { detail } => {
+                    assert!(detail.contains("utilization"), "detail: {detail}");
+                }
+                other => panic!("misconfigured device was not surfaced: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn disk_cells_are_energy_only() {
         let grid = ScenarioGrid::paper_baseline(4);
         let disk_idx = grid
             .devices()
             .iter()
-            .position(|d| matches!(d, DeviceVariant::Disk { .. }))
+            .position(|d| d.device().kind() == "disk")
             .expect("baseline has a disk");
         let cell = grid
             .cells()
             .find(|c| c.device == disk_idx)
             .expect("disk cell exists");
         assert!(matches!(evaluate(&grid, &cell), CellOutcome::EnergyOnly(_)));
+    }
+
+    #[test]
+    fn flash_cells_run_the_full_pipeline() {
+        let grid = ScenarioGrid::paper_baseline(4);
+        let flash_idx = grid
+            .devices()
+            .iter()
+            .position(|d| d.device().kind() == "flash")
+            .expect("baseline has flash");
+        let mut feasible = 0;
+        for cell in grid.cells().filter(|c| c.device == flash_idx) {
+            match evaluate(&grid, &cell) {
+                CellOutcome::Feasible(p) => {
+                    feasible += 1;
+                    assert!(p.saving.is_some(), "flash plans have measurable savings");
+                }
+                CellOutcome::Infeasible { .. } => {}
+                other => panic!("flash cell fell off the full pipeline: {other:?}"),
+            }
+        }
+        assert!(feasible > 0, "some flash cells are feasible");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+use crate::cache::ResultCache;
 use crate::eval::{evaluate, CellOutcome};
 use crate::spec::{GridCell, GridError, ScenarioGrid};
 use crate::store::{pareto_frontier, ParetoPoint, ResultStore};
@@ -55,19 +56,82 @@ impl GridExecutor {
         grid.check_axes()?;
         let (job_cells, cell_to_job) = ResultStore::plan(grid);
         let workers = self.threads.min(job_cells.len()).max(1);
-        let outcomes = if workers == 1 {
-            job_cells.iter().map(|c| evaluate(grid, c)).collect()
-        } else {
-            fan_out(grid, &job_cells, workers)
-        };
-        let store = ResultStore::new(cell_to_job, job_cells, outcomes);
-        let frontier = pareto_frontier(&store);
-        Ok(GridResults {
-            grid: grid.clone(),
-            store,
-            frontier,
-            workers,
-        })
+        let outcomes = evaluate_jobs(grid, &job_cells, workers);
+        Ok(assemble(grid, cell_to_job, job_cells, outcomes, workers))
+    }
+
+    /// Like [`GridExecutor::explore`], but resolves every job against
+    /// `cache` first and evaluates only the misses (in parallel), feeding
+    /// them back into the cache. Because cached outcomes round-trip
+    /// exactly, the results — and every report rendered from them — are
+    /// byte-identical to an uncached exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::EmptyAxis`] if any axis of the grid is empty.
+    pub fn explore_cached(
+        &self,
+        grid: &ScenarioGrid,
+        cache: &mut ResultCache,
+    ) -> Result<GridResults, GridError> {
+        grid.check_axes()?;
+        let (job_cells, cell_to_job) = ResultStore::plan(grid);
+        let workers = self.threads.min(job_cells.len()).max(1);
+
+        let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(job_cells.len());
+        let mut miss_slots: Vec<usize> = Vec::new();
+        let mut miss_cells: Vec<GridCell> = Vec::new();
+        for (slot, cell) in job_cells.iter().enumerate() {
+            match cache.lookup(&grid.dedup_key(cell)) {
+                Some(outcome) => outcomes.push(Some(outcome)),
+                None => {
+                    outcomes.push(None);
+                    miss_slots.push(slot);
+                    miss_cells.push(*cell);
+                }
+            }
+        }
+
+        let fresh = evaluate_jobs(grid, &miss_cells, workers.min(miss_cells.len()).max(1));
+        for ((slot, cell), outcome) in miss_slots.into_iter().zip(&miss_cells).zip(fresh) {
+            cache.insert(grid.dedup_key(cell), outcome.clone());
+            outcomes[slot] = Some(outcome);
+        }
+
+        let outcomes: Vec<CellOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every job is cached or evaluated"))
+            .collect();
+        Ok(assemble(grid, cell_to_job, job_cells, outcomes, workers))
+    }
+}
+
+/// Evaluates `jobs` serially or fanned out, per `workers`.
+fn evaluate_jobs(grid: &ScenarioGrid, jobs: &[GridCell], workers: usize) -> Vec<CellOutcome> {
+    if jobs.is_empty() {
+        Vec::new()
+    } else if workers == 1 {
+        jobs.iter().map(|c| evaluate(grid, c)).collect()
+    } else {
+        fan_out(grid, jobs, workers)
+    }
+}
+
+/// Folds evaluated job outcomes into the final results record.
+fn assemble(
+    grid: &ScenarioGrid,
+    cell_to_job: Vec<usize>,
+    job_cells: Vec<GridCell>,
+    outcomes: Vec<CellOutcome>,
+    workers: usize,
+) -> GridResults {
+    let store = ResultStore::new(cell_to_job, job_cells, outcomes);
+    let frontier = pareto_frontier(&store);
+    GridResults {
+        grid: grid.clone(),
+        store,
+        frontier,
+        workers,
     }
 }
 
@@ -195,13 +259,13 @@ mod tests {
     fn dedup_shares_identical_cells() {
         // Two identically parameterised devices under different names must
         // halve the evaluation count for their share of the grid.
-        use crate::spec::DeviceVariant;
+        use crate::spec::DeviceEntry;
         use memstream_core::DesignGoal;
         use memstream_device::MemsDevice;
 
         let grid = ScenarioGrid::new()
-            .device(DeviceVariant::mems("a", MemsDevice::table1()))
-            .device(DeviceVariant::mems("b", MemsDevice::table1()))
+            .device(DeviceEntry::new("a", MemsDevice::table1()))
+            .device(DeviceEntry::new("b", MemsDevice::table1()))
             .workload(crate::spec::WorkloadProfile::paper())
             .rate_span(32.0, 4096.0, 10)
             .goal(DesignGoal::fig3b());

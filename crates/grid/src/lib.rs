@@ -6,11 +6,14 @@
 //! larger design space. This crate explores the full **cartesian product**
 //!
 //! ```text
-//! devices (MEMS variants + disks) × workload mixes × stream rates × goals
+//! device registry (MEMS, disk, flash, ...) × workload mixes × rates × goals
 //! ```
 //!
-//! and does so in parallel, with three guarantees the rest of the
-//! workspace builds on:
+//! The device axis is an open registry of boxed
+//! [`memstream_device::StorageDevice`]s: evaluation dispatches on the
+//! capabilities each device exposes (full pipeline, energy-only, ...), so
+//! adding a device touches no grid code. Exploration runs in parallel,
+//! with three guarantees the rest of the workspace builds on:
 //!
 //! 1. **Determinism** — cells have a fixed canonical order (device
 //!    outermost, goal innermost) and evaluation is pure, so an `N`-thread
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod eval;
 mod exec;
 pub mod report;
@@ -52,11 +56,14 @@ mod spec;
 mod store;
 mod validate;
 
+pub use cache::ResultCache;
 pub use eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 pub use exec::{GridExecutor, GridResults};
-pub use spec::{DeviceVariant, GridCell, GridError, ScenarioGrid, WorkloadProfile};
+pub use spec::{DeviceEntry, GridCell, GridError, ScenarioGrid, WorkloadProfile};
 pub use store::{non_dominated, ParetoPoint, ResultStore};
-pub use validate::{validate_frontier, FrontierValidation, ValidationRow};
+pub use validate::{
+    validate_frontier, FrontierValidation, SkipReason, ValidationRow, ValidationSkip,
+};
 
 #[cfg(test)]
 mod tests {

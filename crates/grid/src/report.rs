@@ -102,6 +102,13 @@ pub fn cells_csv(results: &GridResults) -> String {
                         format!("break-even {:.3} KiB", b.kibibytes())
                     }),
                 ),
+                CellOutcome::Unmodelled { detail } => (
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    detail.clone(),
+                ),
             };
             vec![
                 cell.index.to_string(),
@@ -172,11 +179,13 @@ pub fn summary(results: &GridResults) -> String {
     let mut feasible = 0usize;
     let mut infeasible = 0usize;
     let mut disk = 0usize;
+    let mut unmodelled = 0usize;
     for (_, outcome) in results.records() {
         match outcome {
             CellOutcome::Feasible(_) => feasible += 1,
             CellOutcome::Infeasible { .. } => infeasible += 1,
             CellOutcome::EnergyOnly(_) => disk += 1,
+            CellOutcome::Unmodelled { .. } => unmodelled += 1,
         }
     }
     let grid = results.grid();
@@ -196,15 +205,42 @@ pub fn summary(results: &GridResults) -> String {
         results.unique_evaluations(),
         results.total_cells() - results.unique_evaluations(),
     );
-    let _ = writeln!(
+    // The unmodelled count appears only when nonzero, keeping historical
+    // summaries byte-stable.
+    let _ = write!(
         out,
         "outcomes: {feasible} feasible, {infeasible} infeasible, {disk} disk (energy-only)",
     );
+    if unmodelled > 0 {
+        let _ = write!(out, ", {unmodelled} unmodelled");
+    }
+    let _ = writeln!(out);
     let _ = writeln!(
         out,
         "pareto frontier: {} points",
         results.pareto_frontier().len()
     );
+    out
+}
+
+/// The exact stdout of `harness grid` for an exploration: summary, chart
+/// and frontier CSV (plus the all-cells CSV when `full_csv`). One shared
+/// composer keeps the binary and the byte-identity golden test from ever
+/// drifting apart.
+#[must_use]
+pub fn grid_stdout(results: &GridResults, full_csv: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== G1: scenario grid (devices x workloads x rates x goals) =="
+    );
+    out.push_str(&summary(results));
+    let _ = writeln!(out);
+    out.push_str(&frontier_chart(results));
+    let _ = writeln!(out, "pareto frontier csv:\n{}", frontier_csv(results));
+    if full_csv {
+        let _ = writeln!(out, "all cells csv:\n{}", cells_csv(results));
+    }
     out
 }
 

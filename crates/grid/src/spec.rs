@@ -3,7 +3,7 @@
 use std::fmt;
 
 use memstream_core::{log_spaced_rates, BestEffortPolicy, DesignGoal};
-use memstream_device::{DiskDevice, MemsDevice};
+use memstream_device::{DiskDevice, FlashDevice, MemsDevice, StorageDevice};
 use memstream_units::{BitRate, Ratio};
 use memstream_workload::{PlaybackCalendar, StreamMix, Workload};
 
@@ -30,42 +30,33 @@ impl fmt::Display for GridError {
 
 impl std::error::Error for GridError {}
 
-/// One entry of the device axis: a named MEMS or disk device.
+/// One entry of the device axis: a named [`StorageDevice`] in the
+/// registry.
 ///
-/// MEMS variants run the full model pipeline (energy, capacity, lifetime,
-/// dimensioning); disk variants run the energy model only — exactly the
-/// role the 1.8″ disk plays in the paper (§III-A.1's break-even
-/// comparison), since utilisation and probe/spring wear are MEMS concepts.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DeviceVariant {
-    /// A probe-storage device explored through the full model.
-    Mems {
-        /// Display name used in reports.
-        name: String,
-        /// The device parameters.
-        device: MemsDevice,
-    },
-    /// A disk drive explored through the energy model only.
-    Disk {
-        /// Display name used in reports.
-        name: String,
-        /// The device parameters.
-        device: DiskDevice,
-    },
+/// The grid no longer knows device families. Each entry is a boxed
+/// capability object; evaluation dispatches on the capabilities the device
+/// exposes (full pipeline when energy + wear + utilisation are present,
+/// energy-only otherwise — the role the 1.8″ disk plays in §III-A.1's
+/// break-even comparison). Adding a device to the grid is registering it
+/// here, nothing else.
+#[derive(Debug)]
+pub struct DeviceEntry {
+    name: String,
+    device: Box<dyn StorageDevice>,
 }
 
-impl DeviceVariant {
-    /// A named MEMS variant.
-    pub fn mems(name: impl Into<String>, device: MemsDevice) -> Self {
-        DeviceVariant::Mems {
+impl DeviceEntry {
+    /// A named entry from any storage device.
+    pub fn new(name: impl Into<String>, device: impl StorageDevice + 'static) -> Self {
+        DeviceEntry {
             name: name.into(),
-            device,
+            device: Box::new(device),
         }
     }
 
-    /// A named disk variant.
-    pub fn disk(name: impl Into<String>, device: DiskDevice) -> Self {
-        DeviceVariant::Disk {
+    /// A named entry from an already boxed device.
+    pub fn from_boxed(name: impl Into<String>, device: Box<dyn StorageDevice>) -> Self {
+        DeviceEntry {
             name: name.into(),
             device,
         }
@@ -74,18 +65,36 @@ impl DeviceVariant {
     /// The display name.
     #[must_use]
     pub fn name(&self) -> &str {
-        match self {
-            DeviceVariant::Mems { name, .. } | DeviceVariant::Disk { name, .. } => name,
-        }
+        &self.name
     }
 
-    /// A canonical content key for deduplication: two variants with equal
+    /// The registered device.
+    #[must_use]
+    pub fn device(&self) -> &dyn StorageDevice {
+        &*self.device
+    }
+
+    /// A canonical content key for deduplication: two entries with equal
     /// keys model the same physics regardless of their display names.
+    /// Byte-stable across the registry refactor for the paper's devices
+    /// (`mems:…` / `disk:…` tokens).
     pub(crate) fn dedup_key(&self) -> String {
-        match self {
-            DeviceVariant::Mems { device, .. } => format!("mems:{device:?}"),
-            DeviceVariant::Disk { device, .. } => format!("disk:{device:?}"),
+        self.device.dedup_token()
+    }
+}
+
+impl Clone for DeviceEntry {
+    fn clone(&self) -> Self {
+        DeviceEntry {
+            name: self.name.clone(),
+            device: self.device.clone_box(),
         }
+    }
+}
+
+impl PartialEq for DeviceEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.device.dedup_token() == other.device.dedup_token()
     }
 }
 
@@ -177,7 +186,7 @@ pub struct GridCell {
 /// is part of the crate's determinism contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
-    devices: Vec<DeviceVariant>,
+    devices: Vec<DeviceEntry>,
     workloads: Vec<WorkloadProfile>,
     rates: Vec<BitRate>,
     goals: Vec<DesignGoal>,
@@ -205,18 +214,33 @@ impl ScenarioGrid {
         }
     }
 
-    /// The workspace's reference exploration: four device variants
+    /// The workspace's reference exploration: five registered devices
     /// (Table I, the wear-hardened Fig. 3c part, an early prototype with
-    /// weak wear ratings, and the 1.8″ disk), three workload shapes
-    /// (paper, read-mostly A/V mix, write-heavy recorder), `n_rates`
-    /// log-spaced rates over the paper's 32–4096 kbps span, and the
-    /// Fig. 3a/3b goals.
+    /// weak wear ratings, the 1.8″ disk, and the mobile MLC flash part),
+    /// three workload shapes (paper, read-mostly A/V mix, write-heavy
+    /// recorder), `n_rates` log-spaced rates over the paper's 32–4096 kbps
+    /// span, and the Fig. 3a/3b goals.
     ///
     /// # Panics
     ///
     /// Panics if `n_rates < 2`.
     #[must_use]
     pub fn paper_baseline(n_rates: usize) -> Self {
+        ScenarioGrid::paper_classic(n_rates)
+            .device(DeviceEntry::new("flash-mlc", FlashDevice::mobile_mlc()))
+    }
+
+    /// The pre-flash reference exploration: the four classic devices of
+    /// the paper era (three MEMS variants and the 1.8″ disk). Kept
+    /// distinct so the registry refactor's byte-identity golden test has a
+    /// stable target, and useful whenever only the paper's devices are
+    /// wanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rates < 2`.
+    #[must_use]
+    pub fn paper_classic(n_rates: usize) -> Self {
         use memstream_workload::StreamSpec;
 
         let mix = StreamMix::new(vec![
@@ -228,20 +252,20 @@ impl ScenarioGrid {
         .expect("non-empty mix");
 
         ScenarioGrid::new()
-            .device(DeviceVariant::mems("table1", MemsDevice::table1()))
-            .device(DeviceVariant::mems(
+            .device(DeviceEntry::new("table1", MemsDevice::table1()))
+            .device(DeviceEntry::new(
                 "wear-hardened",
                 MemsDevice::table1()
                     .with_probe_write_cycles(200.0)
                     .with_spring_duty_cycles(1e12),
             ))
-            .device(DeviceVariant::mems(
+            .device(DeviceEntry::new(
                 "prototype",
                 MemsDevice::table1()
                     .with_probe_write_cycles(50.0)
                     .with_spring_duty_cycles(1e7),
             ))
-            .device(DeviceVariant::disk(
+            .device(DeviceEntry::new(
                 "disk-1.8in",
                 DiskDevice::calibrated_1p8_inch(),
             ))
@@ -270,9 +294,9 @@ impl ScenarioGrid {
             .goal(DesignGoal::fig3b())
     }
 
-    /// Appends a device variant.
+    /// Registers a device entry.
     #[must_use]
-    pub fn device(mut self, device: DeviceVariant) -> Self {
+    pub fn device(mut self, device: DeviceEntry) -> Self {
         self.devices.push(device);
         self
     }
@@ -324,9 +348,9 @@ impl ScenarioGrid {
         self
     }
 
-    /// The device axis.
+    /// The device axis (the registry).
     #[must_use]
-    pub fn devices(&self) -> &[DeviceVariant] {
+    pub fn devices(&self) -> &[DeviceEntry] {
         &self.devices
     }
 
@@ -449,11 +473,19 @@ mod tests {
     #[test]
     fn baseline_grid_shape() {
         let grid = ScenarioGrid::paper_baseline(24);
-        assert_eq!(grid.devices().len(), 4);
+        assert_eq!(grid.devices().len(), 5);
         assert_eq!(grid.workloads().len(), 3);
         assert_eq!(grid.rates().len(), 24);
         assert_eq!(grid.goals().len(), 2);
-        assert_eq!(grid.len(), 4 * 3 * 24 * 2);
+        assert_eq!(grid.len(), 5 * 3 * 24 * 2);
+        // The classic grid is the baseline minus the flash entry, in the
+        // same order — the property the golden test leans on.
+        let classic = ScenarioGrid::paper_classic(24);
+        assert_eq!(classic.devices().len(), 4);
+        for (a, b) in classic.devices().iter().zip(grid.devices()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(grid.devices()[4].device().kind(), "flash");
     }
 
     #[test]
@@ -468,11 +500,15 @@ mod tests {
 
     #[test]
     fn duplicate_devices_share_dedup_keys() {
-        let a = DeviceVariant::mems("one", MemsDevice::table1());
-        let b = DeviceVariant::mems("two", MemsDevice::table1());
+        let a = DeviceEntry::new("one", MemsDevice::table1());
+        let b = DeviceEntry::new("two", MemsDevice::table1());
         assert_eq!(a.dedup_key(), b.dedup_key());
-        let c = DeviceVariant::mems("three", MemsDevice::table1().with_probe_write_cycles(200.0));
+        let c = DeviceEntry::new("three", MemsDevice::table1().with_probe_write_cycles(200.0));
         assert_ne!(a.dedup_key(), c.dedup_key());
+        // The registry keeps the paper devices' keys byte-stable.
+        assert!(a.dedup_key().starts_with("mems:"));
+        let d = DeviceEntry::new("disk", DiskDevice::calibrated_1p8_inch());
+        assert!(d.dedup_key().starts_with("disk:"));
     }
 
     #[test]

@@ -60,12 +60,12 @@ fn dedup_never_changes_reported_cells() {
     // with duplicate axis entries must read as if every cell ran.
     use memstream_core::DesignGoal;
     use memstream_device::MemsDevice;
-    use memstream_grid::{DeviceVariant, WorkloadProfile};
+    use memstream_grid::{DeviceEntry, WorkloadProfile};
 
     let grid = ScenarioGrid::new()
-        .device(DeviceVariant::mems("alias-a", MemsDevice::table1()))
-        .device(DeviceVariant::mems("alias-b", MemsDevice::table1()))
-        .device(DeviceVariant::mems(
+        .device(DeviceEntry::new("alias-a", MemsDevice::table1()))
+        .device(DeviceEntry::new("alias-b", MemsDevice::table1()))
+        .device(DeviceEntry::new(
             "hardened",
             MemsDevice::table1().with_spring_duty_cycles(1e12),
         ))

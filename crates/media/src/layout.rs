@@ -65,8 +65,21 @@ impl SectorFormat {
     /// with the paper's ECC and sync-bit assumptions.
     #[must_use]
     pub fn for_device(device: &MemsDevice) -> Self {
+        SectorFormat::for_stripe_width(device.array().active_probes())
+    }
+
+    /// Derives the format from a bare striping width, with the paper's ECC
+    /// and sync-bit assumptions — the capability-seam entry point for
+    /// devices the media crate has no concrete type for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_width` is zero.
+    #[must_use]
+    pub fn for_stripe_width(stripe_width: u32) -> Self {
+        assert!(stripe_width > 0, "stripe width must be positive");
         SectorFormat {
-            stripe_width: device.array().active_probes(),
+            stripe_width,
             ecc: EccPolicy::MEMS,
             sync_bits_per_subsector: 3,
         }

@@ -50,7 +50,7 @@ pub use meter::EnergyMeter;
 pub use report::SimReport;
 pub use system::{BestEffortMode, SimConfig, StreamingSimulation};
 pub use time::SimTime;
-pub use wear::WearAccount;
+pub use wear::{EraseBlockAccount, WearAccount, WearSink, WearState};
 
 #[cfg(test)]
 mod tests {

@@ -6,7 +6,7 @@ use memstream_device::PowerState;
 use memstream_units::{DataSize, Duration, Energy, EnergyPerBit, Power, Years};
 
 use crate::meter::EnergyMeter;
-use crate::wear::WearAccount;
+use crate::wear::{WearSink as _, WearState};
 
 /// Everything a simulation run measured.
 ///
@@ -30,8 +30,9 @@ pub struct SimReport {
     pub min_buffer_level: DataSize,
     /// Per-state energy/time meter.
     pub meter: EnergyMeter,
-    /// Wear account for springs and probes.
-    pub wear: WearAccount,
+    /// Wear account: probe fatigue or erase blocks, per the device's
+    /// wear spec.
+    pub wear: WearState,
 }
 
 impl SimReport {
@@ -79,29 +80,44 @@ impl SimReport {
         self.meter.time_in(state).seconds() / self.sim_time.seconds()
     }
 
+    /// Device lifetime projected from this run — the minimum across the
+    /// wear mechanisms of whatever sink the device uses — assuming the run
+    /// is a representative slice of a year with
+    /// `playback_seconds_per_year` seconds of streaming.
+    #[must_use]
+    pub fn projected_device_lifetime(&self, playback_seconds_per_year: f64) -> Years {
+        self.wear
+            .projected_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+    }
+
     /// Springs lifetime projected from this run, assuming the run is a
     /// representative slice of a year with `playback_seconds_per_year`
-    /// seconds of streaming.
+    /// seconds of streaming. Unbounded for devices without springs.
     #[must_use]
     pub fn projected_springs_lifetime(&self, playback_seconds_per_year: f64) -> Years {
-        self.wear
-            .projected_springs_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+        self.wear.probes().map_or_else(Years::unbounded, |w| {
+            w.projected_springs_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+        })
     }
 
     /// Probes lifetime projected from this run (same convention).
+    /// Unbounded for devices without probes.
     #[must_use]
     pub fn projected_probes_lifetime(&self, playback_seconds_per_year: f64) -> Years {
-        self.wear
-            .projected_probes_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+        self.wear.probes().map_or_else(Years::unbounded, |w| {
+            w.projected_probes_lifetime(self.sim_time.seconds() / playback_seconds_per_year)
+        })
     }
 
     /// Probes lifetime limited by the hottest probe (differs from
     /// [`SimReport::projected_probes_lifetime`] only under injected wear
     /// imbalance; see [`crate::WearAccount::projected_probes_lifetime_worst`]).
+    /// Unbounded for devices without probes.
     #[must_use]
     pub fn projected_probes_lifetime_worst(&self, playback_seconds_per_year: f64) -> Years {
-        self.wear
-            .projected_probes_lifetime_worst(self.sim_time.seconds() / playback_seconds_per_year)
+        self.wear.probes().map_or_else(Years::unbounded, |w| {
+            w.projected_probes_lifetime_worst(self.sim_time.seconds() / playback_seconds_per_year)
+        })
     }
 }
 
@@ -142,7 +158,7 @@ mod tests {
             starved: DataSize::ZERO,
             min_buffer_level: DataSize::from_bits(100.0),
             meter,
-            wear: WearAccount::new(1024, 1e8, 1e15),
+            wear: WearState::Probes(crate::wear::WearAccount::new(1024, 1e8, 1e15)),
         }
     }
 

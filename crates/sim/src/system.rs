@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use memstream_device::{DramModel, MechanicalDevice, MemsDevice, PowerState};
+use memstream_device::{DramModel, EnergyModelled, PowerState, SimBacked, WearSpec};
 use memstream_media::SectorFormat;
 use memstream_units::{BitRate, DataSize, Duration};
 use memstream_workload::{BestEffortProcess, RateSchedule, Workload};
@@ -13,7 +13,7 @@ use crate::error::SimError;
 use crate::meter::EnergyMeter;
 use crate::report::SimReport;
 use crate::time::SimTime;
-use crate::wear::WearAccount;
+use crate::wear::{WearSink, WearState};
 
 /// How best-effort traffic is realised in the simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +37,7 @@ pub enum BestEffortMode {
 /// Full configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    device: MemsDevice,
+    device: Box<dyn SimBacked>,
     workload: Workload,
     buffer: DataSize,
     schedule: RateSchedule,
@@ -52,12 +52,15 @@ impl SimConfig {
     /// A CBR run at the workload's rate with the paper's reserved
     /// best-effort model, the device-derived sector format, and no DRAM
     /// metering (add it with [`SimConfig::with_dram`]).
+    ///
+    /// Accepts any [`SimBacked`] device — a `MemsDevice`, a
+    /// `FlashDevice`, or an already boxed `Box<dyn SimBacked>`.
     #[must_use]
-    pub fn cbr(device: MemsDevice, workload: Workload, buffer: DataSize) -> Self {
-        let format = SectorFormat::for_device(&device);
+    pub fn cbr(device: impl SimBacked + 'static, workload: Workload, buffer: DataSize) -> Self {
+        let format = SectorFormat::for_stripe_width(device.stripe_width());
         SimConfig {
             schedule: RateSchedule::Cbr(workload.rate()),
-            device,
+            device: Box::new(device),
             workload,
             buffer,
             format,
@@ -121,8 +124,8 @@ impl SimConfig {
 
     /// The configured device.
     #[must_use]
-    pub fn device(&self) -> &MemsDevice {
-        &self.device
+    pub fn device(&self) -> &dyn SimBacked {
+        &*self.device
     }
 
     /// The configured workload.
@@ -164,7 +167,7 @@ pub struct StreamingSimulation {
     config: SimConfig,
     buffer: StreamBuffer,
     meter: EnergyMeter,
-    wear: WearAccount,
+    wear: WearState,
     arrivals: EventQueue<DataSize>,
     now: SimTime,
     activity: Activity,
@@ -202,12 +205,21 @@ impl StreamingSimulation {
             });
         }
         let layout = config.format.layout(config.buffer);
-        let expansion = layout.sector_bits() as f64 / layout.user_bits() as f64;
-        let wear = WearAccount::new(
-            config.device.array().active_probes(),
-            config.device.spring_duty_cycles(),
-            config.device.capacity().bits() * config.device.probe_write_cycles(),
-        );
+        let format_expansion = layout.sector_bits() as f64 / layout.user_bits() as f64;
+        let spec = config.device.wear_spec();
+        // Probe fatigue wears by formatted bits (sync/ECC written by the
+        // same tips); erase blocks wear by write-amplified traffic,
+        // charging the same waf(B) = waf_floor + block_bits/B as the
+        // analytic erase channel so the two wear models agree.
+        let expansion = match spec {
+            WearSpec::ProbeFatigue { .. } => format_expansion,
+            WearSpec::EraseBlocks {
+                block_bits,
+                waf_floor,
+                ..
+            } => waf_floor + block_bits / config.buffer.bits(),
+        };
+        let wear = WearState::from_spec(&spec);
         Ok(StreamingSimulation {
             buffer: StreamBuffer::full(config.buffer),
             meter: EnergyMeter::new(),
@@ -451,6 +463,7 @@ impl fmt::Display for StreamingSimulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memstream_device::MemsDevice;
     use memstream_units::BitRate;
     use memstream_workload::VbrProfile;
 
@@ -531,7 +544,7 @@ mod tests {
         let report = StreamingSimulation::new(paper_config(1024.0, 20.0))
             .unwrap()
             .run(Duration::from_seconds(300.0));
-        assert_eq!(report.cycles, report.wear.spring_cycles());
+        assert_eq!(report.cycles, report.wear.probes().unwrap().spring_cycles());
         assert!(report.cycles > 1000);
     }
 
@@ -663,11 +676,23 @@ mod tests {
         let skewed = run(1.0);
         let frac = 300.0 / 10_512_000.0;
         // Mean-budget projection unchanged...
-        let mean_b = balanced.wear.projected_probes_lifetime(frac);
-        let mean_s = skewed.wear.projected_probes_lifetime(frac);
+        let mean_b = balanced
+            .wear
+            .probes()
+            .unwrap()
+            .projected_probes_lifetime(frac);
+        let mean_s = skewed
+            .wear
+            .probes()
+            .unwrap()
+            .projected_probes_lifetime(frac);
         assert!((mean_b.get() - mean_s.get()).abs() < mean_b.get() * 1e-9);
         // ...but the hottest probe dies 1.5x sooner.
-        let worst_s = skewed.wear.projected_probes_lifetime_worst(frac);
+        let worst_s = skewed
+            .wear
+            .probes()
+            .unwrap()
+            .projected_probes_lifetime_worst(frac);
         assert!((mean_s.get() / worst_s.get() - 1.5).abs() < 1e-6);
     }
 

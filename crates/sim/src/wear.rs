@@ -1,8 +1,29 @@
-//! Mechanical wear accounting: spring duty cycles and probe write wear.
+//! Wear accounting behind the [`WearSink`] seam: probe fatigue (springs +
+//! probe write budgets) and flash erase blocks both implement it, so the
+//! simulation loop records wear without knowing the device family.
 
 use std::fmt;
 
+use memstream_device::WearSpec;
 use memstream_units::{DataSize, Years};
+
+/// The wear-sink seam: what the simulation loop needs from any wear
+/// accountant. [`WearAccount`] (probe fatigue) and [`EraseBlockAccount`]
+/// (flash erase blocks) implement it; [`WearState`] is the concrete enum
+/// the simulator stores (keeping reports `Clone + PartialEq`), and also
+/// implements the trait so external drivers can stay generic.
+pub trait WearSink {
+    /// Records one seek-and-shutdown round trip.
+    fn record_cycle(&mut self);
+
+    /// Records a write of `user_data`, inflated by the format's
+    /// sector-to-user ratio `expansion = S/Su ≥ 1`.
+    fn record_write(&mut self, user_data: DataSize, expansion: f64);
+
+    /// Projects device lifetime (the minimum across this sink's wear
+    /// mechanisms) from wear accumulated over `simulated_fraction_of_year`.
+    fn projected_lifetime(&self, simulated_fraction_of_year: f64) -> Years;
+}
 
 /// Tracks the two wear mechanisms of §III-C over a simulation run and
 /// projects them to device lifetime.
@@ -184,6 +205,21 @@ impl WearAccount {
     }
 }
 
+impl WearSink for WearAccount {
+    fn record_cycle(&mut self) {
+        WearAccount::record_cycle(self);
+    }
+
+    fn record_write(&mut self, user_data: DataSize, expansion: f64) {
+        WearAccount::record_write(self, user_data, expansion);
+    }
+
+    fn projected_lifetime(&self, simulated_fraction_of_year: f64) -> Years {
+        self.projected_springs_lifetime(simulated_fraction_of_year)
+            .min(self.projected_probes_lifetime(simulated_fraction_of_year))
+    }
+}
+
 impl fmt::Display for WearAccount {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -194,6 +230,257 @@ impl fmt::Display for WearAccount {
             self.physical_bits_written(),
             self.probe_wear_fraction()
         )
+    }
+}
+
+/// Erase-block wear accounting with greedy wear-leveling.
+///
+/// Writes accumulate into an open block; every time a block's worth of
+/// physical data has been programmed, one erase is charged to the block
+/// with the **lowest erase count** (greedy leveling, first-lowest on
+/// ties). The invariant the proptests pin down: the max−min erase spread
+/// never exceeds one cycle, which is the idealised bound real levelers
+/// chase.
+///
+/// ```
+/// use memstream_sim::{EraseBlockAccount, WearSink};
+/// use memstream_units::DataSize;
+///
+/// let mut wear = EraseBlockAccount::new(64, 4096.0 * 8.0, 3000.0);
+/// wear.record_write(DataSize::from_bytes(8192.0), 1.0);
+/// assert_eq!(wear.total_erases(), 2);
+/// assert!(wear.erase_spread() <= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraseBlockAccount {
+    block_bits: f64,
+    pe_cycles: f64,
+    erases: Vec<u64>,
+    /// Physical bits programmed into the currently open block.
+    open_fill: f64,
+    physical_bits_written: f64,
+}
+
+impl EraseBlockAccount {
+    /// Creates an account for `blocks` erase blocks of `block_bits` bits,
+    /// each rated for `pe_cycles` program/erase cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or either parameter is non-positive.
+    #[must_use]
+    pub fn new(blocks: u32, block_bits: f64, pe_cycles: f64) -> Self {
+        assert!(blocks > 0, "need at least one erase block");
+        assert!(block_bits > 0.0, "block size must be positive");
+        assert!(pe_cycles > 0.0, "P/E rating must be positive");
+        EraseBlockAccount {
+            block_bits,
+            pe_cycles,
+            erases: vec![0; blocks as usize],
+            open_fill: 0.0,
+            physical_bits_written: 0.0,
+        }
+    }
+
+    /// Number of erase blocks under management.
+    #[must_use]
+    pub fn blocks(&self) -> u32 {
+        u32::try_from(self.erases.len()).unwrap_or(u32::MAX)
+    }
+
+    /// Physical bits programmed (user + overhead).
+    #[must_use]
+    pub fn physical_bits_written(&self) -> DataSize {
+        DataSize::from_bits(self.physical_bits_written)
+    }
+
+    /// Total erases performed across all blocks.
+    #[must_use]
+    pub fn total_erases(&self) -> u64 {
+        self.erases.iter().sum()
+    }
+
+    /// The max−min spread of per-block erase counts. Greedy leveling keeps
+    /// this at most 1.
+    #[must_use]
+    pub fn erase_spread(&self) -> u64 {
+        let max = self.erases.iter().copied().max().unwrap_or(0);
+        let min = self.erases.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// Fraction of the device-wide write budget
+    /// (`blocks · block_bits · pe_cycles`) consumed by the physical
+    /// traffic so far. The budget-mean convention matches
+    /// [`WearAccount::probe_wear_fraction`] and the analytic erase
+    /// channel.
+    #[must_use]
+    pub fn wear_fraction(&self) -> f64 {
+        self.physical_bits_written / self.budget_bits()
+    }
+
+    /// Fraction of the *most-worn block's* P/E rating consumed — the
+    /// worst-case counterpart of [`EraseBlockAccount::wear_fraction`].
+    /// Under greedy leveling the two converge as erases accumulate; early
+    /// in a run this one is granular (a single erase registers a full
+    /// `1/pe_cycles`).
+    #[must_use]
+    pub fn worst_block_wear_fraction(&self) -> f64 {
+        let max = self.erases.iter().copied().max().unwrap_or(0);
+        max as f64 / self.pe_cycles
+    }
+
+    fn budget_bits(&self) -> f64 {
+        self.erases.len() as f64 * self.block_bits * self.pe_cycles
+    }
+
+    fn erase_coolest_block(&mut self) {
+        let coolest = self
+            .erases
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &count)| count)
+            .map(|(i, _)| i)
+            .expect("at least one block");
+        self.erases[coolest] += 1;
+    }
+}
+
+impl WearSink for EraseBlockAccount {
+    /// Power cycling does not wear flash; refill cycles are free.
+    fn record_cycle(&mut self) {}
+
+    fn record_write(&mut self, user_data: DataSize, expansion: f64) {
+        assert!(expansion >= 1.0, "format expansion must be >= 1");
+        let physical = user_data.bits() * expansion;
+        self.physical_bits_written += physical;
+        self.open_fill += physical;
+        while self.open_fill >= self.block_bits {
+            self.open_fill -= self.block_bits;
+            self.erase_coolest_block();
+        }
+    }
+
+    /// Projects lifetime from the budget-mean wear fraction, the same
+    /// convention as the analytic erase channel (and as
+    /// [`WearAccount::projected_probes_lifetime`]), so a short run still
+    /// extrapolates smoothly instead of quantising on whole-block erases.
+    fn projected_lifetime(&self, simulated_fraction_of_year: f64) -> Years {
+        let worn = self.wear_fraction();
+        if worn == 0.0 {
+            return Years::unbounded();
+        }
+        let worn_per_year = worn / simulated_fraction_of_year;
+        Years::new(1.0 / worn_per_year)
+    }
+}
+
+impl fmt::Display for EraseBlockAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wear: {} erases over {} blocks (spread {}), {} written ({:.2e} of P/E budget)",
+            self.total_erases(),
+            self.blocks(),
+            self.erase_spread(),
+            self.physical_bits_written(),
+            self.wear_fraction()
+        )
+    }
+}
+
+/// The wear accountant a simulation run owns: one concrete sink per
+/// device family, chosen from the device's
+/// [`WearSpec`](memstream_device::WearSpec). An enum rather than a boxed
+/// trait object so that [`crate::SimReport`] stays `Clone + PartialEq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WearState {
+    /// Spring duty cycles + probe write budget (MEMS).
+    Probes(WearAccount),
+    /// Erase blocks with greedy wear-leveling (flash).
+    EraseBlocks(EraseBlockAccount),
+}
+
+impl WearState {
+    /// Builds the sink a device's wear spec asks for.
+    #[must_use]
+    pub fn from_spec(spec: &WearSpec) -> Self {
+        match *spec {
+            WearSpec::ProbeFatigue {
+                active_probes,
+                spring_rating,
+                probe_budget_bits,
+            } => WearState::Probes(WearAccount::new(
+                active_probes,
+                spring_rating,
+                probe_budget_bits,
+            )),
+            WearSpec::EraseBlocks {
+                blocks,
+                block_bits,
+                pe_cycles,
+                ..
+            } => WearState::EraseBlocks(EraseBlockAccount::new(blocks, block_bits, pe_cycles)),
+        }
+    }
+
+    /// The probe-fatigue account, when this run wears probes.
+    #[must_use]
+    pub fn probes(&self) -> Option<&WearAccount> {
+        match self {
+            WearState::Probes(w) => Some(w),
+            WearState::EraseBlocks(_) => None,
+        }
+    }
+
+    /// The erase-block account, when this run wears erase blocks.
+    #[must_use]
+    pub fn erase_blocks(&self) -> Option<&EraseBlockAccount> {
+        match self {
+            WearState::EraseBlocks(w) => Some(w),
+            WearState::Probes(_) => None,
+        }
+    }
+
+    /// Records a write with an optional probe-stripe skew (only the probe
+    /// sink distinguishes skew; erase blocks level greedily regardless).
+    pub fn record_write_skewed(&mut self, user_data: DataSize, expansion: f64, skew: f64) {
+        match self {
+            WearState::Probes(w) => w.record_write_skewed(user_data, expansion, skew),
+            WearState::EraseBlocks(w) => w.record_write(user_data, expansion),
+        }
+    }
+}
+
+impl WearSink for WearState {
+    fn record_cycle(&mut self) {
+        match self {
+            WearState::Probes(w) => WearSink::record_cycle(w),
+            WearState::EraseBlocks(w) => WearSink::record_cycle(w),
+        }
+    }
+
+    fn record_write(&mut self, user_data: DataSize, expansion: f64) {
+        match self {
+            WearState::Probes(w) => WearSink::record_write(w, user_data, expansion),
+            WearState::EraseBlocks(w) => WearSink::record_write(w, user_data, expansion),
+        }
+    }
+
+    fn projected_lifetime(&self, simulated_fraction_of_year: f64) -> Years {
+        match self {
+            WearState::Probes(w) => w.projected_lifetime(simulated_fraction_of_year),
+            WearState::EraseBlocks(w) => w.projected_lifetime(simulated_fraction_of_year),
+        }
+    }
+}
+
+impl fmt::Display for WearState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WearState::Probes(w) => w.fmt(f),
+            WearState::EraseBlocks(w) => w.fmt(f),
+        }
     }
 }
 
@@ -292,6 +579,123 @@ mod tests {
     #[should_panic(expected = "skew must lie in")]
     fn excessive_skew_panics() {
         account().record_write_skewed(DataSize::from_bits(1.0), 1.0, 3.0);
+    }
+
+    fn erase_account() -> EraseBlockAccount {
+        // 64 blocks of 4 KiB, rated 3000 P/E cycles.
+        EraseBlockAccount::new(64, 4096.0 * 8.0, 3000.0)
+    }
+
+    #[test]
+    fn erases_charge_the_coolest_block_first() {
+        let mut w = erase_account();
+        // Three blocks' worth of data -> three erases on three distinct
+        // blocks (greedy leveling never re-erases while a colder block
+        // exists).
+        w.record_write(DataSize::from_bytes(3.0 * 4096.0), 1.0);
+        assert_eq!(w.total_erases(), 3);
+        assert_eq!(w.erase_spread(), 1);
+        assert_eq!(w.erases.iter().filter(|&&e| e == 1).count(), 3);
+    }
+
+    #[test]
+    fn partial_blocks_do_not_erase_but_still_count_as_wear() {
+        let mut w = erase_account();
+        w.record_write(DataSize::from_bytes(1000.0), 1.0);
+        assert_eq!(w.total_erases(), 0);
+        // The budget-mean projection extrapolates smoothly even before
+        // the first whole-block erase lands.
+        assert!(!w.projected_lifetime(0.01).is_unbounded());
+        assert!(w.wear_fraction() > 0.0);
+        assert_eq!(w.worst_block_wear_fraction(), 0.0);
+        // An untouched account is unbounded.
+        assert!(erase_account().projected_lifetime(0.01).is_unbounded());
+    }
+
+    #[test]
+    fn mean_and_worst_block_wear_converge_under_leveling() {
+        let mut w = erase_account();
+        // ~40 erases per block on average across 64 blocks.
+        w.record_write(DataSize::from_kibibytes(4.0 * 64.0 * 40.0), 1.0);
+        let mean = w.wear_fraction();
+        let worst = w.worst_block_wear_fraction();
+        assert!(worst >= mean * 0.99);
+        assert!(worst <= mean * 1.05, "greedy leveling keeps worst ~ mean");
+    }
+
+    #[test]
+    fn refill_cycles_do_not_wear_flash() {
+        let mut w = erase_account();
+        for _ in 0..1000 {
+            WearSink::record_cycle(&mut w);
+        }
+        assert_eq!(w.total_erases(), 0);
+    }
+
+    #[test]
+    fn expansion_inflates_erase_traffic() {
+        let mut plain = erase_account();
+        let mut inflated = erase_account();
+        let data = DataSize::from_bytes(64.0 * 4096.0);
+        plain.record_write(data, 1.0);
+        inflated.record_write(data, 1.5);
+        assert!(inflated.total_erases() > plain.total_erases());
+    }
+
+    #[test]
+    fn wear_state_builds_from_specs() {
+        use memstream_device::WearSpec;
+        let probes = WearState::from_spec(&WearSpec::ProbeFatigue {
+            active_probes: 1024,
+            spring_rating: 1e8,
+            probe_budget_bits: 1e15,
+        });
+        assert!(probes.probes().is_some());
+        assert!(probes.erase_blocks().is_none());
+        let erase = WearState::from_spec(&WearSpec::EraseBlocks {
+            blocks: 16,
+            block_bits: 4096.0 * 8.0,
+            pe_cycles: 3000.0,
+            waf_floor: 1.1,
+        });
+        assert!(erase.erase_blocks().is_some());
+        assert!(erase.probes().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn total_erases_monotone_in_bytes_written(chunks in proptest::collection::vec(1.0..64.0f64, 1..40)) {
+            // Feeding more data can only hold or grow the erase count.
+            let mut w = erase_account();
+            let mut last = 0;
+            for kib in chunks {
+                w.record_write(DataSize::from_kibibytes(kib), 1.125);
+                let now = w.total_erases();
+                prop_assert!(now >= last);
+                last = now;
+            }
+            // And the count matches the physical volume to within one block.
+            let expected = (w.physical_bits_written().bits() / (4096.0 * 8.0)).floor();
+            prop_assert!((w.total_erases() as f64 - expected).abs() <= 1.0);
+        }
+
+        #[test]
+        fn greedy_leveling_bounds_the_spread(kib in 1.0..5000.0f64, blocks in 2u32..128) {
+            let mut w = EraseBlockAccount::new(blocks, 4096.0 * 8.0, 3000.0);
+            w.record_write(DataSize::from_kibibytes(kib), 1.25);
+            prop_assert!(w.erase_spread() <= 1, "spread {} > 1", w.erase_spread());
+        }
+
+        #[test]
+        fn erase_lifetime_shrinks_with_write_volume(kib in 300.0..2000.0f64) {
+            let mut light = erase_account();
+            let mut heavy = erase_account();
+            light.record_write(DataSize::from_kibibytes(kib), 1.0);
+            heavy.record_write(DataSize::from_kibibytes(kib * 4.0), 1.0);
+            let l = light.projected_lifetime(0.01);
+            let h = heavy.projected_lifetime(0.01);
+            prop_assert!(h.get() <= l.get());
+        }
     }
 
     proptest! {

@@ -1,20 +1,20 @@
 //! MEMS versus 1.8-inch disk: the break-even-buffer contrast of §III-A.1.
 //!
 //! The same energy model runs on both devices (they share the
-//! `MechanicalDevice` interface); only the overhead magnitudes differ —
+//! `EnergyModelled` interface); only the overhead magnitudes differ —
 //! milliseconds and millijoules for MEMS, seconds and joules for the disk —
 //! and the break-even buffers land three orders of magnitude apart.
 //!
 //! Run with: `cargo run --example device_comparison`
 
 use memstream_core::{log_spaced_rates, BestEffortPolicy, EnergyModel};
-use memstream_device::{DiskDevice, MechanicalDevice, MemsDevice};
+use memstream_device::{DiskDevice, EnergyModelled, MemsDevice};
 use memstream_workload::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mems = MemsDevice::table1();
     let disk = DiskDevice::calibrated_1p8_inch();
-    let devices: Vec<&dyn MechanicalDevice> = vec![&mems, &disk];
+    let devices: Vec<&dyn EnergyModelled> = vec![&mems, &disk];
 
     println!("device overheads (the root of the contrast):");
     for d in &devices {

@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             skew,
             format!("{}", report.projected_probes_lifetime(t_year)),
             format!("{}", report.projected_probes_lifetime_worst(t_year)),
-            report.wear.probe_imbalance() * 100.0,
+            report
+                .wear
+                .probes()
+                .expect("probe device")
+                .probe_imbalance()
+                * 100.0,
         );
     }
     println!(

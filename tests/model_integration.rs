@@ -46,6 +46,8 @@ fn required_buffer_is_minimal_among_requirements() {
         Requirement::Energy => m.saving(smaller).unwrap() < 0.70,
         Requirement::SpringsLifetime => m.springs_lifetime(smaller).get() < 7.0,
         Requirement::ProbesLifetime => m.probes_lifetime(smaller).get() < 7.0,
+        // The MEMS system model has no erase-block channel.
+        Requirement::EraseLifetime => unreachable!("MEMS plans are never erase-dominated"),
     };
     assert!(
         violated,

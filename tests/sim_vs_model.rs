@@ -209,3 +209,43 @@ fn disk_model_also_matches_equation_one() {
     let rel = (got - expected.joules_per_bit()).abs() / expected.joules_per_bit();
     assert!(rel < 0.01, "sim {got} vs model {expected}");
 }
+
+#[test]
+fn flash_sim_wear_matches_the_analytic_erase_channel() {
+    // The sim's erase-block sink charges the same write amplification
+    // waf(B) = waf_floor + block/B as the analytic EraseBudget channel,
+    // so the projected lifetime must agree with the closed form.
+    use memstream_core::{CapabilityModel, LifetimeModel};
+    use memstream_device::FlashDevice;
+
+    let flash = FlashDevice::mobile_mlc();
+    let workload = Workload::paper_default(BitRate::from_kbps(1024.0));
+    let buffer = DataSize::from_kibibytes(16.0);
+    let report = StreamingSimulation::new(SimConfig::cbr(flash.clone(), workload, buffer))
+        .unwrap()
+        .run(Duration::from_seconds(600.0));
+
+    let model =
+        CapabilityModel::new(&flash, workload, None, BestEffortPolicy::AtReadWrite).unwrap();
+    let analytic = model.device_lifetime(buffer);
+    let t_year = workload.playback_seconds_per_year();
+    let sim_years = report.projected_device_lifetime(t_year);
+    let rel = (sim_years.get() - analytic.get()).abs() / analytic.get();
+    assert!(
+        rel < 0.03,
+        "flash sim lifetime {sim_years} vs analytic erase channel {analytic} (rel {rel:.4})"
+    );
+    // And the analytic side agrees with a by-hand Eq.(erase) transcription.
+    let lifetime = LifetimeModel::new(
+        &flash,
+        workload,
+        memstream_core::CapacityModel::constant(
+            memstream_units::Ratio::from_fraction(flash.fixed_utilization()),
+            flash.capacity(),
+        ),
+    );
+    let waf = flash.write_amplification(buffer);
+    let by_hand = flash.write_budget_bits()
+        / (workload.write_fraction().fraction() * workload.bits_per_year() * waf);
+    assert!((lifetime.device_lifetime(buffer).get() - by_hand).abs() < by_hand * 1e-12);
+}

@@ -2,7 +2,7 @@
 //! the paper parameter by parameter.
 
 use memstream_core::SystemModel;
-use memstream_device::{MechanicalDevice, MemsDevice, PowerState};
+use memstream_device::{EnergyModelled, MemsDevice, PowerState};
 use memstream_units::{BitRate, Ratio};
 use memstream_workload::Workload;
 

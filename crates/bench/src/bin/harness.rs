@@ -5,13 +5,20 @@
 //! Experiments: `table1`, `breakeven`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
 //! `fig3x` (the C = 85 % variant mentioned in §IV-C without a figure),
 //! `sim`, `ablation`, `comparison`, `format`, `sensitivity`, `frontier`,
-//! `map`, `custom`, `grid`, or `all` (default).
+//! `map`, `custom`, `grid`, `refine`, or `all` (default).
 //!
 //! `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
 //! explores the scenario grid (devices × workloads × rates × goals) in
 //! parallel and emits the Pareto frontier as CSV plus an ASCII chart. Its
 //! stdout is byte-identical for every `--threads` value; run metadata goes
 //! to stderr.
+//!
+//! `harness refine [--rates N] [--threads N] [--cache PATH]
+//! [--width-bound F] [--max-rounds N] [--classic]` runs the adaptive
+//! frontier-knee refinement loop over the grid and emits the knee table
+//! plus the refined frontier. Stdout is byte-identical for every
+//! `--threads` value *and* across cold/warm cache runs; cache accounting
+//! goes to stderr.
 
 use memstream_bench::{
     ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
@@ -249,6 +256,88 @@ fn format_space() {
     println!();
 }
 
+/// Parses a flag value, exiting 2 with the flag named on failure.
+fn parse_flag<T: std::str::FromStr>(flag: &str, raw: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().unwrap_or_else(|e| {
+        eprintln!("bad value for {flag}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The flags the `grid` and `refine` subcommands share: grid shape,
+/// worker count, result-cache path and device-registry era. One parser,
+/// so the two subcommands' CLIs cannot drift apart.
+struct SharedFlags {
+    rates: usize,
+    threads: usize,
+    cache_path: Option<String>,
+    classic: bool,
+}
+
+impl SharedFlags {
+    fn new() -> Self {
+        SharedFlags {
+            rates: 24,
+            threads: 0, // 0 = machine width
+            cache_path: None,
+            classic: false,
+        }
+    }
+
+    /// Consumes `flag` when it is a shared one; `false` hands it to the
+    /// subcommand's own arms.
+    fn consume(&mut self, flag: &str, value: &mut dyn FnMut() -> String) -> bool {
+        match flag {
+            "--rates" => self.rates = parse_flag(flag, &value()),
+            "--threads" => self.threads = parse_flag(flag, &value()),
+            "--cache" => self.cache_path = Some(value()),
+            "--classic" => self.classic = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Validates cross-flag constraints, exiting 2 on violation.
+    fn validated(self) -> Self {
+        if self.rates < 2 {
+            eprintln!("--rates must be at least 2");
+            std::process::exit(2);
+        }
+        self
+    }
+}
+
+/// The reference grid the `grid` and `refine` subcommands share:
+/// flash-inclusive by default, the paper's four devices under `--classic`.
+fn reference_grid(rates: usize, classic: bool) -> memstream_grid::ScenarioGrid {
+    use memstream_grid::ScenarioGrid;
+    if classic {
+        ScenarioGrid::paper_classic(rates)
+    } else {
+        ScenarioGrid::paper_baseline(rates)
+    }
+}
+
+/// Loads the result cache at `path`, exiting 2 on I/O errors (shared by
+/// the `grid` and `refine` subcommands).
+fn load_cache(path: &str) -> memstream_grid::ResultCache {
+    memstream_grid::ResultCache::load(path).unwrap_or_else(|e| {
+        eprintln!("cache load error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Saves `cache` to `path`, exiting 2 on I/O errors.
+fn save_cache(cache: &memstream_grid::ResultCache, path: &str) {
+    cache.save(path).unwrap_or_else(|e| {
+        eprintln!("cache save error: {e}");
+        std::process::exit(2);
+    });
+}
+
 /// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]
 /// [--cache PATH] [--classic]` — the parallel scenario-grid exploration
 /// (see module docs). `--cache` loads/saves evaluated cells keyed by
@@ -256,33 +345,25 @@ fn format_space() {
 /// changing a single output byte; `--classic` restricts the registry to
 /// the paper's four devices (no flash).
 fn grid(args: &[String]) {
-    use memstream_grid::{report, GridExecutor, ResultCache, ScenarioGrid};
+    use memstream_grid::{report, GridExecutor};
 
-    let mut rates = 24usize;
-    let mut threads = 0usize; // 0 = machine width
+    let mut shared = SharedFlags::new();
     let mut full_csv = false;
     let mut validate: Option<f64> = None;
-    let mut cache_path: Option<String> = None;
-    let mut classic = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let fail = |e: &dyn std::fmt::Display| -> ! {
-            eprintln!("bad value for {flag}: {e}");
-            std::process::exit(2);
-        };
         let mut value = || {
             it.next().cloned().unwrap_or_else(|| {
                 eprintln!("missing value for {flag}");
                 std::process::exit(2);
             })
         };
+        if shared.consume(flag, &mut value) {
+            continue;
+        }
         match flag.as_str() {
-            "--rates" => rates = value().parse().unwrap_or_else(|e| fail(&e)),
-            "--threads" => threads = value().parse().unwrap_or_else(|e| fail(&e)),
             "--full-csv" => full_csv = true,
-            "--validate" => validate = Some(value().parse().unwrap_or_else(|e| fail(&e))),
-            "--cache" => cache_path = Some(value()),
-            "--classic" => classic = true,
+            "--validate" => validate = Some(parse_flag(flag, &value())),
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
@@ -292,17 +373,11 @@ fn grid(args: &[String]) {
             }
         }
     }
-    if rates < 2 {
-        eprintln!("--rates must be at least 2");
-        std::process::exit(2);
-    }
+    let shared = shared.validated();
+    let cache_path = shared.cache_path.clone();
 
-    let spec = if classic {
-        ScenarioGrid::paper_classic(rates)
-    } else {
-        ScenarioGrid::paper_baseline(rates)
-    };
-    let executor = GridExecutor::parallel(threads);
+    let spec = reference_grid(shared.rates, shared.classic);
+    let executor = GridExecutor::parallel(shared.threads);
     eprintln!(
         "exploring {} cells on {} worker thread(s)...",
         spec.len(),
@@ -310,10 +385,7 @@ fn grid(args: &[String]) {
     );
     let results = match &cache_path {
         Some(path) => {
-            let mut cache = ResultCache::load(path).unwrap_or_else(|e| {
-                eprintln!("cache load error: {e}");
-                std::process::exit(2);
-            });
+            let mut cache = load_cache(path);
             let results = executor
                 .explore_cached(&spec, &mut cache)
                 .unwrap_or_else(|e| {
@@ -326,10 +398,7 @@ fn grid(args: &[String]) {
                 cache.misses(),
                 cache.len()
             );
-            cache.save(path).unwrap_or_else(|e| {
-                eprintln!("cache save error: {e}");
-                std::process::exit(2);
-            });
+            save_cache(&cache, path);
             results
         }
         None => executor.explore(&spec).unwrap_or_else(|e| {
@@ -358,6 +427,79 @@ fn grid(args: &[String]) {
             report::validation_csv(&validation.rows)
         );
     }
+}
+
+/// `harness refine [--rates N] [--threads N] [--cache PATH]
+/// [--width-bound F] [--max-rounds N] [--classic]` — the adaptive
+/// refinement loop (see module docs). `--width-bound` is the relative
+/// interval width a knee must be localised to (default 0.01 = 1 %);
+/// `--cache` makes re-runs evaluate nothing while reproducing stdout
+/// byte-for-byte.
+fn refine(args: &[String]) {
+    use memstream_grid::GridExecutor;
+    use memstream_refine::{report, RefineConfig, RefinementEngine};
+
+    let mut shared = SharedFlags::new();
+    let mut width_bound = 0.01f64;
+    let mut max_rounds = 12usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        if shared.consume(flag, &mut value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--width-bound" => width_bound = parse_flag(flag, &value()),
+            "--max-rounds" => max_rounds = parse_flag(flag, &value()),
+            other => {
+                eprintln!(
+                    "unknown flag `{other}`; try --rates, --threads, --cache, \
+                     --width-bound, --max-rounds, --classic"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let shared = shared.validated();
+    let cache_path = shared.cache_path.clone();
+    if !(width_bound.is_finite() && width_bound > 0.0) {
+        eprintln!("--width-bound must be finite and positive");
+        std::process::exit(2);
+    }
+    if max_rounds == 0 {
+        eprintln!("--max-rounds must be at least 1");
+        std::process::exit(2);
+    }
+
+    let spec = reference_grid(shared.rates, shared.classic);
+    let executor = GridExecutor::parallel(shared.threads);
+    let engine = RefinementEngine::new(
+        executor,
+        RefineConfig::default()
+            .with_width_bound(width_bound)
+            .with_max_rounds(max_rounds),
+    );
+    eprintln!(
+        "refining {} initial cells on {} worker thread(s)...",
+        spec.len(),
+        executor.threads()
+    );
+    let mut cache = cache_path.as_deref().map(load_cache);
+    let outcome = engine.refine(&spec, cache.as_mut()).unwrap_or_else(|e| {
+        eprintln!("refine error: {e}");
+        std::process::exit(2);
+    });
+    eprint!("{}", report::cache_summary(&outcome.report));
+    if let (Some(cache), Some(path)) = (&cache, &cache_path) {
+        save_cache(cache, path);
+        eprintln!("cache file: {} entries saved", cache.len());
+    }
+    print!("{}", report::refine_stdout(&outcome));
 }
 
 /// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]
@@ -423,6 +565,12 @@ fn main() {
                 .filter(|a| a != "--")
                 .collect::<Vec<_>>(),
         ),
+        "refine" => refine(
+            &std::env::args()
+                .skip(2)
+                .filter(|a| a != "--")
+                .collect::<Vec<_>>(),
+        ),
         "all" => {
             table1();
             breakeven();
@@ -443,7 +591,7 @@ fn main() {
             eprintln!(
                 "unknown experiment `{other}`; try table1, breakeven, fig2, \
                  fig3a, fig3b, fig3c, fig3x, sim, ablation, comparison, format, \
-                 sensitivity, frontier, map, custom, grid, all"
+                 sensitivity, frontier, map, custom, grid, refine, all"
             );
             std::process::exit(2);
         }

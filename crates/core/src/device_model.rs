@@ -284,11 +284,26 @@ mod tests {
 
     #[test]
     fn missing_capabilities_are_named() {
-        let disk = DiskDevice::calibrated_1p8_inch();
-        let err =
-            CapabilityModel::new(&disk, workload(1024.0), None, BestEffortPolicy::AtReadWrite)
-                .unwrap_err();
+        // The full disk now carries wear + utilisation; masking it back to
+        // its paper-era energy-only role exercises the missing-capability
+        // path the grid's energy-only fallback dispatches on.
+        use memstream_device::EnergyOnly;
+        let masked = EnergyOnly::new(DiskDevice::calibrated_1p8_inch());
+        let err = CapabilityModel::new(
+            &masked,
+            workload(1024.0),
+            None,
+            BestEffortPolicy::AtReadWrite,
+        )
+        .unwrap_err();
         assert_eq!(err, ModelError::MissingCapability { capability: "wear" });
+
+        // The unmasked disk assembles the full pipeline.
+        let disk = DiskDevice::calibrated_1p8_inch();
+        assert!(
+            CapabilityModel::new(&disk, workload(1024.0), None, BestEffortPolicy::AtReadWrite)
+                .is_ok()
+        );
     }
 
     #[test]

@@ -225,6 +225,64 @@ impl Clone for Box<dyn StorageDevice> {
     }
 }
 
+/// Restricts a device to its energy capability, masking wear, utilisation
+/// and sim backing.
+///
+/// This is the capability-algebra way to freeze a device into the role the
+/// paper's §III-A.1 break-even comparison gives the 1.8″ disk: priced by
+/// the refill-cycle model, nothing else. The wrapper's dedup token is
+/// distinct from the inner device's — an energy-only view and the fully
+/// modelled device evaluate differently, so they must never share a cached
+/// outcome.
+///
+/// ```
+/// use memstream_device::{DiskDevice, EnergyOnly, StorageDevice};
+///
+/// let full = DiskDevice::calibrated_1p8_inch();
+/// let masked = EnergyOnly::new(full.clone());
+/// assert!(full.wear().is_some());
+/// assert!(masked.wear().is_none() && masked.energy().is_some());
+/// assert_ne!(full.dedup_token(), masked.dedup_token());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyOnly<D> {
+    inner: D,
+}
+
+impl<D: StorageDevice> EnergyOnly<D> {
+    /// Wraps `inner`, hiding every capability but energy.
+    pub fn new(inner: D) -> Self {
+        EnergyOnly { inner }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: StorageDevice + Clone + 'static> StorageDevice for EnergyOnly<D> {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn dedup_token(&self) -> String {
+        format!("energy-only:{}", self.inner.dedup_token())
+    }
+
+    fn capacity(&self) -> DataSize {
+        self.inner.capacity()
+    }
+
+    fn energy(&self) -> Option<&dyn EnergyModelled> {
+        self.inner.energy()
+    }
+
+    fn clone_box(&self) -> Box<dyn StorageDevice> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,8 +303,15 @@ mod tests {
         let disk = DiskDevice::calibrated_1p8_inch();
         let flash = FlashDevice::mobile_mlc();
         assert_eq!(capability_row(&mems), (true, true, true, true));
-        assert_eq!(capability_row(&disk), (true, false, false, false));
+        // The disk is full-pipeline on the analytic side (start-stop wear
+        // plus a fixed LBA-format utilisation) but not sim-backed.
+        assert_eq!(capability_row(&disk), (true, true, false, true));
         assert_eq!(capability_row(&flash), (true, true, true, true));
+        // The paper-era energy-only role survives behind the mask.
+        assert_eq!(
+            capability_row(&EnergyOnly::new(disk)),
+            (true, false, false, false)
+        );
     }
 
     #[test]
@@ -276,8 +341,10 @@ mod tests {
             assert_eq!(a.dedup_token(), b.dedup_token());
             assert_eq!(a.kind(), b.kind());
         }
-        // The disk is energy-only; the others carry every capability.
-        assert!(cloned[1].wear().is_none());
+        // The disk carries analytic wear but no sim backing; the others
+        // carry every capability.
+        assert!(cloned[1].wear().is_some());
+        assert!(cloned[1].sim().is_none());
         assert!(cloned[0].sim().is_some());
         assert!(cloned[2].sim().is_some());
     }

@@ -11,7 +11,7 @@ use std::fmt;
 
 use memstream_units::{BitRate, DataSize, Duration, Power};
 
-use crate::capability::StorageDevice;
+use crate::capability::{StorageDevice, UtilizationSpec, WearChannel, WearModelled};
 use crate::error::DeviceError;
 use crate::power::{EnergyModelled, MechanicalDevice, PowerState};
 
@@ -40,6 +40,10 @@ pub struct DiskDevice {
     /// Start/stop (load/unload) cycle rating; the paper quotes ~10⁵ for the
     /// 1.8-inch class.
     start_stop_cycles: f64,
+    /// Fixed fraction of the raw capacity left after the LBA sector format
+    /// (sync marks, servo wedges, ECC) — set at manufacture time, so it is
+    /// buffer-independent, unlike the MEMS sawtooth.
+    format_utilization: f64,
 }
 
 impl DiskDevice {
@@ -74,6 +78,25 @@ impl DiskDevice {
     #[must_use]
     pub fn start_stop_cycles(&self) -> f64 {
         self.start_stop_cycles
+    }
+
+    /// The fixed utilisation left after the drive's LBA sector format.
+    #[must_use]
+    pub fn format_utilization(&self) -> f64 {
+        self.format_utilization
+    }
+}
+
+impl WearModelled for DiskDevice {
+    /// The drive's one wear mechanism: every refill round trip spends one
+    /// head load/unload (start-stop) cycle — the same Eq. (5) duty-cycle
+    /// law as the MEMS springs, at the 1.8-inch class's ~10⁵ rating
+    /// (§III-C.1's "three orders of magnitude" argument lives in this
+    /// rating gap).
+    fn wear_channels(&self) -> Vec<WearChannel> {
+        vec![WearChannel::DutyCycle {
+            rating: self.start_stop_cycles,
+        }]
     }
 }
 
@@ -122,12 +145,23 @@ impl StorageDevice for DiskDevice {
         self.capacity
     }
 
-    /// The disk participates in the energy analysis only — exactly the
-    /// role the 1.8″ drive plays in §III-A.1's break-even comparison.
-    /// Its start-stop wear and capacity legs are not modelled, and the
-    /// grid reports those gaps explicitly instead of skipping silently.
     fn energy(&self) -> Option<&dyn EnergyModelled> {
         Some(self)
+    }
+
+    /// Start-stop wear rides the generic duty-cycle channel, so disk
+    /// cells plan full (energy, capacity, lifetime) trade-offs instead of
+    /// dropping to energy-only evaluation. To reproduce the paper-era
+    /// break-even-comparison role (§III-A.1), register the drive behind
+    /// [`crate::EnergyOnly`].
+    fn wear(&self) -> Option<&dyn WearModelled> {
+        Some(self)
+    }
+
+    fn utilization(&self) -> Option<UtilizationSpec> {
+        Some(UtilizationSpec::Constant {
+            fraction: self.format_utilization,
+        })
     }
 
     fn clone_box(&self) -> Box<dyn StorageDevice> {
@@ -175,6 +209,7 @@ impl DiskDeviceBuilder {
                 idle_power: Power::from_milliwatts(400.0),
                 standby_power: Power::from_milliwatts(100.0),
                 start_stop_cycles: 1e5,
+                format_utilization: 0.95,
             },
         }
     }
@@ -256,6 +291,13 @@ impl DiskDeviceBuilder {
         self
     }
 
+    /// Sets the fixed utilisation left after the LBA sector format.
+    #[must_use]
+    pub fn format_utilization(mut self, fraction: f64) -> Self {
+        self.device.format_utilization = fraction;
+        self
+    }
+
     /// Validates and produces the drive.
     ///
     /// # Errors
@@ -282,6 +324,17 @@ impl DiskDeviceBuilder {
         if d.start_stop_cycles <= 0.0 || d.start_stop_cycles.is_nan() {
             return Err(DeviceError::ZeroParameter {
                 parameter: "start_stop_cycles",
+            });
+        }
+        if d.format_utilization <= 0.0 || d.format_utilization.is_nan() {
+            return Err(DeviceError::ZeroParameter {
+                parameter: "format_utilization",
+            });
+        }
+        if d.format_utilization > 1.0 {
+            return Err(DeviceError::FractionOutOfRange {
+                parameter: "format_utilization",
+                value: d.format_utilization,
             });
         }
         for (name, p) in [
@@ -354,5 +407,51 @@ mod tests {
     fn start_stop_rating_is_1e5_class() {
         // §III-C.1: "the 10^5 rating of the 1.8-inch disk drive".
         assert_eq!(DiskDevice::calibrated_1p8_inch().start_stop_cycles(), 1e5);
+    }
+
+    #[test]
+    fn disk_exposes_the_full_pipeline_capabilities() {
+        let disk = DiskDevice::calibrated_1p8_inch();
+        assert!(disk.energy().is_some());
+        assert!(disk.wear().is_some());
+        match disk.utilization() {
+            Some(UtilizationSpec::Constant { fraction }) => assert_eq!(fraction, 0.95),
+            other => panic!("expected a constant utilisation spec, got {other:?}"),
+        }
+        // Start-stop wear is the drive's single duty-cycle channel.
+        let channels = disk.wear_channels();
+        assert_eq!(
+            channels,
+            vec![WearChannel::DutyCycle { rating: 1e5 }],
+            "start-stop cycles ride the generic duty-cycle channel"
+        );
+        // Still no sim backing: the simulator only replays MEMS and flash.
+        assert!(disk.sim().is_none());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_format_utilization() {
+        // Non-positive (or NaN) values violate strict positivity ...
+        for bad in [0.0, -0.1, f64::NAN] {
+            let err = DiskDevice::builder()
+                .format_utilization(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, DeviceError::ZeroParameter { .. }), "{bad}");
+        }
+        // ... while a positive value above 1 is a range error, diagnosed
+        // as such (telling the user "must be strictly positive" about 1.5
+        // would point them the wrong way).
+        let err = DiskDevice::builder()
+            .format_utilization(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::FractionOutOfRange {
+                parameter: "format_utilization",
+                ..
+            }
+        ));
     }
 }

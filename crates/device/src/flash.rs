@@ -433,9 +433,15 @@ impl FlashDeviceBuilder {
                 parameter: "waf_floor",
             });
         }
-        if !(d.fixed_utilization > 0.0 && d.fixed_utilization <= 1.0) {
+        if d.fixed_utilization <= 0.0 || d.fixed_utilization.is_nan() {
             return Err(DeviceError::ZeroParameter {
                 parameter: "fixed_utilization",
+            });
+        }
+        if d.fixed_utilization > 1.0 {
+            return Err(DeviceError::FractionOutOfRange {
+                parameter: "fixed_utilization",
+                value: d.fixed_utilization,
             });
         }
         for (name, p) in [

@@ -43,7 +43,7 @@ mod mems;
 mod power;
 
 pub use capability::{
-    SimBacked, StorageDevice, UtilizationSpec, WearChannel, WearModelled, WearSpec,
+    EnergyOnly, SimBacked, StorageDevice, UtilizationSpec, WearChannel, WearModelled, WearSpec,
 };
 pub use disk::{DiskDevice, DiskDeviceBuilder};
 pub use dram::{DramEnergyBreakdown, DramModel};

@@ -30,7 +30,8 @@ const HEADER: &str = "memstream-grid-cache v1";
 /// use memstream_grid::{GridExecutor, ResultCache, ScenarioGrid};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let dir = std::env::temp_dir().join("memstream-cache-doc");
+/// // Process-unique path: concurrent doc-test runs must not collide.
+/// let dir = std::env::temp_dir().join(format!("memstream-cache-doc-{}", std::process::id()));
 /// std::fs::create_dir_all(&dir)?;
 /// let path = dir.join("grid.cache");
 /// # let _ = std::fs::remove_file(&path);
@@ -281,15 +282,26 @@ mod tests {
     use crate::exec::GridExecutor;
     use crate::spec::ScenarioGrid;
 
+    /// A per-process, per-test temp path: the process id keeps concurrent
+    /// `cargo test` invocations (which share the OS temp dir) from
+    /// clobbering each other's fixture files, and each test passes a
+    /// distinct `name` so threads within one run never collide either.
     fn temp_path(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("memstream-grid-cache-tests");
+        let dir =
+            std::env::temp_dir().join(format!("memstream-grid-cache-tests-{}", std::process::id()));
         fs::create_dir_all(&dir).expect("temp dir");
         dir.join(name)
     }
 
     #[test]
     fn every_outcome_kind_round_trips_exactly() {
-        let grid = ScenarioGrid::paper_baseline(6);
+        // The baseline plus an energy-only-masked disk covers all four
+        // outcome kinds' encodings except `Unmodelled` (covered below).
+        use memstream_device::{DiskDevice, EnergyOnly};
+        let grid = ScenarioGrid::paper_baseline(6).device(crate::spec::DeviceEntry::new(
+            "disk-breakeven",
+            EnergyOnly::new(DiskDevice::calibrated_1p8_inch()),
+        ));
         let results = GridExecutor::serial().explore(&grid).unwrap();
         let mut seen_kinds = std::collections::HashSet::new();
         for (cell, outcome) in results.records() {
@@ -300,8 +312,15 @@ mod tests {
             assert_eq!(&parsed, outcome, "roundtrip drift for {key}");
             seen_kinds.insert(std::mem::discriminant(outcome));
         }
-        // The baseline exercises feasible, infeasible and energy-only.
+        // Feasible, infeasible and (masked-disk) energy-only all appear.
         assert_eq!(seen_kinds.len(), 3);
+        // The fourth kind, `Unmodelled`, has no grid cell here; check its
+        // encoding directly.
+        let unmodelled = CellOutcome::Unmodelled {
+            detail: "missing capability: wear".to_owned(),
+        };
+        let (_, parsed) = parse_line(&encode_line("k", &unmodelled)).expect("unmodelled parses");
+        assert_eq!(parsed, unmodelled);
     }
 
     #[test]

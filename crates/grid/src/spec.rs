@@ -3,7 +3,7 @@
 use std::fmt;
 
 use memstream_core::{log_spaced_rates, BestEffortPolicy, DesignGoal};
-use memstream_device::{DiskDevice, FlashDevice, MemsDevice, StorageDevice};
+use memstream_device::{DiskDevice, EnergyOnly, FlashDevice, MemsDevice, StorageDevice};
 use memstream_units::{BitRate, Ratio};
 use memstream_workload::{PlaybackCalendar, StreamMix, Workload};
 
@@ -216,22 +216,28 @@ impl ScenarioGrid {
 
     /// The workspace's reference exploration: five registered devices
     /// (Table I, the wear-hardened Fig. 3c part, an early prototype with
-    /// weak wear ratings, the 1.8″ disk, and the mobile MLC flash part),
-    /// three workload shapes (paper, read-mostly A/V mix, write-heavy
-    /// recorder), `n_rates` log-spaced rates over the paper's 32–4096 kbps
-    /// span, and the Fig. 3a/3b goals.
+    /// weak wear ratings, the fully wear-modelled 1.8″ disk, and the
+    /// mobile MLC flash part), three workload shapes (paper, read-mostly
+    /// A/V mix, write-heavy recorder), `n_rates` log-spaced rates over the
+    /// paper's 32–4096 kbps span, and the Fig. 3a/3b goals.
     ///
     /// # Panics
     ///
     /// Panics if `n_rates < 2`.
     #[must_use]
     pub fn paper_baseline(n_rates: usize) -> Self {
-        ScenarioGrid::paper_classic(n_rates)
+        ScenarioGrid::paper_mems_entries()
+            .device(DeviceEntry::new(
+                "disk-1.8in",
+                DiskDevice::calibrated_1p8_inch(),
+            ))
             .device(DeviceEntry::new("flash-mlc", FlashDevice::mobile_mlc()))
+            .paper_shape(n_rates)
     }
 
     /// The pre-flash reference exploration: the four classic devices of
-    /// the paper era (three MEMS variants and the 1.8″ disk). Kept
+    /// the paper era (three MEMS variants and the 1.8″ disk in its
+    /// historical energy-only role, frozen behind [`EnergyOnly`]). Kept
     /// distinct so the registry refactor's byte-identity golden test has a
     /// stable target, and useful whenever only the paper's devices are
     /// wanted.
@@ -241,16 +247,16 @@ impl ScenarioGrid {
     /// Panics if `n_rates < 2`.
     #[must_use]
     pub fn paper_classic(n_rates: usize) -> Self {
-        use memstream_workload::StreamSpec;
+        ScenarioGrid::paper_mems_entries()
+            .device(DeviceEntry::new(
+                "disk-1.8in",
+                EnergyOnly::new(DiskDevice::calibrated_1p8_inch()),
+            ))
+            .paper_shape(n_rates)
+    }
 
-        let mix = StreamMix::new(vec![
-            StreamSpec::new(BitRate::from_kbps(2048.0), Ratio::from_percent(10.0))
-                .expect("positive rate"),
-            StreamSpec::new(BitRate::from_kbps(128.0), Ratio::from_percent(50.0))
-                .expect("positive rate"),
-        ])
-        .expect("non-empty mix");
-
+    /// The three MEMS registry entries shared by the reference grids.
+    fn paper_mems_entries() -> Self {
         ScenarioGrid::new()
             .device(DeviceEntry::new("table1", MemsDevice::table1()))
             .device(DeviceEntry::new(
@@ -265,11 +271,25 @@ impl ScenarioGrid {
                     .with_probe_write_cycles(50.0)
                     .with_spring_duty_cycles(1e7),
             ))
-            .device(DeviceEntry::new(
-                "disk-1.8in",
-                DiskDevice::calibrated_1p8_inch(),
-            ))
-            .workload(WorkloadProfile::paper())
+    }
+
+    /// The workload, rate and goal axes shared by the reference grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rates < 2`.
+    fn paper_shape(self, n_rates: usize) -> Self {
+        use memstream_workload::StreamSpec;
+
+        let mix = StreamMix::new(vec![
+            StreamSpec::new(BitRate::from_kbps(2048.0), Ratio::from_percent(10.0))
+                .expect("positive rate"),
+            StreamSpec::new(BitRate::from_kbps(128.0), Ratio::from_percent(50.0))
+                .expect("positive rate"),
+        ])
+        .expect("non-empty mix");
+
+        self.workload(WorkloadProfile::paper())
             .workload(
                 WorkloadProfile::from_mix(
                     "av-mix",
@@ -330,6 +350,19 @@ impl ScenarioGrid {
     pub fn goal(mut self, goal: DesignGoal) -> Self {
         self.goals.push(goal);
         self
+    }
+
+    /// The same grid with a replaced rate axis — the cheap "same scenario
+    /// space, different rate samples" extension refinement loops live on.
+    ///
+    /// Every other axis and setting is kept, so a cell at a rate present
+    /// in both grids has an identical [`ScenarioGrid::dedup_key`]: a
+    /// cached exploration of one grid warms the other at the shared rates.
+    #[must_use]
+    pub fn with_rate_axis(&self, rates: impl IntoIterator<Item = BitRate>) -> Self {
+        let mut copy = self.clone();
+        copy.rates = rates.into_iter().collect();
+        copy
     }
 
     /// Removes the DRAM term from the energy model (device-only energy,
@@ -478,14 +511,42 @@ mod tests {
         assert_eq!(grid.rates().len(), 24);
         assert_eq!(grid.goals().len(), 2);
         assert_eq!(grid.len(), 5 * 3 * 24 * 2);
-        // The classic grid is the baseline minus the flash entry, in the
-        // same order — the property the golden test leans on.
+        // The classic grid shares the baseline's MEMS prefix and device
+        // names, but freezes the disk in its paper-era energy-only role.
         let classic = ScenarioGrid::paper_classic(24);
         assert_eq!(classic.devices().len(), 4);
-        for (a, b) in classic.devices().iter().zip(grid.devices()) {
+        for (a, b) in classic.devices().iter().zip(grid.devices()).take(3) {
             assert_eq!(a, b);
         }
+        assert_eq!(classic.devices()[3].name(), grid.devices()[3].name());
+        assert!(classic.devices()[3].device().wear().is_none());
+        assert!(grid.devices()[3].device().wear().is_some());
         assert_eq!(grid.devices()[4].device().kind(), "flash");
+    }
+
+    #[test]
+    fn rate_axis_replacement_preserves_shared_dedup_keys() {
+        let base = ScenarioGrid::paper_baseline(6);
+        let mut rates: Vec<BitRate> = base.rates().to_vec();
+        rates.push(BitRate::from_kbps(555.0));
+        let extended = base.with_rate_axis(rates);
+        assert_eq!(extended.rates().len(), 7);
+        // Cells at the shared rates keep byte-identical keys; only the
+        // rate coordinate moved.
+        let mut shared = 0;
+        for cell in base.cells() {
+            let key = base.dedup_key(&cell);
+            let ext_cell = extended.cell(
+                ((cell.device * extended.workloads().len() + cell.workload)
+                    * extended.rates().len()
+                    + cell.rate)
+                    * extended.goals().len()
+                    + cell.goal,
+            );
+            assert_eq!(key, extended.dedup_key(&ext_cell));
+            shared += 1;
+        }
+        assert_eq!(shared, base.len());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Flip scanning: find region-label changes between adjacent rate
+//! samples of every (device, workload, goal) series.
+
+use memstream_grid::GridResults;
+
+/// One detected region-label change: between the rate samples at indices
+/// `lower_rate` and `lower_rate + 1` of its series, the Fig. 3 region
+/// label flips from [`Transition::from`] to [`Transition::to`].
+///
+/// The labels come from [`memstream_grid::CellOutcome::region`]: the
+/// dominant requirement of a feasible plan (`"E"`, `"C"`, `"Lsp"`,
+/// `"Lpb"`, `"Lpe"`), `"X"` for infeasible cells, `"disk"` for
+/// energy-only cells and `"-"` for unmodelled ones. The latter two are
+/// constant per series, so every transition a scan reports crosses a
+/// boundary of the paper's design-region geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Index into the grid's device axis.
+    pub device: usize,
+    /// Index into the grid's workload axis.
+    pub workload: usize,
+    /// Index into the grid's goal axis.
+    pub goal: usize,
+    /// Rate index of the lower bracket; the flip sits between this sample
+    /// and the next.
+    pub lower_rate: usize,
+    /// Region label at the lower bracket.
+    pub from: &'static str,
+    /// Region label at the upper bracket.
+    pub to: &'static str,
+}
+
+/// Scans every series of `results` for region-label changes between
+/// adjacent rate samples.
+///
+/// The rate axis is compared in **axis order**, so the scan is only
+/// meaningful on a grid whose rates are sorted ascending — which is what
+/// [`crate::RefinementEngine`] guarantees for its working grids.
+/// Transitions come back in a fixed canonical order (device, workload,
+/// goal, then rate), part of the crate's determinism contract.
+#[must_use]
+pub fn scan_transitions(results: &GridResults) -> Vec<Transition> {
+    let grid = results.grid();
+    let workloads = grid.workloads().len();
+    let rates = grid.rates().len();
+    let goals = grid.goals().len();
+    let index =
+        |d: usize, w: usize, r: usize, g: usize| ((d * workloads + w) * rates + r) * goals + g;
+
+    let mut transitions = Vec::new();
+    for d in 0..grid.devices().len() {
+        for w in 0..workloads {
+            for g in 0..goals {
+                for r in 0..rates.saturating_sub(1) {
+                    let from = results.outcome(index(d, w, r, g)).region();
+                    let to = results.outcome(index(d, w, r + 1, g)).region();
+                    if from != to {
+                        transitions.push(Transition {
+                            device: d,
+                            workload: w,
+                            goal: g,
+                            lower_rate: r,
+                            from,
+                            to,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    transitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memstream_core::DesignGoal;
+    use memstream_device::MemsDevice;
+    use memstream_grid::{DeviceEntry, GridExecutor, ScenarioGrid, WorkloadProfile};
+
+    fn explore(n_rates: usize) -> GridResults {
+        let grid = ScenarioGrid::new()
+            .device(DeviceEntry::new("table1", MemsDevice::table1()))
+            .workload(WorkloadProfile::paper())
+            .rate_span(32.0, 4096.0, n_rates)
+            .goal(DesignGoal::fig3b());
+        GridExecutor::serial().explore(&grid).expect("explore")
+    }
+
+    #[test]
+    fn single_series_reports_its_figure_3_knees() {
+        // The fig3b row of the paper's device flips C -> Lsp -> X across
+        // 32-4096 kbps (Fig. 3b's region strip).
+        let results = explore(24);
+        let transitions = scan_transitions(&results);
+        assert!(!transitions.is_empty());
+        let labels: Vec<(&str, &str)> = transitions.iter().map(|t| (t.from, t.to)).collect();
+        assert!(labels.contains(&("Lsp", "X")), "probes cliff: {labels:?}");
+        for t in &transitions {
+            assert_ne!(t.from, t.to);
+            assert!(t.lower_rate + 1 < results.grid().rates().len());
+        }
+    }
+
+    #[test]
+    fn transitions_are_in_canonical_order() {
+        let results = explore(16);
+        let transitions = scan_transitions(&results);
+        let keys: Vec<_> = transitions
+            .iter()
+            .map(|t| (t.device, t.workload, t.goal, t.lower_rate))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn a_two_rate_axis_has_at_most_one_flip_per_series() {
+        let results = explore(2);
+        assert!(scan_transitions(&results).len() <= 1);
+    }
+}

@@ -517,6 +517,120 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no consumption events")]
+    fn from_trace_rejects_an_empty_event_list() {
+        let _ = StepSchedule::from_trace(&[], Duration::from_seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no consumption events")]
+    fn from_trace_rejects_a_best_effort_only_trace() {
+        // Best-effort requests are device traffic, not decoder
+        // consumption; a trace of nothing else has no rate to recover.
+        let events = vec![TraceEvent::BestEffort {
+            at: Duration::from_seconds(0.5),
+            size: DataSize::from_kibibytes(4.0),
+        }];
+        let _ = StepSchedule::from_trace(&events, Duration::from_seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket must be positive")]
+    fn from_trace_rejects_a_zero_bucket() {
+        let events = vec![TraceEvent::Consume {
+            at: Duration::ZERO,
+            size: DataSize::from_kibibytes(1.0),
+            is_write: false,
+        }];
+        let _ = StepSchedule::from_trace(&events, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_trace_is_order_independent() {
+        // Bucketing accumulates by timestamp, so an unsorted event list
+        // (e.g. merged from per-stream logs) recovers the same schedule
+        // as its time-ordered permutation.
+        let consume = |secs: f64, kib: f64| TraceEvent::Consume {
+            at: Duration::from_seconds(secs),
+            size: DataSize::from_kibibytes(kib),
+            is_write: false,
+        };
+        let sorted = vec![
+            consume(0.2, 10.0),
+            consume(0.7, 30.0),
+            consume(1.3, 20.0),
+            consume(2.6, 5.0),
+        ];
+        let mut shuffled = sorted.clone();
+        shuffled.swap(0, 3);
+        shuffled.swap(1, 2);
+        let bucket = Duration::from_seconds(1.0);
+        assert_eq!(
+            StepSchedule::from_trace(&sorted, bucket),
+            StepSchedule::from_trace(&shuffled, bucket)
+        );
+    }
+
+    #[test]
+    fn from_trace_averages_bursts_shorter_than_the_bucket() {
+        // A 100 ms burst inside a 1 s bucket cannot be resolved below the
+        // bucket length: its volume is smeared over the whole bucket, and
+        // the neighbouring (empty) bucket reads zero.
+        let mut events = Vec::new();
+        for i in 0..10 {
+            events.push(TraceEvent::Consume {
+                at: Duration::from_seconds(0.30 + 0.01 * f64::from(i)),
+                size: DataSize::from_kibibytes(100.0),
+                is_write: true,
+            });
+        }
+        // A later event so the horizon spans two buckets.
+        events.push(TraceEvent::Consume {
+            at: Duration::from_seconds(1.5),
+            size: DataSize::from_kibibytes(1.0),
+            is_write: false,
+        });
+        let replay = StepSchedule::from_trace(&events, Duration::from_seconds(1.0));
+        let burst_bucket = replay.rate_at(Duration::from_seconds(0.9));
+        let expected = BitRate::from_bits_per_second(DataSize::from_kibibytes(1000.0).bits());
+        assert_eq!(
+            burst_bucket, expected,
+            "burst volume averages over its bucket"
+        );
+        // The burst's sub-bucket structure is gone: peak == bucket mean.
+        assert_eq!(replay.peak_rate(), expected);
+    }
+
+    #[test]
+    fn vbr_rejects_a_zero_mean() {
+        let err = VbrProfile::new(
+            BitRate::ZERO,
+            BitRate::from_kbps(100.0),
+            Duration::from_seconds(1.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::ZeroStreamRate));
+    }
+
+    #[test]
+    fn vbr_with_peak_equal_to_mean_degenerates_to_cbr() {
+        let p = VbrProfile::new(
+            BitRate::from_kbps(640.0),
+            BitRate::from_kbps(640.0),
+            Duration::from_seconds(4.0),
+        )
+        .expect("peak == mean is a valid (degenerate) profile");
+        let s = RateSchedule::Vbr(p);
+        for secs in [0.0, 1.0, 2.5, 17.0] {
+            assert_eq!(
+                s.rate_at(Duration::from_seconds(secs)),
+                BitRate::from_kbps(640.0)
+            );
+        }
+        assert_eq!(s.mean_rate(), s.peak_rate());
+    }
+
+    #[test]
     fn cbr_trace_replays_to_its_own_rate() {
         let rate = BitRate::from_kbps(1024.0);
         let mut generator = TraceGenerator::new(

@@ -12,6 +12,7 @@
 //! * [`core`] — the analytic models and buffer dimensioner (Eqs. (1)–(6)).
 //! * [`sim`] — the discrete-event simulator cross-checking the models.
 //! * [`grid`] — the parallel scenario-grid exploration engine.
+//! * [`refine`] — the adaptive frontier-knee refinement loop over it.
 //!
 //! The repo-root `tests/` and `examples/` directories belong to this
 //! package, so `cargo test` and `cargo run --example quickstart` work from
@@ -24,6 +25,7 @@ pub use memstream_core as core;
 pub use memstream_device as device;
 pub use memstream_grid as grid;
 pub use memstream_media as media;
+pub use memstream_refine as refine;
 pub use memstream_sim as sim;
 pub use memstream_units as units;
 pub use memstream_workload as workload;

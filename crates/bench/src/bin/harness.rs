@@ -5,7 +5,7 @@
 //! Experiments: `table1`, `breakeven`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
 //! `fig3x` (the C = 85 % variant mentioned in §IV-C without a figure),
 //! `sim`, `ablation`, `comparison`, `format`, `sensitivity`, `frontier`,
-//! `map`, `custom`, `grid`, `refine`, or `all` (default).
+//! `map`, `custom`, `grid`, `refine`, `shard-worker`, or `all` (default).
 //!
 //! `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
 //! explores the scenario grid (devices × workloads × rates × goals) in
@@ -19,6 +19,19 @@
 //! plus the refined frontier. Stdout is byte-identical for every
 //! `--threads` value *and* across cold/warm cache runs; cache accounting
 //! goes to stderr.
+//!
+//! `--shards N` (on `grid` and `refine`) fans evaluation out across `N`
+//! spawned worker **processes** — re-execs of this binary's
+//! `shard-worker` subcommand — and reassembles the run by cache-file
+//! union (`memstream_shard`). Stdout stays byte-identical to the
+//! single-process run for any shard count, cold or warm; shard
+//! accounting and the per-shard error ledger go to stderr, and any shard
+//! failure fails the run with exit code 1.
+//!
+//! `harness shard-worker --shard i/N --cache PATH ...` is the worker
+//! side of that protocol (not for interactive use): evaluate one
+//! contiguous slice of the grid's deduplicated cell range and write it
+//! as a result-cache file (`docs/CACHE_FORMAT.md`).
 
 use memstream_bench::{
     ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
@@ -275,6 +288,7 @@ struct SharedFlags {
     threads: usize,
     cache_path: Option<String>,
     classic: bool,
+    shards: Option<usize>,
 }
 
 impl SharedFlags {
@@ -284,6 +298,7 @@ impl SharedFlags {
             threads: 0, // 0 = machine width
             cache_path: None,
             classic: false,
+            shards: None,
         }
     }
 
@@ -295,6 +310,7 @@ impl SharedFlags {
             "--threads" => self.threads = parse_flag(flag, &value()),
             "--cache" => self.cache_path = Some(value()),
             "--classic" => self.classic = true,
+            "--shards" => self.shards = Some(parse_flag(flag, &value())),
             _ => return false,
         }
         true
@@ -306,7 +322,72 @@ impl SharedFlags {
             eprintln!("--rates must be at least 2");
             std::process::exit(2);
         }
+        if self.shards == Some(0) {
+            eprintln!("--shards must be at least 1");
+            std::process::exit(2);
+        }
         self
+    }
+
+    /// The wire-encodable recipe for the grid these flags select.
+    fn recipe(&self) -> memstream_shard::GridRecipe {
+        memstream_shard::GridRecipe::reference(self.classic, self.rates)
+    }
+
+    /// Shard fan-out options: spawn this very binary's `shard-worker`
+    /// subcommand. An explicit `--threads` is forwarded per worker; by
+    /// default `ShardOptions` divides the machine width across the local
+    /// workers.
+    fn shard_options(&self, shards: usize) -> memstream_shard::ShardOptions {
+        let program = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("cannot locate the current binary for shard workers: {e}");
+            std::process::exit(2);
+        });
+        let opts = memstream_shard::ShardOptions::new(program, shards);
+        if self.threads == 0 {
+            opts
+        } else {
+            opts.with_worker_threads(self.threads)
+        }
+    }
+}
+
+/// Prints one fan-out's shard accounting — worker lines, forwarded
+/// worker stderr and the error ledger — to stderr (never stdout: the
+/// determinism contract).
+fn report_shard_run(run: &memstream_shard::ShardRun) {
+    if run.workers_spawned == 0 {
+        eprintln!(
+            "shards: cache fully warm ({} cells), no workers spawned",
+            run.cached
+        );
+    } else {
+        eprintln!(
+            "shards: {} workers over {} unique cells ({} cached, {} fanned out)",
+            run.workers_spawned, run.unique_cells, run.cached, run.fanned_out
+        );
+    }
+    for worker in &run.workers {
+        let merged = worker.merged.map_or_else(
+            || "not merged".to_owned(),
+            |m| format!("merged {} new, {} duplicate", m.added, m.duplicates),
+        );
+        eprintln!(
+            "  shard {}: {} cells assigned ({} cached); {}",
+            worker.shard, worker.assigned, worker.cached, merged
+        );
+        for line in worker.stderr.lines() {
+            eprintln!("  [shard {} stderr] {}", worker.shard, line);
+        }
+    }
+    for failure in &run.failures {
+        eprintln!("  shard ledger: {failure}");
+    }
+    if let Some(scratch) = &run.scratch {
+        eprintln!(
+            "  shard scratch kept for post-mortem: {}",
+            scratch.display()
+        );
     }
 }
 
@@ -338,12 +419,26 @@ fn save_cache(cache: &memstream_grid::ResultCache, path: &str) {
     });
 }
 
+/// One cached exploration with the `grid` subcommand's error handling,
+/// shared by the sharded and single-process paths so they cannot drift.
+fn explore_cached_or_exit(
+    executor: memstream_grid::GridExecutor,
+    spec: &memstream_grid::ScenarioGrid,
+    cache: &mut memstream_grid::ResultCache,
+) -> memstream_grid::GridResults {
+    executor.explore_cached(spec, cache).unwrap_or_else(|e| {
+        eprintln!("grid error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]
-/// [--cache PATH] [--classic]` — the parallel scenario-grid exploration
-/// (see module docs). `--cache` loads/saves evaluated cells keyed by
-/// scenario content, so re-runs skip already-explored cells without
-/// changing a single output byte; `--classic` restricts the registry to
-/// the paper's four devices (no flash).
+/// [--cache PATH] [--classic] [--shards N]` — the parallel scenario-grid
+/// exploration (see module docs). `--cache` loads/saves evaluated cells
+/// keyed by scenario content, so re-runs skip already-explored cells
+/// without changing a single output byte; `--classic` restricts the
+/// registry to the paper's four devices (no flash); `--shards` fans
+/// evaluation out across worker processes and merges by cache union.
 fn grid(args: &[String]) {
     use memstream_grid::{report, GridExecutor};
 
@@ -367,7 +462,7 @@ fn grid(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
-                     --validate, --cache, --classic"
+                     --validate, --cache, --classic, --shards"
                 );
                 std::process::exit(2);
             }
@@ -378,33 +473,72 @@ fn grid(args: &[String]) {
 
     let spec = reference_grid(shared.rates, shared.classic);
     let executor = GridExecutor::parallel(shared.threads);
-    eprintln!(
-        "exploring {} cells on {} worker thread(s)...",
-        spec.len(),
-        executor.threads()
-    );
-    let results = match &cache_path {
-        Some(path) => {
-            let mut cache = load_cache(path);
-            let results = executor
-                .explore_cached(&spec, &mut cache)
-                .unwrap_or_else(|e| {
-                    eprintln!("grid error: {e}");
-                    std::process::exit(2);
-                });
-            eprintln!(
-                "cache: {} hits, {} misses ({} entries saved)",
-                cache.hits(),
-                cache.misses(),
-                cache.len()
-            );
-            save_cache(&cache, path);
-            results
-        }
-        None => executor.explore(&spec).unwrap_or_else(|e| {
-            eprintln!("grid error: {e}");
+    let results = if let Some(shards) = shared.shards {
+        // Sharded: fan missing cells out to worker processes, union
+        // their cache files, then assemble locally from pure hits —
+        // stdout bytes identical to the single-process run.
+        eprintln!(
+            "exploring {} cells across {} shard worker process(es)...",
+            spec.len(),
+            shards
+        );
+        let mut cache = cache_path
+            .as_deref()
+            .map_or_else(memstream_grid::ResultCache::new, load_cache);
+        let run = memstream_shard::explore_sharded(
+            &shared.recipe(),
+            &mut cache,
+            &shared.shard_options(shards),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("shard error: {e}");
             std::process::exit(2);
-        }),
+        });
+        report_shard_run(&run);
+        if !run.is_complete() {
+            // The merge is atomic per shard, so the cache holds exactly
+            // the healthy shards' work — persist it before failing and a
+            // retry proceeds warm from everything that did complete.
+            if let Some(path) = &cache_path {
+                save_cache(&cache, path);
+                eprintln!(
+                    "cache file: {} entries saved (healthy shards only)",
+                    cache.len()
+                );
+            }
+            eprintln!("grid error: {} shard(s) failed", run.failures.len());
+            std::process::exit(1);
+        }
+        let results = explore_cached_or_exit(executor, &spec, &mut cache);
+        if let Some(path) = &cache_path {
+            save_cache(&cache, path);
+            eprintln!("cache file: {} entries saved", cache.len());
+        }
+        results
+    } else {
+        eprintln!(
+            "exploring {} cells on {} worker thread(s)...",
+            spec.len(),
+            executor.threads()
+        );
+        match &cache_path {
+            Some(path) => {
+                let mut cache = load_cache(path);
+                let results = explore_cached_or_exit(executor, &spec, &mut cache);
+                eprintln!(
+                    "cache: {} hits, {} misses ({} entries saved)",
+                    cache.hits(),
+                    cache.misses(),
+                    cache.len()
+                );
+                save_cache(&cache, path);
+                results
+            }
+            None => executor.explore(&spec).unwrap_or_else(|e| {
+                eprintln!("grid error: {e}");
+                std::process::exit(2);
+            }),
+        }
     };
 
     print!("{}", report::grid_stdout(&results, full_csv));
@@ -430,11 +564,12 @@ fn grid(args: &[String]) {
 }
 
 /// `harness refine [--rates N] [--threads N] [--cache PATH]
-/// [--width-bound F] [--max-rounds N] [--classic]` — the adaptive
-/// refinement loop (see module docs). `--width-bound` is the relative
-/// interval width a knee must be localised to (default 0.01 = 1 %);
-/// `--cache` makes re-runs evaluate nothing while reproducing stdout
-/// byte-for-byte.
+/// [--width-bound F] [--max-rounds N] [--classic] [--shards N]` — the
+/// adaptive refinement loop (see module docs). `--width-bound` is the
+/// relative interval width a knee must be localised to (default 0.01 =
+/// 1 %); `--cache` makes re-runs evaluate nothing while reproducing
+/// stdout byte-for-byte; `--shards` fans each round's new rates out
+/// across worker processes.
 fn refine(args: &[String]) {
     use memstream_grid::GridExecutor;
     use memstream_refine::{report, RefineConfig, RefinementEngine};
@@ -459,7 +594,7 @@ fn refine(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --cache, \
-                     --width-bound, --max-rounds, --classic"
+                     --width-bound, --max-rounds, --classic, --shards"
                 );
                 std::process::exit(2);
             }
@@ -484,22 +619,82 @@ fn refine(args: &[String]) {
             .with_width_bound(width_bound)
             .with_max_rounds(max_rounds),
     );
-    eprintln!(
-        "refining {} initial cells on {} worker thread(s)...",
-        spec.len(),
-        executor.threads()
-    );
     let mut cache = cache_path.as_deref().map(load_cache);
-    let outcome = engine.refine(&spec, cache.as_mut()).unwrap_or_else(|e| {
-        eprintln!("refine error: {e}");
-        std::process::exit(2);
-    });
+    let outcome = if let Some(shards) = shared.shards {
+        // Sharded: every round fans only its new rates out to worker
+        // processes; the merged cache warms the next round. Stdout is
+        // byte-identical to the single-process refinement.
+        eprintln!(
+            "refining {} initial cells across {} shard worker process(es)...",
+            spec.len(),
+            shards
+        );
+        let mut explorer = memstream_shard::ShardedRoundExplorer::new(
+            shared.recipe(),
+            shared.shard_options(shards),
+            executor,
+        );
+        let outcome = engine.refine_with(&spec, cache.as_mut(), &mut explorer);
+        for (i, run) in explorer.rounds().iter().enumerate() {
+            eprintln!("round {} shard fan-out:", i + 1);
+            report_shard_run(run);
+        }
+        outcome.unwrap_or_else(|e| {
+            // Per-shard merges are atomic, so the cache holds exactly the
+            // healthy work of every completed round (plus the failed
+            // round's healthy shards) — persist it so a retry runs warm.
+            if let (Some(cache), Some(path)) = (&cache, &cache_path) {
+                save_cache(cache, path);
+                eprintln!(
+                    "cache file: {} entries saved (completed work only)",
+                    cache.len()
+                );
+            }
+            eprintln!("refine error: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        eprintln!(
+            "refining {} initial cells on {} worker thread(s)...",
+            spec.len(),
+            executor.threads()
+        );
+        engine.refine(&spec, cache.as_mut()).unwrap_or_else(|e| {
+            eprintln!("refine error: {e}");
+            std::process::exit(2);
+        })
+    };
     eprint!("{}", report::cache_summary(&outcome.report));
     if let (Some(cache), Some(path)) = (&cache, &cache_path) {
         save_cache(cache, path);
         eprintln!("cache file: {} entries saved", cache.len());
     }
     print!("{}", report::refine_stdout(&outcome));
+}
+
+/// `harness shard-worker --shard i/N --cache PATH [--warm PATH]
+/// [--threads N] [--rates N] [--classic] [--rate-list F,F,...]` — the
+/// worker side of the shard protocol (spawned by `--shards`, not meant
+/// for interactive use): evaluate slice `i/N` of the recipe grid's
+/// deduplicated cell range and write it as a result-cache file. Prints
+/// nothing to stdout; its accounting line goes to stderr, which the
+/// coordinator captures and forwards.
+fn shard_worker(args: &[String]) {
+    use memstream_shard::{run_worker, WorkerSpec};
+    let spec = WorkerSpec::from_args(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    match run_worker(&spec) {
+        Ok(summary) => eprintln!(
+            "shard {}/{}: {} cells assigned, {} warm hits, {} evaluated",
+            spec.shard, spec.shard_count, summary.assigned, summary.warm_hits, summary.evaluated
+        ),
+        Err(e) => {
+            eprintln!("shard {}/{} failed: {e}", spec.shard, spec.shard_count);
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]
@@ -571,6 +766,12 @@ fn main() {
                 .filter(|a| a != "--")
                 .collect::<Vec<_>>(),
         ),
+        "shard-worker" => shard_worker(
+            &std::env::args()
+                .skip(2)
+                .filter(|a| a != "--")
+                .collect::<Vec<_>>(),
+        ),
         "all" => {
             table1();
             breakeven();
@@ -591,7 +792,8 @@ fn main() {
             eprintln!(
                 "unknown experiment `{other}`; try table1, breakeven, fig2, \
                  fig3a, fig3b, fig3c, fig3x, sim, ablation, comparison, format, \
-                 sensitivity, frontier, map, custom, grid, refine, all"
+                 sensitivity, frontier, map, custom, grid, refine, shard-worker, \
+                 all"
             );
             std::process::exit(2);
         }

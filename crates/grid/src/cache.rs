@@ -4,14 +4,25 @@
 //! cells across process boundaries.
 //!
 //! The on-disk format is a versioned, tab-separated line store
-//! (`memstream-grid-cache v1`). Floats are written with Rust's
+//! (`memstream-grid-cache v1`), fully specified in `docs/CACHE_FORMAT.md`
+//! at the repository root. Floats are written with Rust's
 //! shortest-roundtrip formatting, so a warm-cache exploration reproduces
 //! the cold run's reports **byte-identically** — the property the CI
-//! determinism smoke asserts. Unknown or corrupt lines are ignored on
-//! load (they simply become cache misses), so format evolution never
-//! poisons a run.
+//! determinism smoke asserts. Under [`ResultCache::load`], unknown or
+//! corrupt lines are ignored (they simply become cache misses), so format
+//! evolution never poisons a run.
+//!
+//! The cache file is also the workspace's **shard interchange format**:
+//! `memstream_shard` workers each emit their slice of a grid as a cache
+//! file, and the coordinator reassembles the run by
+//! [`ResultCache::merge`]-union. That path uses the strict reader
+//! ([`ResultCache::load_strict`]) — a wire format must fail loudly on
+//! version mismatch or corruption, where a warm-start convenience may
+//! shrug — and the union's conflict rule is byte-equality of the encoded
+//! entry (see `docs/CACHE_FORMAT.md` § "Union/merge semantics").
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -23,6 +34,96 @@ use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 
 const HEADER: &str = "memstream-grid-cache v1";
+
+/// Why a strict cache read ([`ResultCache::load_strict`]) rejected a file.
+///
+/// The lenient reader ([`ResultCache::load`]) maps every non-I/O failure
+/// below to "empty cache / skipped line"; the strict reader exists for the
+/// shard interchange path, where silently dropping entries would corrupt a
+/// distributed run instead of merely slowing a warm start.
+#[derive(Debug)]
+pub enum CacheFileError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The first line is not the supported header.
+    VersionMismatch {
+        /// The header line actually found (empty for an empty file).
+        found: String,
+    },
+    /// A body line failed to parse as a cache entry.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CacheFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheFileError::Io(e) => write!(f, "cache file unreadable: {e}"),
+            CacheFileError::VersionMismatch { found } => write!(
+                f,
+                "cache version mismatch: expected `{HEADER}`, found `{found}`"
+            ),
+            CacheFileError::Malformed { line } => {
+                write!(f, "cache file line {line} is not a valid entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CacheFileError {
+    fn from(e: io::Error) -> Self {
+        CacheFileError::Io(e)
+    }
+}
+
+/// A union conflict: two caches carry the same dedup key with entries
+/// that are **not byte-equal** in their encoded form.
+///
+/// Because evaluation is pure and floats round-trip exactly, two honest
+/// explorations of the same scenario can never disagree — a conflict
+/// means the caches came from different grids, code versions or corrupted
+/// files, and the merge must fail rather than pick a side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConflict {
+    /// The dedup key both caches claim.
+    pub key: String,
+    /// The encoded entry already held by the merge target.
+    pub ours: String,
+    /// The encoded entry the merged-in cache carries.
+    pub theirs: String,
+}
+
+impl fmt::Display for CacheConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache union conflict on key `{}`: `{}` != `{}`",
+            self.key, self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for CacheConflict {}
+
+/// What a successful [`ResultCache::merge`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Entries newly added to the target.
+    pub added: usize,
+    /// Entries present in both caches (byte-equal, so harmless).
+    pub duplicates: usize,
+}
 
 /// A persistent map from scenario dedup keys to evaluated outcomes.
 ///
@@ -92,6 +193,84 @@ impl ResultCache {
         Ok(cache)
     }
 
+    /// Loads a cache file as a **wire format**: unlike [`ResultCache::load`],
+    /// a missing file, a version mismatch or any unparseable line is a hard
+    /// error. This is the reader the shard coordinator uses on worker
+    /// output — an interchange file that half-parses must never silently
+    /// shrink a distributed run.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFileError::Io`] on any read failure (including "not found"),
+    /// [`CacheFileError::VersionMismatch`] if the header line is not
+    /// `memstream-grid-cache v1`, and [`CacheFileError::Malformed`] on the
+    /// first line that fails to parse.
+    pub fn load_strict(path: impl AsRef<Path>) -> Result<Self, CacheFileError> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != HEADER {
+            return Err(CacheFileError::VersionMismatch {
+                found: header.to_owned(),
+            });
+        }
+        let mut cache = ResultCache::new();
+        for (i, line) in lines.enumerate() {
+            let (key, outcome) =
+                parse_line(line).ok_or(CacheFileError::Malformed { line: i + 2 })?;
+            cache.entries.insert(key, outcome);
+        }
+        Ok(cache)
+    }
+
+    /// Unions `other` into `self`. Keys held by both caches must encode to
+    /// byte-identical entries; the union is therefore order-independent —
+    /// merging shard caches in any order yields the same entry set, and
+    /// [`ResultCache::save`] (which sorts by key) the same file bytes.
+    ///
+    /// Hit/miss counters of both caches are left untouched: a merge is
+    /// bookkeeping, not a lookup.
+    ///
+    /// The merge is **atomic**: on a conflict, `self` is left completely
+    /// untouched — a shard whose cache disagrees contributes *nothing*,
+    /// it cannot half-poison the target before the conflict is noticed.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheConflict`] on the first (lowest-key) conflicting entry.
+    pub fn merge(&mut self, other: &ResultCache) -> Result<MergeStats, CacheConflict> {
+        let mut keys: Vec<&String> = other.entries.keys().collect();
+        keys.sort();
+        let mut stats = MergeStats::default();
+        // Pass 1 — detect, without mutating. The conflict rule is
+        // byte-equality of the *encoded* entry (the wire form), not
+        // structural equality: it is the file bytes two shards must
+        // agree on, and it treats equal NaN payloads as the duplicates
+        // they are.
+        for key in &keys {
+            if let Some(ours) = self.entries.get(*key) {
+                let theirs = encode_line(key, &other.entries[*key]);
+                let ours = encode_line(key, ours);
+                if ours != theirs {
+                    return Err(CacheConflict {
+                        key: (*key).clone(),
+                        ours,
+                        theirs,
+                    });
+                }
+                stats.duplicates += 1;
+            }
+        }
+        // Pass 2 — a conflict-free union, applied in full.
+        for key in keys {
+            if !self.entries.contains_key(key) {
+                self.entries.insert(key.clone(), other.entries[key].clone());
+                stats.added += 1;
+            }
+        }
+        Ok(stats)
+    }
+
     /// Writes the cache to `path`, sorted by key for reproducible bytes.
     ///
     /// # Errors
@@ -146,8 +325,33 @@ impl ResultCache {
         }
     }
 
-    /// Inserts an outcome under `key`.
-    pub(crate) fn insert(&mut self, key: String, outcome: CellOutcome) {
+    /// Peeks at an outcome without touching the hit/miss counters (the
+    /// shard planner asks "is this cell already known?" without it being
+    /// a lookup of record).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&CellOutcome> {
+        self.entries.get(key)
+    }
+
+    /// Whether `key` is cached, without counting a hit or miss.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterates the cached dedup keys in arbitrary order (sort before
+    /// relying on the order for anything user-visible).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Inserts an outcome under `key`, replacing any previous entry.
+    ///
+    /// Shard workers use this to assemble their slice of a grid into an
+    /// interchange cache; for unioning whole caches prefer
+    /// [`ResultCache::merge`], which refuses conflicting entries instead
+    /// of overwriting.
+    pub fn insert(&mut self, key: String, outcome: CellOutcome) {
         self.entries.insert(key, outcome);
     }
 }
@@ -399,5 +603,152 @@ mod tests {
     fn missing_file_is_an_empty_cache() {
         let cache = ResultCache::load(temp_path("does-not-exist.cache")).unwrap();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn union_of_disjoint_shard_caches_is_order_independent_and_byte_identical() {
+        // One single-process cache; the same cells split into three
+        // contiguous shard caches over the canonical dedup'd range.
+        let grid = ScenarioGrid::paper_baseline(5);
+        let mut whole = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut whole)
+            .unwrap();
+
+        let unique = grid.unique_cells();
+        let bounds = [0, unique.len() / 3, 2 * unique.len() / 3, unique.len()];
+        let shards: Vec<ResultCache> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut shard = ResultCache::new();
+                GridExecutor::serial().resolve_cells(&grid, &unique[w[0]..w[1]], &mut shard);
+                shard
+            })
+            .collect();
+
+        // Union in two different orders: same entry set either way.
+        let mut forward = ResultCache::new();
+        let mut backward = ResultCache::new();
+        for shard in &shards {
+            let stats = forward.merge(shard).unwrap();
+            assert_eq!(stats.duplicates, 0, "shards are disjoint");
+        }
+        for shard in shards.iter().rev() {
+            backward.merge(shard).unwrap();
+        }
+
+        // And the merged file bytes equal the single-process cache file.
+        let (p1, p2, p3) = (
+            temp_path("union-whole.cache"),
+            temp_path("union-fwd.cache"),
+            temp_path("union-bwd.cache"),
+        );
+        whole.save(&p1).unwrap();
+        forward.save(&p2).unwrap();
+        backward.save(&p3).unwrap();
+        let reference = fs::read(&p1).unwrap();
+        assert_eq!(reference, fs::read(&p2).unwrap());
+        assert_eq!(reference, fs::read(&p3).unwrap());
+        for p in [p1, p2, p3] {
+            fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_counts_added_and_duplicate_entries() {
+        let outcome = CellOutcome::Unmodelled {
+            detail: "x".to_owned(),
+        };
+        let mut a = ResultCache::new();
+        a.insert("k1".to_owned(), outcome.clone());
+        let mut b = ResultCache::new();
+        b.insert("k1".to_owned(), outcome.clone());
+        b.insert("k2".to_owned(), outcome);
+        let stats = a.merge(&b).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 1,
+                duplicates: 1
+            }
+        );
+        assert_eq!(a.len(), 2);
+        assert_eq!((a.hits(), a.misses()), (0, 0), "merging is not a lookup");
+    }
+
+    #[test]
+    fn merge_conflicts_are_attributed_and_byte_level() {
+        let mut a = ResultCache::new();
+        a.insert(
+            "cell".to_owned(),
+            CellOutcome::Unmodelled {
+                detail: "ours".to_owned(),
+            },
+        );
+        let mut b = ResultCache::new();
+        b.insert(
+            "cell".to_owned(),
+            CellOutcome::Unmodelled {
+                detail: "theirs".to_owned(),
+            },
+        );
+        b.insert(
+            "aaa-sorts-first".to_owned(),
+            CellOutcome::Unmodelled {
+                detail: "new".to_owned(),
+            },
+        );
+        let conflict = a.merge(&b).unwrap_err();
+        assert_eq!(conflict.key, "cell");
+        assert!(conflict.ours.contains("ours"));
+        assert!(conflict.theirs.contains("theirs"));
+        assert!(conflict.to_string().contains("`cell`"));
+        // Atomicity: the failed merge must not have touched the target —
+        // not even with `other`'s non-conflicting, lower-sorting entry.
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains_key("aaa-sorts-first"));
+    }
+
+    #[test]
+    fn strict_load_rejects_version_mismatch_and_corruption() {
+        let versioned = temp_path("strict-version.cache");
+        fs::write(&versioned, "memstream-grid-cache v99\nanything\n").unwrap();
+        match ResultCache::load_strict(&versioned).unwrap_err() {
+            CacheFileError::VersionMismatch { found } => {
+                assert_eq!(found, "memstream-grid-cache v99");
+            }
+            other => panic!("expected version mismatch, got {other}"),
+        }
+        fs::remove_file(versioned).unwrap();
+
+        let corrupt = temp_path("strict-corrupt.cache");
+        fs::write(&corrupt, format!("{HEADER}\nk\tU\tok\nbroken line\n")).unwrap();
+        match ResultCache::load_strict(&corrupt).unwrap_err() {
+            CacheFileError::Malformed { line } => assert_eq!(line, 3),
+            other => panic!("expected malformed line, got {other}"),
+        }
+        fs::remove_file(corrupt).unwrap();
+
+        assert!(matches!(
+            ResultCache::load_strict(temp_path("strict-missing.cache")).unwrap_err(),
+            CacheFileError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn strict_load_accepts_what_save_wrote() {
+        let path = temp_path("strict-roundtrip.cache");
+        let grid = ScenarioGrid::paper_baseline(3);
+        let mut cache = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut cache)
+            .unwrap();
+        cache.save(&path).unwrap();
+        let strict = ResultCache::load_strict(&path).unwrap();
+        assert_eq!(strict.len(), cache.len());
+        for key in cache.keys() {
+            assert_eq!(strict.get(key), cache.get(key));
+        }
+        fs::remove_file(path).unwrap();
     }
 }

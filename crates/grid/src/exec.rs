@@ -104,6 +104,27 @@ impl GridExecutor {
             .collect();
         Ok(assemble(grid, cell_to_job, job_cells, outcomes, workers))
     }
+
+    /// Resolves an explicit list of cells against `cache`: cached cells
+    /// count as hits, the rest are evaluated (fanned out on this
+    /// executor's threads) and inserted. No results are assembled — this
+    /// is the shard-worker primitive, which only needs the cache filled
+    /// for the cells of its slice (see
+    /// [`ScenarioGrid::unique_cells`](crate::ScenarioGrid::unique_cells)
+    /// for the canonical slicing domain).
+    pub fn resolve_cells(&self, grid: &ScenarioGrid, cells: &[GridCell], cache: &mut ResultCache) {
+        let mut miss_cells: Vec<GridCell> = Vec::new();
+        for cell in cells {
+            if cache.lookup(&grid.dedup_key(cell)).is_none() {
+                miss_cells.push(*cell);
+            }
+        }
+        let workers = self.threads.min(miss_cells.len()).max(1);
+        let fresh = evaluate_jobs(grid, &miss_cells, workers);
+        for (cell, outcome) in miss_cells.iter().zip(fresh) {
+            cache.insert(grid.dedup_key(cell), outcome);
+        }
+    }
 }
 
 /// Evaluates `jobs` serially or fanned out, per `workers`.

@@ -56,7 +56,7 @@ mod spec;
 mod store;
 mod validate;
 
-pub use cache::ResultCache;
+pub use cache::{CacheConflict, CacheFileError, MergeStats, ResultCache};
 pub use eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 pub use exec::{GridExecutor, GridResults};
 pub use spec::{DeviceEntry, GridCell, GridError, ScenarioGrid, WorkloadProfile};

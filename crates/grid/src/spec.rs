@@ -469,6 +469,17 @@ impl ScenarioGrid {
         (0..self.len()).map(|i| self.cell(i))
     }
 
+    /// The canonical **deduplicated cell range**: the representative
+    /// (first-occurring) cell of every distinct
+    /// [`ScenarioGrid::dedup_key`], in canonical order. This is the
+    /// domain distributed exploration partitions — a contiguous slice of
+    /// this list is a shard, and the concatenation of all shards covers
+    /// every evaluation the grid needs exactly once.
+    #[must_use]
+    pub fn unique_cells(&self) -> Vec<GridCell> {
+        crate::store::ResultStore::plan(self).0
+    }
+
     /// The content key a cell evaluates under — cells with equal keys are
     /// physically identical scenarios and share one evaluation.
     #[must_use]

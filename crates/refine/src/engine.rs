@@ -43,9 +43,12 @@ pub struct RoundRecord {
     pub transitions: usize,
     /// Distinct evaluations the round's grid deduplicates to.
     pub unique_evaluations: usize,
-    /// Cache hits during this round's exploration.
+    /// Cells of this round resolved without evaluation (for a sharded
+    /// round: cells the coordinator already held — see
+    /// [`RoundExploration`]).
     pub hits: usize,
-    /// Cache misses (fresh evaluations) during this round's exploration.
+    /// Cells of this round freshly evaluated, wherever the explorer ran
+    /// them (in-process or fanned out to shard workers).
     pub misses: usize,
 }
 
@@ -147,6 +150,89 @@ pub struct RefinementOutcome {
     pub report: RefinementReport,
 }
 
+/// What one round's exploration produced: the results over the round's
+/// full grid plus the round's cache accounting, as observed by whoever
+/// actually ran the evaluations.
+///
+/// For the in-process explorer ([`CachedRoundExplorer`]) `hits`/`misses`
+/// are the round's deltas on the shared cache counters. A distributed
+/// explorer reports the same quantities from the coordinator's
+/// perspective — cells it already held versus cells it fanned out to
+/// workers — so "0 misses" means "nothing was evaluated anywhere" in
+/// both worlds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundExploration {
+    /// Results over the round's (full, extended) grid.
+    pub results: GridResults,
+    /// Cells of the round resolved without evaluation.
+    pub hits: usize,
+    /// Cells of the round freshly evaluated (anywhere).
+    pub misses: usize,
+}
+
+/// The round fan-out seam: how one refinement round turns a grid and a
+/// cache into results.
+///
+/// The engine owns *scheduling* — which rates to append, when to stop —
+/// and stays single-process; an explorer owns *evaluation* and may run it
+/// anywhere (in-process threads, spawned shard workers, remote hosts), as
+/// long as every resolved cell lands in `cache` so the next round starts
+/// warm. `appended` carries the rates new to this round (empty for round
+/// 1): a distributed explorer fans only those out, because every other
+/// cell is already in the cache by construction.
+pub trait RoundExplorer {
+    /// The explorer's error type; engine-side grid errors pass through it.
+    type Error: From<GridError>;
+
+    /// Explores `grid` for one round, resolving every cell into `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Explorer-specific; must at least cover [`GridError`].
+    fn explore_round(
+        &mut self,
+        grid: &ScenarioGrid,
+        appended: &[BitRate],
+        cache: &mut ResultCache,
+    ) -> Result<RoundExploration, Self::Error>;
+}
+
+/// The default, in-process explorer:
+/// [`GridExecutor::explore_cached`] with hit/miss deltas read off the
+/// cache counters. [`RefinementEngine::refine`] is exactly this explorer
+/// driven by [`RefinementEngine::refine_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedRoundExplorer {
+    executor: GridExecutor,
+}
+
+impl CachedRoundExplorer {
+    /// An in-process explorer running rounds on `executor`.
+    #[must_use]
+    pub fn new(executor: GridExecutor) -> Self {
+        CachedRoundExplorer { executor }
+    }
+}
+
+impl RoundExplorer for CachedRoundExplorer {
+    type Error = GridError;
+
+    fn explore_round(
+        &mut self,
+        grid: &ScenarioGrid,
+        _appended: &[BitRate],
+        cache: &mut ResultCache,
+    ) -> Result<RoundExploration, GridError> {
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        let results = self.executor.explore_cached(grid, cache)?;
+        Ok(RoundExploration {
+            results,
+            hits: cache.hits() - hits_before,
+            misses: cache.misses() - misses_before,
+        })
+    }
+}
+
 /// The refinement engine: a [`GridExecutor`] plus a [`RefineConfig`],
 /// both thread-count- and cache-state-independent in everything they
 /// report (cache hit/miss *counts* excepted, which is their point).
@@ -194,6 +280,25 @@ impl RefinementEngine {
         grid: &ScenarioGrid,
         cache: Option<&mut ResultCache>,
     ) -> Result<RefinementOutcome, GridError> {
+        self.refine_with(grid, cache, &mut CachedRoundExplorer::new(self.executor))
+    }
+
+    /// Runs the refinement loop on `grid`, delegating each round's
+    /// evaluation to `explorer` (the round fan-out seam — see
+    /// [`RoundExplorer`]). Scheduling, bisection and budgets stay here,
+    /// so every explorer produces the same refinement trajectory; only
+    /// *where* cells get evaluated differs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `explorer` raises, which at least covers
+    /// [`GridError::EmptyAxis`] for a grid with an empty axis.
+    pub fn refine_with<X: RoundExplorer>(
+        &self,
+        grid: &ScenarioGrid,
+        cache: Option<&mut ResultCache>,
+        explorer: &mut X,
+    ) -> Result<RefinementOutcome, X::Error> {
         let mut scratch = ResultCache::new();
         let cache = match cache {
             Some(external) => external,
@@ -206,7 +311,7 @@ impl RefinementEngine {
 
         let mut working = grid.with_rate_axis(rates.iter().copied());
         let mut rounds: Vec<RoundRecord> = Vec::new();
-        let mut results = self.explore_round(&working, cache, Vec::new(), &mut rounds)?;
+        let mut results = explore_round(explorer, &working, cache, Vec::new(), &mut rounds)?;
         let mut transitions = scan_transitions(&results);
         rounds.last_mut().expect("round 1 recorded").transitions = transitions.len();
 
@@ -223,7 +328,7 @@ impl RefinementEngine {
             rates.extend(appended.iter().copied());
             canonicalize_rates(&mut rates);
             working = working.with_rate_axis(rates.iter().copied());
-            results = self.explore_round(&working, cache, appended, &mut rounds)?;
+            results = explore_round(explorer, &working, cache, appended, &mut rounds)?;
             transitions = scan_transitions(&results);
             rounds.last_mut().expect("round recorded").transitions = transitions.len();
         }
@@ -239,28 +344,6 @@ impl RefinementEngine {
                 knees,
             },
         })
-    }
-
-    /// One cached exploration, with its round record appended.
-    fn explore_round(
-        &self,
-        grid: &ScenarioGrid,
-        cache: &mut ResultCache,
-        appended: Vec<BitRate>,
-        rounds: &mut Vec<RoundRecord>,
-    ) -> Result<GridResults, GridError> {
-        let (hits_before, misses_before) = (cache.hits(), cache.misses());
-        let results = self.executor.explore_cached(grid, cache)?;
-        rounds.push(RoundRecord {
-            round: rounds.len() + 1,
-            rates: grid.rates().len(),
-            appended,
-            transitions: 0,
-            unique_evaluations: results.unique_evaluations(),
-            hits: cache.hits() - hits_before,
-            misses: cache.misses() - misses_before,
-        });
-        Ok(results)
     }
 
     /// The log-midpoints of every flipped interval still wider than the
@@ -281,6 +364,27 @@ impl RefinementEngine {
             .filter_map(|i| log_midpoint(rates[i], rates[i + 1]))
             .collect()
     }
+}
+
+/// One delegated exploration, with its round record appended.
+fn explore_round<X: RoundExplorer>(
+    explorer: &mut X,
+    grid: &ScenarioGrid,
+    cache: &mut ResultCache,
+    appended: Vec<BitRate>,
+    rounds: &mut Vec<RoundRecord>,
+) -> Result<GridResults, X::Error> {
+    let exploration = explorer.explore_round(grid, &appended, cache)?;
+    rounds.push(RoundRecord {
+        round: rounds.len() + 1,
+        rates: grid.rates().len(),
+        appended,
+        transitions: 0,
+        unique_evaluations: exploration.results.unique_evaluations(),
+        hits: exploration.hits,
+        misses: exploration.misses,
+    });
+    Ok(exploration.results)
 }
 
 /// Turns the final scan into named, rate-valued knees.

@@ -64,7 +64,10 @@ pub mod report;
 mod scan;
 
 pub use config::RefineConfig;
-pub use engine::{Knee, RefinementEngine, RefinementOutcome, RefinementReport, RoundRecord};
+pub use engine::{
+    CachedRoundExplorer, Knee, RefinementEngine, RefinementOutcome, RefinementReport,
+    RoundExploration, RoundExplorer, RoundRecord,
+};
 pub use scan::{scan_transitions, Transition};
 
 #[cfg(test)]

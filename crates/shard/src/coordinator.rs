@@ -1,0 +1,597 @@
+//! The coordinator: partition, spawn, collect, verify, union.
+//!
+//! [`explore_sharded`] is one fan-out: it partitions the recipe grid's
+//! canonical deduplicated cell range into contiguous shards, spawns one
+//! worker process per shard (a re-exec of the current binary's
+//! `shard-worker` subcommand, stdout/stderr captured), and merges the
+//! workers' cache files back into the coordinator's [`ResultCache`] by
+//! strict union. Every anomaly — a worker that failed to spawn, died on
+//! a signal, wrote an unreadable or version-mismatched cache, covered
+//! the wrong key set, or disagreed byte-wise with an existing entry —
+//! lands in a per-shard **error ledger** instead of poisoning the merged
+//! cache: entries from healthy shards are kept, the caller decides
+//! whether a partial merge is fatal.
+
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use memstream_grid::{GridError, MergeStats, ResultCache};
+
+use crate::protocol::WorkerSpec;
+use crate::recipe::GridRecipe;
+
+/// The contiguous slice of a `len`-element canonical cell range owned by
+/// shard `index` of `count`: `len*i/N .. len*(i+1)/N`. Slices partition
+/// the range (no gaps, no overlap) and differ in length by at most one.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `index >= count`.
+#[must_use]
+pub fn shard_range(len: usize, index: usize, count: usize) -> Range<usize> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of range 0..{count}");
+    (len * index / count)..(len * (index + 1) / count)
+}
+
+/// All `count` shard slices of a `len`-element range, in order.
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+#[must_use]
+pub fn shard_ranges(len: usize, count: usize) -> Vec<Range<usize>> {
+    (0..count).map(|i| shard_range(len, i, count)).collect()
+}
+
+/// How a shard failed (the ledger's classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFailureKind {
+    /// The worker process could not be spawned at all.
+    Spawn,
+    /// The worker exited abnormally (non-zero status or killed by a
+    /// signal).
+    Died,
+    /// The worker's cache file was missing, unreadable, version-mismatched
+    /// or corrupt under the strict reader.
+    CacheUnreadable,
+    /// The worker's cache parsed but covers the wrong key set for its
+    /// slice — it evaluated a different grid than the coordinator planned.
+    Incompatible,
+    /// An entry of the worker's cache conflicts byte-wise with one the
+    /// coordinator already holds.
+    Conflict,
+}
+
+impl fmt::Display for ShardFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardFailureKind::Spawn => "spawn failed",
+            ShardFailureKind::Died => "worker died",
+            ShardFailureKind::CacheUnreadable => "cache unreadable",
+            ShardFailureKind::Incompatible => "cache incompatible",
+            ShardFailureKind::Conflict => "cache conflict",
+        })
+    }
+}
+
+/// One entry of the per-shard error ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// 0-based index of the failing shard.
+    pub shard: usize,
+    /// The failure class.
+    pub kind: ShardFailureKind,
+    /// Human-readable attribution (exit status, offending key, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}: {}: {}", self.shard, self.kind, self.detail)
+    }
+}
+
+/// Per-worker accounting of one fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// 0-based shard index.
+    pub shard: usize,
+    /// Cells of the shard's slice.
+    pub assigned: usize,
+    /// Slice cells the coordinator already held (workers resolve them
+    /// from the warm file without evaluating).
+    pub cached: usize,
+    /// What the union merge of this shard's cache did (`None` when the
+    /// shard failed before merging).
+    pub merged: Option<MergeStats>,
+    /// The worker's captured stderr (its own accounting lines; forwarded
+    /// to the coordinator's stderr by the harness, never to stdout).
+    pub stderr: String,
+}
+
+/// The outcome of one [`explore_sharded`] fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRun {
+    /// Size of the grid's canonical deduplicated cell range.
+    pub unique_cells: usize,
+    /// Cells already in the coordinator's cache before fan-out (the
+    /// run's hits).
+    pub cached: usize,
+    /// Cells that needed evaluation somewhere (the run's misses). Zero
+    /// means the cache was fully warm and **no worker was spawned**.
+    pub fanned_out: usize,
+    /// Worker count actually used (0 on a fully warm run).
+    pub workers_spawned: usize,
+    /// Per-worker accounting, in shard order (empty on a fully warm run).
+    pub workers: Vec<WorkerReport>,
+    /// The per-shard error ledger; empty iff the merged cache covers the
+    /// whole range.
+    pub failures: Vec<ShardFailure>,
+    /// The scratch directory holding shard/warm cache files; kept (for a
+    /// post-mortem) exactly when the ledger is non-empty.
+    pub scratch: Option<PathBuf>,
+}
+
+impl ShardRun {
+    /// Whether every shard merged cleanly.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// A sharded exploration failed before any per-shard ledger could be
+/// built, or a caller promoted a non-empty ledger to a hard error.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The grid itself is unexplorable.
+    Grid(GridError),
+    /// Coordinator-side I/O failed (scratch dir, warm-file write).
+    Scratch(io::Error),
+    /// One or more shards failed; the ledger is attached.
+    Workers(Vec<ShardFailure>),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Grid(e) => write!(f, "sharded exploration: {e}"),
+            ShardError::Scratch(e) => write!(f, "shard scratch I/O: {e}"),
+            ShardError::Workers(ledger) => {
+                write!(f, "{} shard(s) failed", ledger.len())?;
+                for failure in ledger {
+                    write!(f, "; {failure}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Grid(e) => Some(e),
+            ShardError::Scratch(e) => Some(e),
+            ShardError::Workers(_) => None,
+        }
+    }
+}
+
+impl From<GridError> for ShardError {
+    fn from(e: GridError) -> Self {
+        ShardError::Grid(e)
+    }
+}
+
+/// How to fan a grid out across worker processes.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Requested shard count (clamped to the number of unique cells).
+    pub shards: usize,
+    /// `--threads` forwarded to each worker (`0` = machine width — only
+    /// sensible when workers land on different hosts).
+    pub worker_threads: usize,
+    /// The program to spawn — normally the current binary
+    /// (`std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments placed before the encoded [`WorkerSpec`] — normally
+    /// `["shard-worker"]`, the harness subcommand. Tests substitute a
+    /// shell here to simulate dying or lying workers.
+    pub leading_args: Vec<String>,
+}
+
+impl ShardOptions {
+    /// Options spawning `program shard-worker ...` with `shards` workers.
+    ///
+    /// Workers are assumed local, so the default per-worker thread count
+    /// *divides* the machine width across them — `N` workers each at
+    /// full width would oversubscribe the host `N`-fold. Override with
+    /// [`ShardOptions::with_worker_threads`] (e.g. `0` = full width per
+    /// worker, for remote launchers).
+    #[must_use]
+    pub fn new(program: PathBuf, shards: usize) -> Self {
+        let machine = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ShardOptions {
+            worker_threads: machine.div_ceil(shards.max(1)),
+            shards,
+            program,
+            leading_args: vec!["shard-worker".to_owned()],
+        }
+    }
+
+    /// Sets the per-worker thread count (`0` = machine width per worker).
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+}
+
+/// A process-unique scratch directory for one fan-out's cache files.
+fn scratch_dir() -> io::Result<PathBuf> {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "memstream-shard-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// One coordinated fan-out: resolve every unique cell of the recipe's
+/// grid into `cache`, evaluating missing cells on spawned worker
+/// processes and merging their cache files by strict union.
+///
+/// A fully warm cache short-circuits: no scratch files, no processes.
+/// Otherwise the **full** canonical range is partitioned `i/N` (workers
+/// skip warm cells via the shipped warm file), so the shard layout is a
+/// function of the grid alone, not of cache temperature.
+///
+/// Failures of individual shards land in [`ShardRun::failures`]; the
+/// entries of every healthy shard are merged regardless, so a retry can
+/// proceed warm from everything that did work.
+///
+/// # Errors
+///
+/// [`ShardError::Scratch`] when coordinator-side I/O (scratch directory,
+/// warm-file write) fails — per-shard problems are *not* errors here.
+pub fn explore_sharded(
+    recipe: &GridRecipe,
+    cache: &mut ResultCache,
+    opts: &ShardOptions,
+) -> Result<ShardRun, ShardError> {
+    let grid = recipe.build();
+    let unique = grid.unique_cells();
+    let keys: Vec<String> = unique.iter().map(|c| grid.dedup_key(c)).collect();
+    let cached = keys.iter().filter(|k| cache.contains_key(k)).count();
+    let missing = unique.len() - cached;
+
+    if missing == 0 {
+        return Ok(ShardRun {
+            unique_cells: unique.len(),
+            cached,
+            fanned_out: 0,
+            workers_spawned: 0,
+            workers: Vec::new(),
+            failures: Vec::new(),
+            scratch: None,
+        });
+    }
+
+    let shards = opts.shards.clamp(1, unique.len());
+    let scratch = scratch_dir().map_err(ShardError::Scratch)?;
+    // Ship a warm file only when this grid can actually hit it. A
+    // refinement round's sub-grid (new rates only) shares no keys with
+    // the accumulated cache — writing it out for N workers to parse
+    // would be pure waste, and it grows every round.
+    let warm = if cached == 0 {
+        None
+    } else {
+        let path = scratch.join("warm.cache");
+        cache.save(&path).map_err(ShardError::Scratch)?;
+        Some(path)
+    };
+
+    // Spawn every worker before waiting on any: the shards run
+    // concurrently, each parallel inside itself on its own threads. Each
+    // child gets a collector thread draining its pipes immediately —
+    // waiting on children one by one while siblings still hold full pipe
+    // buffers would deadlock a chatty worker against the coordinator.
+    let mut children = Vec::with_capacity(shards);
+    let mut failures: Vec<ShardFailure> = Vec::new();
+    for index in 0..shards {
+        let spec = WorkerSpec {
+            shard: index,
+            shard_count: shards,
+            cache: scratch.join(format!("shard-{index}.cache")),
+            warm: warm.clone(),
+            threads: opts.worker_threads,
+            recipe: recipe.clone(),
+        };
+        let child = Command::new(&opts.program)
+            .args(&opts.leading_args)
+            .args(spec.to_args())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn();
+        match child {
+            Ok(child) => {
+                let collector = std::thread::spawn(move || child.wait_with_output());
+                children.push((spec, Some(collector)));
+            }
+            Err(e) => {
+                failures.push(ShardFailure {
+                    shard: index,
+                    kind: ShardFailureKind::Spawn,
+                    detail: format!("{}: {e}", opts.program.display()),
+                });
+                children.push((spec, None));
+            }
+        }
+    }
+
+    let mut workers = Vec::with_capacity(shards);
+    for (spec, collector) in children {
+        let range = shard_range(unique.len(), spec.shard, spec.shard_count);
+        let slice_keys = &keys[range];
+        let assigned = slice_keys.len();
+        let slice_cached = slice_keys.iter().filter(|k| cache.contains_key(k)).count();
+        let mut report = WorkerReport {
+            shard: spec.shard,
+            assigned,
+            cached: slice_cached,
+            merged: None,
+            stderr: String::new(),
+        };
+        if let Some(collector) = collector {
+            let output = collector.join().expect("worker collector thread");
+            match collect_worker(&spec, output, slice_keys, cache, &mut report) {
+                Ok(()) => {}
+                Err(failure) => failures.push(failure),
+            }
+        }
+        workers.push(report);
+    }
+
+    let complete = failures.is_empty();
+    if complete {
+        // Healthy runs leave nothing behind; a failed run keeps its
+        // scratch files for a post-mortem.
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    Ok(ShardRun {
+        unique_cells: unique.len(),
+        cached,
+        fanned_out: missing,
+        workers_spawned: shards,
+        workers,
+        failures,
+        scratch: (!complete).then_some(scratch),
+    })
+}
+
+/// Takes one waited worker's output, verifies its cache against the
+/// expected key slice, and unions it into `cache` (atomically — a
+/// conflicting shard contributes nothing). Any anomaly becomes the
+/// shard's ledger entry.
+fn collect_worker(
+    spec: &WorkerSpec,
+    output: io::Result<std::process::Output>,
+    slice_keys: &[String],
+    cache: &mut ResultCache,
+    report: &mut WorkerReport,
+) -> Result<(), ShardFailure> {
+    let fail = |kind, detail| ShardFailure {
+        shard: spec.shard,
+        kind,
+        detail,
+    };
+    let output = output.map_err(|e| fail(ShardFailureKind::Died, format!("wait failed: {e}")))?;
+    report.stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    if !output.status.success() {
+        return Err(fail(
+            ShardFailureKind::Died,
+            format!("exited abnormally ({})", output.status),
+        ));
+    }
+
+    let slice = ResultCache::load_strict(&spec.cache).map_err(|e| {
+        fail(
+            ShardFailureKind::CacheUnreadable,
+            format!("{}: {e}", spec.cache.display()),
+        )
+    })?;
+
+    // Grid-key compatibility: the slice must cover exactly its assigned
+    // keys. (A worker that built a different grid — other code version,
+    // drifted recipe — fails here instead of quietly merging nonsense.)
+    if let Some(key) = slice_keys.iter().find(|k| !slice.contains_key(k)) {
+        return Err(fail(
+            ShardFailureKind::Incompatible,
+            format!("missing entry for key `{key}`"),
+        ));
+    }
+    if slice.len() != slice_keys.len() {
+        return Err(fail(
+            ShardFailureKind::Incompatible,
+            format!(
+                "covers {} entries, expected {}",
+                slice.len(),
+                slice_keys.len()
+            ),
+        ));
+    }
+
+    let stats = cache
+        .merge(&slice)
+        .map_err(|conflict| fail(ShardFailureKind::Conflict, conflict.to_string()))?;
+    report.merged = Some(stats);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_without_gaps_or_overlap() {
+        for (len, count) in [(0, 1), (1, 3), (10, 3), (17, 4), (8, 8), (5, 7)] {
+            let ranges = shard_ranges(len, count);
+            assert_eq!(ranges.len(), count);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_are_rejected() {
+        let _ = shard_range(10, 0, 0);
+    }
+
+    /// A fake worker: any shell script stands in for the spawned process.
+    #[cfg(unix)]
+    fn sh_options(script: &str, shards: usize) -> ShardOptions {
+        ShardOptions {
+            shards,
+            worker_threads: 1,
+            program: PathBuf::from("/bin/sh"),
+            leading_args: vec!["-c".to_owned(), script.to_owned(), "fake-worker".to_owned()],
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn killed_worker_lands_in_the_ledger_without_poisoning_the_merge() {
+        // Shard 0's "worker" kills itself; the coordinator must record
+        // exactly that and keep the cache mergeable for a retry. The
+        // fake worker can't evaluate anything, so pre-resolve shard 1's
+        // slice into the warm cache: its fake worker then only needs to
+        // copy the warm file into place — which doubles as a check that
+        // a *healthy* shard's file merges even when a sibling dies.
+        use memstream_grid::GridExecutor;
+        let recipe = GridRecipe::classic(3);
+        let grid = recipe.build();
+        let unique = grid.unique_cells();
+        let mut cache = ResultCache::new();
+        let upper = shard_range(unique.len(), 1, 2);
+        GridExecutor::serial().resolve_cells(&grid, &unique[upper.clone()], &mut cache);
+        let warm_entries = cache.len();
+
+        // The fake worker scans the WorkerSpec flags it was handed.
+        // Shard 0 dies on SIGKILL; shard 1 "evaluates" by copying the
+        // warm file into place — legitimate, because the warm file holds
+        // exactly shard 1's slice (pre-resolved above), so the copy
+        // covers precisely the keys the coordinator expects of it.
+        let script = r#"
+            while [ "$#" -gt 0 ]; do case "$1" in
+                --shard) S="$2"; shift 2;;
+                --cache) C="$2"; shift 2;;
+                --warm)  W="$2"; shift 2;;
+                *) shift;;
+            esac; done
+            case "$S" in 0/2) kill -KILL $$;; *) cp "$W" "$C";; esac
+        "#;
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 2)).expect("run");
+
+        assert_eq!(run.failures.len(), 1, "ledger: {:?}", run.failures);
+        assert_eq!(run.failures[0].shard, 0);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::Died);
+        assert!(run.failures[0].detail.contains("signal"));
+        assert!(!run.is_complete());
+        assert!(run.scratch.is_some(), "failed runs keep their scratch");
+        // The healthy shard merged; the dead one contributed nothing.
+        assert_eq!(cache.len(), warm_entries);
+        assert_eq!(
+            run.workers[1].merged.map(|m| m.duplicates),
+            Some(upper.len())
+        );
+        if let Some(dir) = run.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn worker_writing_no_cache_is_unreadable_in_the_ledger() {
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
+        let run = explore_sharded(&recipe, &mut cache, &sh_options("exit 0", 1)).expect("run");
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::CacheUnreadable);
+        assert!(cache.is_empty());
+        if let Some(dir) = run.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn version_mismatched_worker_cache_is_attributed() {
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
+        let script = r#"
+            while [ "$#" -gt 0 ]; do case "$1" in
+                --cache) C="$2"; shift 2;;
+                *) shift;;
+            esac; done
+            printf 'memstream-grid-cache v99\n' > "$C"
+        "#;
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::CacheUnreadable);
+        assert!(run.failures[0].detail.contains("version mismatch"));
+        if let Some(dir) = run.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn fully_warm_cache_spawns_no_workers() {
+        use memstream_grid::GridExecutor;
+        let recipe = GridRecipe::classic(3);
+        let grid = recipe.build();
+        let mut cache = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut cache)
+            .unwrap();
+        // A bogus program proves nothing was spawned.
+        let opts = ShardOptions::new(PathBuf::from("/nonexistent/worker"), 4);
+        let run = explore_sharded(&recipe, &mut cache, &opts).expect("warm run");
+        assert_eq!(run.workers_spawned, 0);
+        assert_eq!(run.fanned_out, 0);
+        assert_eq!(run.cached, run.unique_cells);
+        assert!(run.is_complete());
+        assert!(run.scratch.is_none());
+    }
+
+    #[test]
+    fn unspawnable_program_fills_the_ledger() {
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
+        let opts = ShardOptions::new(PathBuf::from("/nonexistent/worker"), 2);
+        let run = explore_sharded(&recipe, &mut cache, &opts).expect("run");
+        assert_eq!(run.failures.len(), 2);
+        assert!(run
+            .failures
+            .iter()
+            .all(|f| f.kind == ShardFailureKind::Spawn));
+        if let Some(dir) = run.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! `memstream_shard` — multi-process sharded exploration of the scenario
+//! grid, merged by cache-file union.
+//!
+//! One process already explores a grid on every core with byte-stable
+//! output; the next scale step is **many processes** (and eventually many
+//! hosts). This crate adds exactly that, without inventing a new wire
+//! format: the versioned [`memstream_grid::ResultCache`] TSV file —
+//! until now a warm-start convenience — *is* the distribution protocol
+//! (spec: `docs/CACHE_FORMAT.md`).
+//!
+//! The model is coordinator/worker:
+//!
+//! 1. **Partition** — the grid's canonical deduplicated cell range
+//!    ([`memstream_grid::ScenarioGrid::unique_cells`]) is split into
+//!    contiguous shards ([`shard_range`]); the layout depends on the grid
+//!    alone, never on cache temperature.
+//! 2. **Fan out** — each shard runs as a spawned worker process (a
+//!    re-exec of the harness: `harness shard-worker --shard i/N --cache
+//!    PATH ...`, stdout/stderr captured), evaluates its slice and writes
+//!    it as a cache file ([`run_worker`]).
+//! 3. **Union** — the coordinator strict-loads every shard file, verifies
+//!    version and key coverage, and merges by
+//!    [`memstream_grid::ResultCache::merge`]: conflicting entries must be
+//!    byte-equal or the merge is a hard, attributed error. Worker
+//!    failures land in a per-shard error ledger
+//!    ([`ShardRun::failures`]) without poisoning the healthy shards'
+//!    entries.
+//! 4. **Assemble** — the merged cache replays through the ordinary
+//!    single-process path ([`memstream_grid::GridExecutor::explore_cached`],
+//!    pure hits), so sharded stdout is **byte-identical** to the
+//!    single-process run for any shard count.
+//!
+//! The refinement loop consumes the same machinery through
+//! [`ShardedRoundExplorer`]: each round fans only the rates new to that
+//! round out to workers and proceeds warm from the merged cache.
+//!
+//! # Quick start
+//!
+//! In-process sharding of any grid (the spawned-process path needs a
+//! worker binary; the harness provides it):
+//!
+//! ```
+//! use memstream_grid::{GridExecutor, ResultCache};
+//! use memstream_shard::{shard_ranges, GridRecipe};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = GridRecipe::baseline(6).build();
+//! let unique = grid.unique_cells();
+//!
+//! // Evaluate three contiguous shards independently...
+//! let mut shards = Vec::new();
+//! for range in shard_ranges(unique.len(), 3) {
+//!     let mut shard = ResultCache::new();
+//!     GridExecutor::serial().resolve_cells(&grid, &unique[range], &mut shard);
+//!     shards.push(shard);
+//! }
+//!
+//! // ...union them, and the merged cache replays the whole grid warm.
+//! let mut merged = ResultCache::new();
+//! for shard in &shards {
+//!     merged.merge(shard)?;
+//! }
+//! let results = GridExecutor::serial().explore_cached(&grid, &mut merged)?;
+//! assert_eq!(merged.misses(), 0, "the union covers every unique cell");
+//! assert_eq!(results.unique_evaluations(), unique.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod protocol;
+mod recipe;
+mod round;
+mod worker;
+
+pub use coordinator::{
+    explore_sharded, shard_range, shard_ranges, ShardError, ShardFailure, ShardFailureKind,
+    ShardOptions, ShardRun, WorkerReport,
+};
+pub use protocol::{ProtocolError, WorkerSpec};
+pub use recipe::GridRecipe;
+pub use round::ShardedRoundExplorer;
+pub use worker::{run_worker, WorkerSummary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_sync() {
+        assert_send_sync::<GridRecipe>();
+        assert_send_sync::<WorkerSpec>();
+        assert_send_sync::<ShardOptions>();
+        assert_send_sync::<ShardRun>();
+        assert_send_sync::<ShardFailure>();
+        assert_send_sync::<ShardError>();
+        assert_send_sync::<ShardedRoundExplorer>();
+        assert_send_sync::<WorkerSummary>();
+    }
+}

@@ -1,0 +1,240 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! A [`WorkerSpec`] round-trips losslessly through the command line of
+//! the harness's `shard-worker` subcommand: the coordinator encodes one
+//! with [`WorkerSpec::to_args`], spawns
+//! `harness shard-worker <args>`, and the subcommand decodes it with
+//! [`WorkerSpec::from_args`]. Rate-axis samples travel as Rust's
+//! shortest-roundtrip `f64` text, so the worker rebuilds a grid whose
+//! dedup keys are byte-identical to the coordinator's — the property the
+//! whole cache-union merge rests on.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use memstream_units::BitRate;
+
+use crate::recipe::GridRecipe;
+
+/// A malformed `shard-worker` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad shard-worker arguments: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Everything one worker process needs to know, as a value.
+///
+/// Paths are carried as their `Display` form, so they must be valid
+/// UTF-8; the coordinator only ever generates ASCII scratch paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// 0-based shard index.
+    pub shard: usize,
+    /// Total shard count; this worker owns contiguous slice
+    /// `shard`/`shard_count` of the grid's canonical deduplicated cell
+    /// range (see [`crate::shard_range`]).
+    pub shard_count: usize,
+    /// Where the worker must write its slice as a [`memstream_grid::ResultCache`] file.
+    pub cache: PathBuf,
+    /// An optional warm cache to read before evaluating (the
+    /// coordinator's accumulated entries); cells found there are not
+    /// re-evaluated.
+    pub warm: Option<PathBuf>,
+    /// Worker-internal thread count (`0` = machine width).
+    pub threads: usize,
+    /// The grid to build and slice.
+    pub recipe: GridRecipe,
+}
+
+impl WorkerSpec {
+    /// Encodes the spec as `shard-worker` command-line arguments.
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--shard".to_owned(),
+            format!("{}/{}", self.shard, self.shard_count),
+            "--cache".to_owned(),
+            self.cache.display().to_string(),
+            "--threads".to_owned(),
+            self.threads.to_string(),
+            "--rates".to_owned(),
+            self.recipe.rates().to_string(),
+        ];
+        if self.recipe.is_classic() {
+            args.push("--classic".to_owned());
+        }
+        if let Some(axis) = self.recipe.rate_axis() {
+            args.push("--rate-list".to_owned());
+            args.push(
+                axis.iter()
+                    .map(|r| format!("{:?}", r.bits_per_second()))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        if let Some(warm) = &self.warm {
+            args.push("--warm".to_owned());
+            args.push(warm.display().to_string());
+        }
+        args
+    }
+
+    /// Decodes a spec from `shard-worker` command-line arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on unknown flags, missing values, out-of-range
+    /// shard coordinates or unparseable numbers.
+    pub fn from_args(args: &[String]) -> Result<Self, ProtocolError> {
+        let mut shard: Option<(usize, usize)> = None;
+        let mut cache: Option<PathBuf> = None;
+        let mut warm: Option<PathBuf> = None;
+        let mut threads = 0usize;
+        let mut rates = 2usize;
+        let mut classic = false;
+        let mut rate_list: Option<Vec<BitRate>> = None;
+
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new(format!("missing value for {flag}")))
+            };
+            match flag.as_str() {
+                "--shard" => {
+                    let raw = value()?;
+                    let (i, n) = raw
+                        .split_once('/')
+                        .ok_or_else(|| ProtocolError::new(format!("--shard `{raw}` is not i/N")))?;
+                    let parse = |s: &str| {
+                        s.parse::<usize>().map_err(|e| {
+                            ProtocolError::new(format!("--shard `{raw}` has a bad number: {e}"))
+                        })
+                    };
+                    shard = Some((parse(i)?, parse(n)?));
+                }
+                "--cache" => cache = Some(PathBuf::from(value()?)),
+                "--warm" => warm = Some(PathBuf::from(value()?)),
+                "--threads" => {
+                    threads = value()?
+                        .parse()
+                        .map_err(|e| ProtocolError::new(format!("bad --threads: {e}")))?;
+                }
+                "--rates" => {
+                    rates = value()?
+                        .parse()
+                        .map_err(|e| ProtocolError::new(format!("bad --rates: {e}")))?;
+                }
+                "--classic" => classic = true,
+                "--rate-list" => {
+                    let raw = value()?;
+                    let mut axis = Vec::new();
+                    for field in raw.split(',').filter(|f| !f.is_empty()) {
+                        let bps: f64 = field.parse().map_err(|e| {
+                            ProtocolError::new(format!("bad --rate-list entry `{field}`: {e}"))
+                        })?;
+                        axis.push(BitRate::from_bits_per_second(bps));
+                    }
+                    rate_list = Some(axis);
+                }
+                other => return Err(ProtocolError::new(format!("unknown flag `{other}`"))),
+            }
+        }
+
+        let (shard, shard_count) =
+            shard.ok_or_else(|| ProtocolError::new("--shard i/N is required"))?;
+        if shard_count == 0 || shard >= shard_count {
+            return Err(ProtocolError::new(format!(
+                "shard {shard}/{shard_count} is out of range"
+            )));
+        }
+        if rates < 2 {
+            return Err(ProtocolError::new("--rates must be at least 2"));
+        }
+        let cache = cache.ok_or_else(|| ProtocolError::new("--cache PATH is required"))?;
+        let mut recipe = GridRecipe::reference(classic, rates);
+        if let Some(axis) = rate_list {
+            recipe = recipe.with_rate_axis(axis);
+        }
+        Ok(WorkerSpec {
+            shard,
+            shard_count,
+            cache,
+            warm,
+            threads,
+            recipe,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_args() {
+        let spec = WorkerSpec {
+            shard: 2,
+            shard_count: 5,
+            cache: PathBuf::from("/tmp/shard-2.cache"),
+            warm: Some(PathBuf::from("/tmp/warm.cache")),
+            threads: 3,
+            recipe: GridRecipe::classic(7).with_rate_axis([
+                BitRate::from_kbps(32.0),
+                // A midpoint-style irrational rate: the shortest-roundtrip
+                // encoding must carry it back bit-exactly.
+                BitRate::from_bits_per_second(123_456.789_012_345_67),
+            ]),
+        };
+        let parsed = WorkerSpec::from_args(&spec.to_args()).expect("roundtrip");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn minimal_spec_round_trips() {
+        let spec = WorkerSpec {
+            shard: 0,
+            shard_count: 1,
+            cache: PathBuf::from("out.cache"),
+            warm: None,
+            threads: 0,
+            recipe: GridRecipe::baseline(24),
+        };
+        assert_eq!(WorkerSpec::from_args(&spec.to_args()).unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_args_are_rejected_with_a_reason() {
+        let cases: &[&[&str]] = &[
+            &[],
+            &["--shard", "3"],
+            &["--shard", "3/3", "--cache", "x"],
+            &["--shard", "0/2"],
+            &["--shard", "0/2", "--cache", "x", "--bogus"],
+            &["--shard", "0/2", "--cache", "x", "--rate-list", "1,zap"],
+            &["--shard", "0/2", "--cache", "x", "--rates", "1"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| (*s).to_owned()).collect();
+            let err = WorkerSpec::from_args(&args).unwrap_err();
+            assert!(!err.to_string().is_empty(), "case {case:?}");
+        }
+    }
+}

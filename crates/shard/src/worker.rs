@@ -1,0 +1,138 @@
+//! The worker side: evaluate one contiguous shard of a grid's canonical
+//! deduplicated cell range and emit it as a cache file.
+//!
+//! A worker is deliberately dumb: it rebuilds the grid from the recipe,
+//! slices its `i/N` range, resolves those cells (reading the optional
+//! warm cache first, evaluating the rest on its own threads) and writes
+//! **exactly its slice** as a versioned [`ResultCache`] file. All
+//! scheduling, merging and failure policy live in the coordinator.
+
+use std::io;
+
+use memstream_grid::{GridExecutor, ResultCache};
+
+use crate::coordinator::shard_range;
+use crate::protocol::WorkerSpec;
+
+/// What one worker run did (the numbers the harness prints to stderr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Cells of the shard's slice.
+    pub assigned: usize,
+    /// Cells resolved from the warm cache without evaluation.
+    pub warm_hits: usize,
+    /// Cells freshly evaluated by this worker.
+    pub evaluated: usize,
+}
+
+/// Runs one shard worker to completion: build grid, slice, resolve,
+/// write the slice's cache file to [`WorkerSpec::cache`].
+///
+/// # Errors
+///
+/// I/O errors from reading the warm cache or writing the output file.
+pub fn run_worker(spec: &WorkerSpec) -> io::Result<WorkerSummary> {
+    let grid = spec.recipe.build();
+    let unique = grid.unique_cells();
+    let cells = &unique[shard_range(unique.len(), spec.shard, spec.shard_count)];
+
+    // The warm cache is a best-effort optimisation, so the lenient
+    // reader is right here: a stale or truncated warm file costs
+    // re-evaluation, never correctness. (The coordinator reads *our*
+    // output with the strict reader — that one is the wire format.)
+    let mut working = match &spec.warm {
+        Some(path) => ResultCache::load(path)?,
+        None => ResultCache::new(),
+    };
+    GridExecutor::parallel(spec.threads).resolve_cells(&grid, cells, &mut working);
+
+    let mut slice = ResultCache::new();
+    for cell in cells {
+        let key = grid.dedup_key(cell);
+        let outcome = working
+            .get(&key)
+            .expect("resolve_cells covered every assigned cell")
+            .clone();
+        slice.insert(key, outcome);
+    }
+    slice.save(&spec.cache)?;
+
+    Ok(WorkerSummary {
+        assigned: cells.len(),
+        warm_hits: working.hits(),
+        evaluated: working.misses(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::GridRecipe;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "memstream-shard-worker-tests-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn worker_emits_exactly_its_slice() {
+        let recipe = GridRecipe::classic(4);
+        let grid = recipe.build();
+        let unique = grid.unique_cells();
+        let path = temp_path("slice.cache");
+        let summary = run_worker(&WorkerSpec {
+            shard: 1,
+            shard_count: 3,
+            cache: path.clone(),
+            warm: None,
+            threads: 1,
+            recipe,
+        })
+        .expect("worker runs");
+
+        let range = shard_range(unique.len(), 1, 3);
+        assert_eq!(summary.assigned, range.len());
+        assert_eq!(summary.evaluated, range.len());
+        assert_eq!(summary.warm_hits, 0);
+
+        let slice = ResultCache::load_strict(&path).expect("strict-readable output");
+        assert_eq!(slice.len(), range.len());
+        for cell in &unique[range] {
+            assert!(slice.contains_key(&grid.dedup_key(cell)));
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn warm_cells_are_not_re_evaluated() {
+        let recipe = GridRecipe::classic(4);
+        let grid = recipe.build();
+        let warm_path = temp_path("warm.cache");
+        let mut warm = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut warm)
+            .unwrap();
+        warm.save(&warm_path).unwrap();
+
+        let out = temp_path("warm-slice.cache");
+        let summary = run_worker(&WorkerSpec {
+            shard: 0,
+            shard_count: 2,
+            cache: out.clone(),
+            warm: Some(warm_path.clone()),
+            threads: 1,
+            recipe,
+        })
+        .expect("worker runs");
+        assert_eq!(summary.evaluated, 0);
+        assert_eq!(summary.warm_hits, summary.assigned);
+        for p in [warm_path, out] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+}

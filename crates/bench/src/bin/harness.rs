@@ -5,7 +5,8 @@
 //! Experiments: `table1`, `breakeven`, `fig2`, `fig3a`, `fig3b`, `fig3c`,
 //! `fig3x` (the C = 85 % variant mentioned in §IV-C without a figure),
 //! `sim`, `ablation`, `comparison`, `format`, `sensitivity`, `frontier`,
-//! `map`, `custom`, `grid`, `refine`, `shard-worker`, or `all` (default).
+//! `map`, `custom`, `grid`, `refine`, `shard-worker`, `bench`, or `all`
+//! (default).
 //!
 //! `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]`
 //! explores the scenario grid (devices × workloads × rates × goals) in
@@ -32,6 +33,15 @@
 //! side of that protocol (not for interactive use): evaluate one
 //! contiguous slice of the grid's deduplicated cell range and write it
 //! as a result-cache file (`docs/CACHE_FORMAT.md`).
+//!
+//! `harness bench [--quick] [--out PATH]` runs the canonical performance
+//! scenarios — cold/warm cached grid, refinement, two-shard fan-out —
+//! and writes the versioned `BENCH_grid.json` trajectory document
+//! (`docs/OBSERVABILITY.md`). The human summary goes to stderr.
+//!
+//! `grid`, `refine` and `shard-worker` all accept `--stats` (telemetry
+//! table on stderr) and `--stats-json PATH` (snapshot as JSON); neither
+//! ever changes stdout.
 
 use memstream_bench::{
     ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
@@ -289,6 +299,8 @@ struct SharedFlags {
     cache_path: Option<String>,
     classic: bool,
     shards: Option<usize>,
+    stats: bool,
+    stats_json: Option<String>,
 }
 
 impl SharedFlags {
@@ -299,6 +311,8 @@ impl SharedFlags {
             cache_path: None,
             classic: false,
             shards: None,
+            stats: false,
+            stats_json: None,
         }
     }
 
@@ -311,9 +325,28 @@ impl SharedFlags {
             "--cache" => self.cache_path = Some(value()),
             "--classic" => self.classic = true,
             "--shards" => self.shards = Some(parse_flag(flag, &value())),
+            "--stats" => self.stats = true,
+            "--stats-json" => self.stats_json = Some(value()),
             _ => return false,
         }
         true
+    }
+
+    /// Emits the run's telemetry per `--stats`/`--stats-json`: the table
+    /// to stderr (never stdout — the determinism contract), the JSON to
+    /// the requested path. Failing to write an explicitly requested
+    /// artifact is fatal: exit 2 with the path and OS error attributed.
+    fn emit_stats(&self, metrics: &memstream_grid::Metrics) {
+        let snapshot = metrics.snapshot();
+        if self.stats {
+            eprint!("{}", snapshot.render_table());
+        }
+        if let Some(path) = &self.stats_json {
+            if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                eprintln!("stats-json write error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Validates cross-flag constraints, exiting 2 on violation.
@@ -462,7 +495,7 @@ fn grid(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
-                     --validate, --cache, --classic, --shards"
+                     --validate, --cache, --classic, --shards, --stats, --stats-json"
                 );
                 std::process::exit(2);
             }
@@ -471,8 +504,13 @@ fn grid(args: &[String]) {
     let shared = shared.validated();
     let cache_path = shared.cache_path.clone();
 
+    // One registry for the whole run: the executor, the cache and (when
+    // sharded) the coordinator all report into it. Telemetry writes only
+    // to stderr and requested files, so stdout bytes are untouched
+    // whether or not anyone asked for stats.
+    let metrics = memstream_grid::Metrics::enabled();
     let spec = reference_grid(shared.rates, shared.classic);
-    let executor = GridExecutor::parallel(shared.threads);
+    let executor = GridExecutor::parallel(shared.threads).with_metrics(&metrics);
     let results = if let Some(shards) = shared.shards {
         // Sharded: fan missing cells out to worker processes, union
         // their cache files, then assemble locally from pure hits —
@@ -485,10 +523,11 @@ fn grid(args: &[String]) {
         let mut cache = cache_path
             .as_deref()
             .map_or_else(memstream_grid::ResultCache::new, load_cache);
+        cache.set_metrics(&metrics);
         let run = memstream_shard::explore_sharded(
             &shared.recipe(),
             &mut cache,
-            &shared.shard_options(shards),
+            &shared.shard_options(shards).with_metrics(&metrics),
         )
         .unwrap_or_else(|e| {
             eprintln!("shard error: {e}");
@@ -524,11 +563,17 @@ fn grid(args: &[String]) {
         match &cache_path {
             Some(path) => {
                 let mut cache = load_cache(path);
+                cache.set_metrics(&metrics);
                 let results = explore_cached_or_exit(executor, &spec, &mut cache);
+                // The accounting line is driven from the telemetry
+                // counters (attached right after load, so they equal the
+                // cache's own tallies) — one source for stderr and
+                // `--stats-json`.
+                let snapshot = metrics.snapshot();
                 eprintln!(
                     "cache: {} hits, {} misses ({} entries saved)",
-                    cache.hits(),
-                    cache.misses(),
+                    snapshot.counter("cache.hits").unwrap_or(0),
+                    snapshot.counter("cache.misses").unwrap_or(0),
                     cache.len()
                 );
                 save_cache(&cache, path);
@@ -541,6 +586,7 @@ fn grid(args: &[String]) {
         }
     };
 
+    shared.emit_stats(&metrics);
     print!("{}", report::grid_stdout(&results, full_csv));
     if let Some(seconds) = validate {
         let validation = memstream_grid::validate_frontier(&results, seconds);
@@ -594,7 +640,8 @@ fn refine(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --cache, \
-                     --width-bound, --max-rounds, --classic, --shards"
+                     --width-bound, --max-rounds, --classic, --shards, --stats, \
+                     --stats-json"
                 );
                 std::process::exit(2);
             }
@@ -611,15 +658,21 @@ fn refine(args: &[String]) {
         std::process::exit(2);
     }
 
+    // One registry across engine, executor, cache and coordinator (see
+    // the `grid` subcommand).
+    let metrics = memstream_grid::Metrics::enabled();
     let spec = reference_grid(shared.rates, shared.classic);
-    let executor = GridExecutor::parallel(shared.threads);
+    let executor = GridExecutor::parallel(shared.threads).with_metrics(&metrics);
     let engine = RefinementEngine::new(
-        executor,
+        executor.clone(),
         RefineConfig::default()
             .with_width_bound(width_bound)
             .with_max_rounds(max_rounds),
     );
     let mut cache = cache_path.as_deref().map(load_cache);
+    if let Some(cache) = cache.as_mut() {
+        cache.set_metrics(&metrics);
+    }
     let outcome = if let Some(shards) = shared.shards {
         // Sharded: every round fans only its new rates out to worker
         // processes; the merged cache warms the next round. Stdout is
@@ -631,7 +684,7 @@ fn refine(args: &[String]) {
         );
         let mut explorer = memstream_shard::ShardedRoundExplorer::new(
             shared.recipe(),
-            shared.shard_options(shards),
+            shared.shard_options(shards).with_metrics(&metrics),
             executor,
         );
         let outcome = engine.refine_with(&spec, cache.as_mut(), &mut explorer);
@@ -664,11 +717,24 @@ fn refine(args: &[String]) {
             std::process::exit(2);
         })
     };
-    eprint!("{}", report::cache_summary(&outcome.report));
+    // Per-round lines render from the report; the total line renders
+    // from the `refine.hits`/`refine.misses` telemetry counters (same
+    // format, same numbers — the engine tallies both from the round
+    // records), so stderr accounting and `--stats-json` cannot drift.
+    eprint!("{}", report::cache_rounds(&outcome.report));
+    let snapshot = metrics.snapshot();
+    eprint!(
+        "{}",
+        report::cache_total_line(
+            snapshot.counter("refine.hits").unwrap_or(0),
+            snapshot.counter("refine.misses").unwrap_or(0),
+        )
+    );
     if let (Some(cache), Some(path)) = (&cache, &cache_path) {
         save_cache(cache, path);
         eprintln!("cache file: {} entries saved", cache.len());
     }
+    shared.emit_stats(&metrics);
     print!("{}", report::refine_stdout(&outcome));
 }
 
@@ -680,21 +746,83 @@ fn refine(args: &[String]) {
 /// nothing to stdout; its accounting line goes to stderr, which the
 /// coordinator captures and forwards.
 fn shard_worker(args: &[String]) {
-    use memstream_shard::{run_worker, WorkerSpec};
+    use memstream_shard::{run_worker_with_metrics, WorkerSpec};
     let spec = WorkerSpec::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    match run_worker(&spec) {
-        Ok(summary) => eprintln!(
-            "shard {}/{}: {} cells assigned, {} warm hits, {} evaluated",
-            spec.shard, spec.shard_count, summary.assigned, summary.warm_hits, summary.evaluated
-        ),
+    let metrics = memstream_grid::Metrics::enabled();
+    match run_worker_with_metrics(&spec, &metrics) {
+        Ok(summary) => {
+            eprintln!(
+                "shard {}/{}: {} cells assigned, {} warm hits, {} evaluated",
+                spec.shard,
+                spec.shard_count,
+                summary.assigned,
+                summary.warm_hits,
+                summary.evaluated
+            );
+            let snapshot = metrics.snapshot();
+            if spec.stats {
+                // Stderr only: the coordinator captures and forwards it.
+                eprint!("{}", snapshot.render_table());
+            }
+            if let Some(path) = &spec.stats_json {
+                if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                    eprintln!("stats-json write error: {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
         Err(e) => {
             eprintln!("shard {}/{} failed: {e}", spec.shard, spec.shard_count);
             std::process::exit(1);
         }
     }
+}
+
+/// `harness bench [--quick] [--out PATH]` — run the canonical perf
+/// scenarios and write the versioned trajectory document (default
+/// `BENCH_grid.json` in the current directory). Summary on stderr;
+/// stdout stays silent so the subcommand composes with shell pipelines.
+fn bench(args: &[String]) {
+    let mut quick = false;
+    let mut out = std::path::PathBuf::from("BENCH_grid.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = std::path::PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`; try --quick, --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let program = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("bench: cannot locate own binary for shard scenario: {e}");
+        std::process::exit(2);
+    });
+    let config = if quick {
+        memstream_bench::perf::BenchConfig::quick(program)
+    } else {
+        memstream_bench::perf::BenchConfig::standard(program)
+    };
+    let report = memstream_bench::perf::run_bench(&config).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    eprint!("{}", report.render_summary());
+    if let Err(e) = memstream_bench::perf::write_bench(&report, &out) {
+        eprintln!("bench write error: {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    eprintln!("bench: wrote {}", out.display());
 }
 
 /// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]
@@ -766,6 +894,12 @@ fn main() {
                 .filter(|a| a != "--")
                 .collect::<Vec<_>>(),
         ),
+        "bench" => bench(
+            &std::env::args()
+                .skip(2)
+                .filter(|a| a != "--")
+                .collect::<Vec<_>>(),
+        ),
         "shard-worker" => shard_worker(
             &std::env::args()
                 .skip(2)
@@ -793,7 +927,7 @@ fn main() {
                 "unknown experiment `{other}`; try table1, breakeven, fig2, \
                  fig3a, fig3b, fig3c, fig3x, sim, ablation, comparison, format, \
                  sensitivity, frontier, map, custom, grid, refine, shard-worker, \
-                 all"
+                 bench, all"
             );
             std::process::exit(2);
         }

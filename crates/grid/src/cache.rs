@@ -29,6 +29,7 @@ use std::io;
 use std::path::Path;
 
 use memstream_core::Requirement;
+use memstream_telemetry::{Counter, Metrics, SpanHandle};
 use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 
 use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
@@ -158,6 +159,45 @@ pub struct ResultCache {
     entries: HashMap<String, CellOutcome>,
     hits: usize,
     misses: usize,
+    telemetry: CacheTelemetry,
+}
+
+/// The cache's pre-resolved telemetry handles (see `docs/OBSERVABILITY.md`,
+/// `cache.*`). Default handles are no-ops, so an unattached cache pays a
+/// null-check per lookup and nothing more.
+#[derive(Debug, Clone, Default)]
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    merges: Counter,
+    merge_added: Counter,
+    merge_duplicates: Counter,
+    merge_bytes: Counter,
+    merge_span: SpanHandle,
+    save_bytes: Counter,
+    save_span: SpanHandle,
+}
+
+impl CacheTelemetry {
+    fn resolve(metrics: &Metrics) -> Self {
+        CacheTelemetry {
+            hits: metrics.counter("cache.hits"),
+            misses: metrics.counter("cache.misses"),
+            inserts: metrics.counter("cache.inserts"),
+            merges: metrics.counter("cache.merges"),
+            merge_added: metrics.counter("cache.merge_added"),
+            merge_duplicates: metrics.counter("cache.merge_duplicates"),
+            merge_bytes: metrics.counter("cache.merge_bytes"),
+            merge_span: metrics.span("cache.merge"),
+            save_bytes: metrics.counter("cache.save_bytes"),
+            save_span: metrics.span("cache.save"),
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.merge_bytes.is_live()
+    }
 }
 
 impl ResultCache {
@@ -165,6 +205,14 @@ impl ResultCache {
     #[must_use]
     pub fn new() -> Self {
         ResultCache::default()
+    }
+
+    /// Attaches this cache to a metrics registry: subsequent lookups,
+    /// inserts, merges and saves report into the `cache.*` catalogue.
+    /// The existing hit/miss totals are unaffected (counters are deltas
+    /// from the attach point).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.telemetry = CacheTelemetry::resolve(metrics);
     }
 
     /// Loads a cache file. A missing file yields an empty cache;
@@ -239,6 +287,7 @@ impl ResultCache {
     ///
     /// [`CacheConflict`] on the first (lowest-key) conflicting entry.
     pub fn merge(&mut self, other: &ResultCache) -> Result<MergeStats, CacheConflict> {
+        let _merge_timer = self.telemetry.merge_span.start();
         let mut keys: Vec<&String> = other.entries.keys().collect();
         keys.sort();
         let mut stats = MergeStats::default();
@@ -264,10 +313,20 @@ impl ResultCache {
         // Pass 2 — a conflict-free union, applied in full.
         for key in keys {
             if !self.entries.contains_key(key) {
+                // Byte accounting (for merge-throughput reporting) uses the
+                // wire encoding, and is only worth computing when someone
+                // is listening.
+                if self.telemetry.is_enabled() {
+                    let line = encode_line(key, &other.entries[key]);
+                    self.telemetry.merge_bytes.add(line.len() as u64 + 1);
+                }
                 self.entries.insert(key.clone(), other.entries[key].clone());
                 stats.added += 1;
             }
         }
+        self.telemetry.merges.incr();
+        self.telemetry.merge_added.add(stats.added as u64);
+        self.telemetry.merge_duplicates.add(stats.duplicates as u64);
         Ok(stats)
     }
 
@@ -277,6 +336,7 @@ impl ResultCache {
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let _save_timer = self.telemetry.save_span.start();
         let mut keys: Vec<&String> = self.entries.keys().collect();
         keys.sort();
         let mut out = String::new();
@@ -284,6 +344,7 @@ impl ResultCache {
         for key in keys {
             let _ = writeln!(out, "{}", encode_line(key, &self.entries[key]));
         }
+        self.telemetry.save_bytes.add(out.len() as u64);
         fs::write(path, out)
     }
 
@@ -316,10 +377,12 @@ impl ResultCache {
         match self.entries.get(key) {
             Some(outcome) => {
                 self.hits += 1;
+                self.telemetry.hits.incr();
                 Some(outcome.clone())
             }
             None => {
                 self.misses += 1;
+                self.telemetry.misses.incr();
                 None
             }
         }
@@ -352,6 +415,7 @@ impl ResultCache {
     /// [`ResultCache::merge`], which refuses conflicting entries instead
     /// of overwriting.
     pub fn insert(&mut self, key: String, outcome: CellOutcome) {
+        self.telemetry.inserts.incr();
         self.entries.insert(key, outcome);
     }
 }

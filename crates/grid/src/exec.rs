@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+use memstream_telemetry::Metrics;
+
 use crate::cache::ResultCache;
 use crate::eval::{evaluate, CellOutcome};
 use crate::spec::{GridCell, GridError, ScenarioGrid};
@@ -16,16 +18,26 @@ use crate::store::{pareto_frontier, ParetoPoint, ResultStore};
 /// cell costs cannot idle a core). Results carry their job index, are
 /// re-ordered on collection, and evaluation is pure — so the transcript
 /// of any run is byte-identical to [`GridExecutor::serial`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// An executor carries a [`Metrics`] handle (disabled by default, see
+/// [`GridExecutor::with_metrics`]) and records the `grid.*` catalogue of
+/// `docs/OBSERVABILITY.md`: cell counts, per-worker evaluation tallies
+/// and the explore/eval/assemble wall-clock breakdown. Telemetry never
+/// touches the results, so instrumented and bare runs stay byte-identical.
+#[derive(Debug, Clone)]
 pub struct GridExecutor {
     threads: usize,
+    metrics: Metrics,
 }
 
 impl GridExecutor {
     /// A single-threaded executor (the determinism reference).
     #[must_use]
     pub fn serial() -> Self {
-        GridExecutor { threads: 1 }
+        GridExecutor {
+            threads: 1,
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// An executor over `threads` workers. `0` selects the machine's
@@ -37,7 +49,25 @@ impl GridExecutor {
         } else {
             threads
         };
-        GridExecutor { threads }
+        GridExecutor {
+            threads,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// The same executor reporting into `metrics` (a cheap shared
+    /// handle; clones of this executor keep reporting into the same
+    /// registry).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = metrics.clone();
+        self
+    }
+
+    /// The metrics handle this executor reports into.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The worker count this executor will use.
@@ -53,11 +83,25 @@ impl GridExecutor {
     ///
     /// [`GridError::EmptyAxis`] if any axis of the grid is empty.
     pub fn explore(&self, grid: &ScenarioGrid) -> Result<GridResults, GridError> {
+        memstream_telemetry::span!(self.metrics, "grid.explore");
         grid.check_axes()?;
         let (job_cells, cell_to_job) = ResultStore::plan(grid);
+        self.metrics
+            .counter("grid.cells_total")
+            .add(cell_to_job.len() as u64);
+        self.metrics
+            .counter("grid.cells_unique")
+            .add(job_cells.len() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
-        let outcomes = evaluate_jobs(grid, &job_cells, workers);
-        Ok(assemble(grid, cell_to_job, job_cells, outcomes, workers))
+        let outcomes = evaluate_jobs(grid, &job_cells, workers, &self.metrics);
+        Ok(assemble(
+            grid,
+            cell_to_job,
+            job_cells,
+            outcomes,
+            workers,
+            &self.metrics,
+        ))
     }
 
     /// Like [`GridExecutor::explore`], but resolves every job against
@@ -74,8 +118,15 @@ impl GridExecutor {
         grid: &ScenarioGrid,
         cache: &mut ResultCache,
     ) -> Result<GridResults, GridError> {
+        memstream_telemetry::span!(self.metrics, "grid.explore");
         grid.check_axes()?;
         let (job_cells, cell_to_job) = ResultStore::plan(grid);
+        self.metrics
+            .counter("grid.cells_total")
+            .add(cell_to_job.len() as u64);
+        self.metrics
+            .counter("grid.cells_unique")
+            .add(job_cells.len() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
 
         let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(job_cells.len());
@@ -92,7 +143,12 @@ impl GridExecutor {
             }
         }
 
-        let fresh = evaluate_jobs(grid, &miss_cells, workers.min(miss_cells.len()).max(1));
+        let fresh = evaluate_jobs(
+            grid,
+            &miss_cells,
+            workers.min(miss_cells.len()).max(1),
+            &self.metrics,
+        );
         for ((slot, cell), outcome) in miss_slots.into_iter().zip(&miss_cells).zip(fresh) {
             cache.insert(grid.dedup_key(cell), outcome.clone());
             outcomes[slot] = Some(outcome);
@@ -102,7 +158,14 @@ impl GridExecutor {
             .into_iter()
             .map(|o| o.expect("every job is cached or evaluated"))
             .collect();
-        Ok(assemble(grid, cell_to_job, job_cells, outcomes, workers))
+        Ok(assemble(
+            grid,
+            cell_to_job,
+            job_cells,
+            outcomes,
+            workers,
+            &self.metrics,
+        ))
     }
 
     /// Resolves an explicit list of cells against `cache`: cached cells
@@ -113,6 +176,10 @@ impl GridExecutor {
     /// [`ScenarioGrid::unique_cells`](crate::ScenarioGrid::unique_cells)
     /// for the canonical slicing domain).
     pub fn resolve_cells(&self, grid: &ScenarioGrid, cells: &[GridCell], cache: &mut ResultCache) {
+        memstream_telemetry::span!(self.metrics, "grid.explore");
+        self.metrics
+            .counter("grid.cells_total")
+            .add(cells.len() as u64);
         let mut miss_cells: Vec<GridCell> = Vec::new();
         for cell in cells {
             if cache.lookup(&grid.dedup_key(cell)).is_none() {
@@ -120,7 +187,7 @@ impl GridExecutor {
             }
         }
         let workers = self.threads.min(miss_cells.len()).max(1);
-        let fresh = evaluate_jobs(grid, &miss_cells, workers);
+        let fresh = evaluate_jobs(grid, &miss_cells, workers, &self.metrics);
         for (cell, outcome) in miss_cells.iter().zip(fresh) {
             cache.insert(grid.dedup_key(cell), outcome);
         }
@@ -128,13 +195,26 @@ impl GridExecutor {
 }
 
 /// Evaluates `jobs` serially or fanned out, per `workers`.
-fn evaluate_jobs(grid: &ScenarioGrid, jobs: &[GridCell], workers: usize) -> Vec<CellOutcome> {
+fn evaluate_jobs(
+    grid: &ScenarioGrid,
+    jobs: &[GridCell],
+    workers: usize,
+    metrics: &Metrics,
+) -> Vec<CellOutcome> {
     if jobs.is_empty() {
-        Vec::new()
-    } else if workers == 1 {
+        return Vec::new();
+    }
+    memstream_telemetry::span!(metrics, "grid.eval");
+    metrics
+        .counter("grid.cells_evaluated")
+        .add(jobs.len() as u64);
+    if workers == 1 {
+        metrics
+            .counter("grid.worker.0.cells")
+            .add(jobs.len() as u64);
         jobs.iter().map(|c| evaluate(grid, c)).collect()
     } else {
-        fan_out(grid, jobs, workers)
+        fan_out(grid, jobs, workers, metrics)
     }
 }
 
@@ -145,7 +225,9 @@ fn assemble(
     job_cells: Vec<GridCell>,
     outcomes: Vec<CellOutcome>,
     workers: usize,
+    metrics: &Metrics,
 ) -> GridResults {
+    memstream_telemetry::span!(metrics, "grid.assemble");
     let store = ResultStore::new(cell_to_job, job_cells, outcomes);
     let frontier = pareto_frontier(&store);
     GridResults {
@@ -157,19 +239,34 @@ fn assemble(
 }
 
 /// Evaluates `jobs` on `workers` threads, returning outcomes in job order.
-fn fan_out(grid: &ScenarioGrid, jobs: &[GridCell], workers: usize) -> Vec<CellOutcome> {
+///
+/// Each worker tallies its evaluated cells in a thread-local count and
+/// publishes once on exit into `grid.worker.{i}.cells` — the hot loop
+/// performs no shared-memory telemetry traffic.
+fn fan_out(
+    grid: &ScenarioGrid,
+    jobs: &[GridCell],
+    workers: usize,
+    metrics: &Metrics,
+) -> Vec<CellOutcome> {
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
     thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = jobs.get(i) else { break };
-                if tx.send((i, evaluate(grid, cell))).is_err() {
-                    break;
+            let tally = metrics.counter(&format!("grid.worker.{worker}.cells"));
+            scope.spawn(move || {
+                let mut evaluated: u64 = 0;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = jobs.get(i) else { break };
+                    if tx.send((i, evaluate(grid, cell))).is_err() {
+                        break;
+                    }
+                    evaluated += 1;
                 }
+                tally.add(evaluated);
             });
         }
         drop(tx);

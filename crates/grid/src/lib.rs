@@ -57,8 +57,13 @@ mod store;
 mod validate;
 
 pub use cache::{CacheConflict, CacheFileError, MergeStats, ResultCache};
+// The instrumentation layer, re-exported so downstream crates (refine,
+// shard, the harness) can thread one `Metrics` registry through an
+// executor without naming the telemetry crate themselves.
 pub use eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 pub use exec::{GridExecutor, GridResults};
+pub use memstream_telemetry as telemetry;
+pub use memstream_telemetry::Metrics;
 pub use spec::{DeviceEntry, GridCell, GridError, ScenarioGrid, WorkloadProfile};
 pub use store::{non_dominated, ParetoPoint, ResultStore};
 pub use validate::{

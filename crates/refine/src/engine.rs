@@ -201,7 +201,7 @@ pub trait RoundExplorer {
 /// [`GridExecutor::explore_cached`] with hit/miss deltas read off the
 /// cache counters. [`RefinementEngine::refine`] is exactly this explorer
 /// driven by [`RefinementEngine::refine_with`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CachedRoundExplorer {
     executor: GridExecutor,
 }
@@ -236,7 +236,7 @@ impl RoundExplorer for CachedRoundExplorer {
 /// The refinement engine: a [`GridExecutor`] plus a [`RefineConfig`],
 /// both thread-count- and cache-state-independent in everything they
 /// report (cache hit/miss *counts* excepted, which is their point).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RefinementEngine {
     executor: GridExecutor,
     config: RefineConfig,
@@ -249,10 +249,10 @@ impl RefinementEngine {
         RefinementEngine { executor, config }
     }
 
-    /// The configured executor.
+    /// The configured executor (a cheap handle-sharing clone).
     #[must_use]
     pub fn executor(&self) -> GridExecutor {
-        self.executor
+        self.executor.clone()
     }
 
     /// The configuration.
@@ -280,7 +280,11 @@ impl RefinementEngine {
         grid: &ScenarioGrid,
         cache: Option<&mut ResultCache>,
     ) -> Result<RefinementOutcome, GridError> {
-        self.refine_with(grid, cache, &mut CachedRoundExplorer::new(self.executor))
+        self.refine_with(
+            grid,
+            cache,
+            &mut CachedRoundExplorer::new(self.executor.clone()),
+        )
     }
 
     /// Runs the refinement loop on `grid`, delegating each round's
@@ -305,15 +309,37 @@ impl RefinementEngine {
             None => &mut scratch,
         };
 
+        // Refinement accounting is explorer-agnostic: it is driven off the
+        // round records (which every explorer fills the same way), not off
+        // the cache, so `refine.hits`/`refine.misses` mean the same thing
+        // for in-process and fanned-out rounds.
+        let metrics = self.executor.metrics().clone();
+        let round_span = metrics.span("refine.round");
+        let rounds_counter = metrics.counter("refine.rounds");
+        let appended_counter = metrics.counter("refine.rates_appended");
+        let bisections_counter = metrics.counter("refine.bisections");
+        let hits_counter = metrics.counter("refine.hits");
+        let misses_counter = metrics.counter("refine.misses");
+        let record_round = |rounds: &[RoundRecord]| {
+            let record = rounds.last().expect("round recorded");
+            rounds_counter.incr();
+            appended_counter.add(record.appended.len() as u64);
+            hits_counter.add(record.hits as u64);
+            misses_counter.add(record.misses as u64);
+        };
+
         let mut rates: Vec<BitRate> = grid.rates().to_vec();
         canonicalize_rates(&mut rates);
         let initial_rates = rates.len();
 
         let mut working = grid.with_rate_axis(rates.iter().copied());
         let mut rounds: Vec<RoundRecord> = Vec::new();
+        let round_timer = round_span.start();
         let mut results = explore_round(explorer, &working, cache, Vec::new(), &mut rounds)?;
         let mut transitions = scan_transitions(&results);
+        drop(round_timer);
         rounds.last_mut().expect("round 1 recorded").transitions = transitions.len();
+        record_round(&rounds);
 
         while rounds.len() < self.config.max_rounds() {
             let appended = self.bisection_rates(&working, &transitions);
@@ -325,12 +351,16 @@ impl RefinementEngine {
             if (rates.len() + appended.len()) * cells_per_rate > self.config.max_cells() {
                 break;
             }
+            bisections_counter.add(appended.len() as u64);
             rates.extend(appended.iter().copied());
             canonicalize_rates(&mut rates);
             working = working.with_rate_axis(rates.iter().copied());
+            let round_timer = round_span.start();
             results = explore_round(explorer, &working, cache, appended, &mut rounds)?;
             transitions = scan_transitions(&results);
+            drop(round_timer);
             rounds.last_mut().expect("round recorded").transitions = transitions.len();
+            record_round(&rounds);
         }
 
         let knees = assemble_knees(&working, &transitions);

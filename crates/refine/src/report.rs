@@ -165,6 +165,17 @@ pub fn refine_stdout(outcome: &RefinementOutcome) -> String {
 /// off stdout so the determinism contract stays byte-exact.
 #[must_use]
 pub fn cache_summary(report: &RefinementReport) -> String {
+    let mut out = cache_rounds(report);
+    out.push_str(&cache_total_line(
+        report.total_hits() as u64,
+        report.total_misses() as u64,
+    ));
+    out
+}
+
+/// The per-round half of [`cache_summary`]: one line per round, no total.
+#[must_use]
+pub fn cache_rounds(report: &RefinementReport) -> String {
     let mut out = String::new();
     for round in &report.rounds {
         let _ = writeln!(
@@ -173,13 +184,16 @@ pub fn cache_summary(report: &RefinementReport) -> String {
             round.round, round.unique_evaluations, round.hits, round.misses
         );
     }
-    let _ = writeln!(
-        out,
-        "refine cache: {} hits, {} misses",
-        report.total_hits(),
-        report.total_misses()
-    );
     out
+}
+
+/// The total line of [`cache_summary`], rendered from explicit counts.
+/// The harness feeds the `refine.hits`/`refine.misses` telemetry counters
+/// through here, so the stderr accounting line and a `--stats-json`
+/// snapshot are two views of one tally and cannot drift.
+#[must_use]
+pub fn cache_total_line(hits: u64, misses: u64) -> String {
+    format!("refine cache: {hits} hits, {misses} misses\n")
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use memstream_grid::{GridError, MergeStats, ResultCache};
+use memstream_grid::{GridError, MergeStats, Metrics, ResultCache};
 
 use crate::protocol::WorkerSpec;
 use crate::recipe::GridRecipe;
@@ -204,6 +204,10 @@ pub struct ShardOptions {
     /// `["shard-worker"]`, the harness subcommand. Tests substitute a
     /// shell here to simulate dying or lying workers.
     pub leading_args: Vec<String>,
+    /// Where the coordinator reports the `shard.*` telemetry catalogue
+    /// (spawn/wait/merge wall time, cell and failure counts — see
+    /// `docs/OBSERVABILITY.md`). Disabled by default.
+    pub metrics: Metrics,
 }
 
 impl ShardOptions {
@@ -222,6 +226,7 @@ impl ShardOptions {
             shards,
             program,
             leading_args: vec!["shard-worker".to_owned()],
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -229,6 +234,13 @@ impl ShardOptions {
     #[must_use]
     pub fn with_worker_threads(mut self, threads: usize) -> Self {
         self.worker_threads = threads;
+        self
+    }
+
+    /// Makes coordinated fan-outs report into `metrics`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = metrics.clone();
         self
     }
 }
@@ -273,6 +285,14 @@ pub fn explore_sharded(
     let cached = keys.iter().filter(|k| cache.contains_key(k)).count();
     let missing = unique.len() - cached;
 
+    let metrics = &opts.metrics;
+    metrics.counter("shard.runs").incr();
+    metrics
+        .counter("shard.unique_cells")
+        .add(unique.len() as u64);
+    metrics.counter("shard.cached").add(cached as u64);
+    metrics.counter("shard.fanned_out").add(missing as u64);
+
     if missing == 0 {
         return Ok(ShardRun {
             unique_cells: unique.len(),
@@ -304,6 +324,8 @@ pub fn explore_sharded(
     // child gets a collector thread draining its pipes immediately —
     // waiting on children one by one while siblings still hold full pipe
     // buffers would deadlock a chatty worker against the coordinator.
+    let spawn_timer = metrics.span("shard.spawn").start();
+    metrics.counter("shard.workers_spawned").add(shards as u64);
     let mut children = Vec::with_capacity(shards);
     let mut failures: Vec<ShardFailure> = Vec::new();
     for index in 0..shards {
@@ -313,6 +335,8 @@ pub fn explore_sharded(
             cache: scratch.join(format!("shard-{index}.cache")),
             warm: warm.clone(),
             threads: opts.worker_threads,
+            stats: false,
+            stats_json: None,
             recipe: recipe.clone(),
         };
         let child = Command::new(&opts.program)
@@ -338,6 +362,11 @@ pub fn explore_sharded(
         }
     }
 
+    drop(spawn_timer);
+
+    let wait_span = metrics.span("shard.wait");
+    let merge_span = metrics.span("shard.merge");
+    let merge_bytes = metrics.counter("shard.merge_bytes");
     let mut workers = Vec::with_capacity(shards);
     for (spec, collector) in children {
         let range = shard_range(unique.len(), spec.shard, spec.shard_count);
@@ -352,14 +381,28 @@ pub fn explore_sharded(
             stderr: String::new(),
         };
         if let Some(collector) = collector {
+            let wait_timer = wait_span.start();
             let output = collector.join().expect("worker collector thread");
-            match collect_worker(&spec, output, slice_keys, cache, &mut report) {
-                Ok(()) => {}
+            drop(wait_timer);
+            let merge_timer = merge_span.start();
+            let collected = collect_worker(&spec, output, slice_keys, cache, &mut report);
+            drop(merge_timer);
+            match collected {
+                Ok(()) => {
+                    // Merge throughput numerator: the interchange file's
+                    // size on disk (the bytes the strict reader parsed).
+                    if merge_bytes.is_live() {
+                        if let Ok(meta) = std::fs::metadata(&spec.cache) {
+                            merge_bytes.add(meta.len());
+                        }
+                    }
+                }
                 Err(failure) => failures.push(failure),
             }
         }
         workers.push(report);
     }
+    metrics.counter("shard.failures").add(failures.len() as u64);
 
     let complete = failures.is_empty();
     if complete {
@@ -471,6 +514,7 @@ mod tests {
             worker_threads: 1,
             program: PathBuf::from("/bin/sh"),
             leading_args: vec!["-c".to_owned(), script.to_owned(), "fake-worker".to_owned()],
+            metrics: Metrics::disabled(),
         }
     }
 

@@ -83,7 +83,7 @@ pub use coordinator::{
 pub use protocol::{ProtocolError, WorkerSpec};
 pub use recipe::GridRecipe;
 pub use round::ShardedRoundExplorer;
-pub use worker::{run_worker, WorkerSummary};
+pub use worker::{run_worker, run_worker_with_metrics, WorkerSummary};
 
 #[cfg(test)]
 mod tests {

@@ -58,6 +58,13 @@ pub struct WorkerSpec {
     pub warm: Option<PathBuf>,
     /// Worker-internal thread count (`0` = machine width).
     pub threads: usize,
+    /// Print a telemetry snapshot table to the worker's stderr when the
+    /// run completes (forwarded to the coordinator's stderr by the
+    /// harness — never stdout).
+    pub stats: bool,
+    /// Write the worker's telemetry snapshot as JSON to this path when
+    /// the run completes.
+    pub stats_json: Option<PathBuf>,
     /// The grid to build and slice.
     pub recipe: GridRecipe,
 }
@@ -92,6 +99,13 @@ impl WorkerSpec {
             args.push("--warm".to_owned());
             args.push(warm.display().to_string());
         }
+        if self.stats {
+            args.push("--stats".to_owned());
+        }
+        if let Some(path) = &self.stats_json {
+            args.push("--stats-json".to_owned());
+            args.push(path.display().to_string());
+        }
         args
     }
 
@@ -109,6 +123,8 @@ impl WorkerSpec {
         let mut rates = 2usize;
         let mut classic = false;
         let mut rate_list: Option<Vec<BitRate>> = None;
+        let mut stats = false;
+        let mut stats_json: Option<PathBuf> = None;
 
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -143,6 +159,8 @@ impl WorkerSpec {
                         .map_err(|e| ProtocolError::new(format!("bad --rates: {e}")))?;
                 }
                 "--classic" => classic = true,
+                "--stats" => stats = true,
+                "--stats-json" => stats_json = Some(PathBuf::from(value()?)),
                 "--rate-list" => {
                     let raw = value()?;
                     let mut axis = Vec::new();
@@ -179,6 +197,8 @@ impl WorkerSpec {
             cache,
             warm,
             threads,
+            stats,
+            stats_json,
             recipe,
         })
     }
@@ -196,6 +216,8 @@ mod tests {
             cache: PathBuf::from("/tmp/shard-2.cache"),
             warm: Some(PathBuf::from("/tmp/warm.cache")),
             threads: 3,
+            stats: true,
+            stats_json: Some(PathBuf::from("/tmp/shard-2-stats.json")),
             recipe: GridRecipe::classic(7).with_rate_axis([
                 BitRate::from_kbps(32.0),
                 // A midpoint-style irrational rate: the shortest-roundtrip
@@ -215,6 +237,8 @@ mod tests {
             cache: PathBuf::from("out.cache"),
             warm: None,
             threads: 0,
+            stats: false,
+            stats_json: None,
             recipe: GridRecipe::baseline(24),
         };
         assert_eq!(WorkerSpec::from_args(&spec.to_args()).unwrap(), spec);

@@ -148,6 +148,7 @@ mod tests {
                 worker_threads: 1,
                 program: std::path::PathBuf::from("/bin/sh"),
                 leading_args: vec!["-c".to_owned(), "exit 3".to_owned(), "w".to_owned()],
+                metrics: memstream_grid::Metrics::disabled(),
             },
             GridExecutor::serial(),
         );

@@ -9,7 +9,7 @@
 
 use std::io;
 
-use memstream_grid::{GridExecutor, ResultCache};
+use memstream_grid::{GridExecutor, Metrics, ResultCache};
 
 use crate::coordinator::shard_range;
 use crate::protocol::WorkerSpec;
@@ -32,6 +32,18 @@ pub struct WorkerSummary {
 ///
 /// I/O errors from reading the warm cache or writing the output file.
 pub fn run_worker(spec: &WorkerSpec) -> io::Result<WorkerSummary> {
+    run_worker_with_metrics(spec, &Metrics::disabled())
+}
+
+/// [`run_worker`] reporting into `metrics`: the worker's evaluation and
+/// cache traffic land in the `grid.*`/`cache.*` catalogues (the harness's
+/// `shard-worker --stats` path). Telemetry never changes the cache file
+/// a worker writes.
+///
+/// # Errors
+///
+/// I/O errors from reading the warm cache or writing the output file.
+pub fn run_worker_with_metrics(spec: &WorkerSpec, metrics: &Metrics) -> io::Result<WorkerSummary> {
     let grid = spec.recipe.build();
     let unique = grid.unique_cells();
     let cells = &unique[shard_range(unique.len(), spec.shard, spec.shard_count)];
@@ -44,9 +56,13 @@ pub fn run_worker(spec: &WorkerSpec) -> io::Result<WorkerSummary> {
         Some(path) => ResultCache::load(path)?,
         None => ResultCache::new(),
     };
-    GridExecutor::parallel(spec.threads).resolve_cells(&grid, cells, &mut working);
+    working.set_metrics(metrics);
+    GridExecutor::parallel(spec.threads)
+        .with_metrics(metrics)
+        .resolve_cells(&grid, cells, &mut working);
 
     let mut slice = ResultCache::new();
+    slice.set_metrics(metrics);
     for cell in cells {
         let key = grid.dedup_key(cell);
         let outcome = working
@@ -91,6 +107,8 @@ mod tests {
             cache: path.clone(),
             warm: None,
             threads: 1,
+            stats: false,
+            stats_json: None,
             recipe,
         })
         .expect("worker runs");
@@ -126,6 +144,8 @@ mod tests {
             cache: out.clone(),
             warm: Some(warm_path.clone()),
             threads: 1,
+            stats: false,
+            stats_json: None,
             recipe,
         })
         .expect("worker runs");

@@ -1,0 +1,317 @@
+//! The registry: named atomic counters and span accumulators.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{CounterSample, Snapshot, SpanSample};
+
+/// One span's accumulator: how many times it was entered and the total
+/// wall-clock nanoseconds spent inside, both relaxed atomics.
+#[derive(Debug, Default)]
+struct SpanCell {
+    entries: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// The shared registry behind an enabled [`Metrics`]. Maps are only
+/// locked to *resolve* a handle (or snapshot); increments never touch
+/// them.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanCell>>>,
+}
+
+/// A registry of named counters and span accumulators.
+///
+/// `Metrics` is a cheap, cloneable handle: clones share the same
+/// registry, so a single enabled instance can be threaded through the
+/// executor, the cache, the refinement engine and the shard coordinator
+/// and still snapshot as one coherent report. The default is
+/// [`Metrics::disabled`] — a registry that hands out no-op handles and
+/// costs (nearly) nothing on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// A disabled registry: every handle it resolves is a no-op, and
+    /// [`Metrics::snapshot`] is empty. This is the default, so library
+    /// code can instrument unconditionally.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// An enabled, initially empty registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (registering on first use) the counter named `name`.
+    ///
+    /// Resolution takes the registry lock; do it once per phase, not per
+    /// cell — the returned [`Counter`] increments lock-free.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|registry| {
+                Arc::clone(
+                    registry
+                        .counters
+                        .lock()
+                        .expect("counter registry poisoned")
+                        .entry(name.to_owned())
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Resolves (registering on first use) the span accumulator named
+    /// `name`. Like [`Metrics::counter`], resolve once and reuse.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanHandle {
+        SpanHandle {
+            cell: self.inner.as_ref().map(|registry| {
+                Arc::clone(
+                    registry
+                        .spans
+                        .lock()
+                        .expect("span registry poisoned")
+                        .entry(name.to_owned())
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// A consistent point-in-time copy of every counter and span, sorted
+    /// by name. Disabled registries snapshot empty.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(registry) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = registry
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| CounterSample {
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        let spans = registry
+            .spans
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(name, cell)| SpanSample {
+                name: name.clone(),
+                entries: cell.entries.load(Ordering::Relaxed),
+                nanos: cell.nanos.load(Ordering::Relaxed),
+            })
+            .collect();
+        Snapshot { counters, spans }
+    }
+}
+
+/// A lock-free handle to one named counter. Disabled handles (from a
+/// disabled registry, or `Counter::default()`) are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds `n` (relaxed; counters are monotone tallies, not
+    /// synchronization).
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Whether this handle records anywhere (`false` for handles from a
+    /// disabled registry). Lets callers skip *computing* an expensive
+    /// operand — e.g. re-encoding entries just to count bytes — when the
+    /// add would be a no-op anyway.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// The current value (0 for a disabled handle).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A handle to one named span accumulator: start RAII guards with
+/// [`SpanHandle::start`] or record externally measured durations with
+/// [`SpanHandle::record`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanHandle {
+    cell: Option<Arc<SpanCell>>,
+}
+
+impl SpanHandle {
+    /// Starts a guard that records the elapsed wall-clock time into this
+    /// accumulator when dropped. A disabled handle's guard never reads
+    /// the clock.
+    #[must_use]
+    pub fn start(&self) -> SpanGuard {
+        SpanGuard {
+            cell: self.cell.clone(),
+            // The clock is only consulted when someone will read it back.
+            start: self.cell.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Records one entry of `elapsed` without a guard (for durations
+    /// measured elsewhere, e.g. around a spawned process).
+    pub fn record(&self, elapsed: Duration) {
+        if let Some(cell) = &self.cell {
+            cell.entries.fetch_add(1, Ordering::Relaxed);
+            let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Total accumulated time (zero for a disabled handle).
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.cell.as_ref().map_or(Duration::ZERO, |cell| {
+            Duration::from_nanos(cell.nanos.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// The RAII guard of one span entry; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    cell: Option<Arc<SpanCell>>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let (Some(cell), Some(start)) = (&self.cell, self.start) {
+            cell.entries.fetch_add(1, Ordering::Relaxed);
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Opens a span for the rest of the enclosing scope:
+/// `span!(metrics, "cache.merge");` is an RAII guard recording into the
+/// accumulator named `"cache.merge"` when the scope exits.
+#[macro_export]
+macro_rules! span {
+    ($metrics:expr, $name:expr) => {
+        let _memstream_span_guard = $metrics.span($name).start();
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_no_ops() {
+        let metrics = Metrics::disabled();
+        assert!(!metrics.is_enabled());
+        let counter = metrics.counter("x");
+        counter.add(5);
+        assert_eq!(counter.value(), 0);
+        let span = metrics.span("y");
+        drop(span.start());
+        span.record(Duration::from_secs(1));
+        assert_eq!(span.total(), Duration::ZERO);
+        let snapshot = metrics.snapshot();
+        assert!(snapshot.counters.is_empty() && snapshot.spans.is_empty());
+    }
+
+    #[test]
+    fn default_handles_match_a_disabled_registry() {
+        let counter = Counter::default();
+        counter.incr();
+        assert_eq!(counter.value(), 0);
+        drop(SpanHandle::default().start());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones_and_threads() {
+        let metrics = Metrics::enabled();
+        let clone = metrics.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = clone.counter("cells");
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        handle.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics.counter("cells").value(), 4000);
+        assert_eq!(metrics.snapshot().counter("cells"), Some(4000));
+    }
+
+    #[test]
+    fn spans_count_entries_and_accumulate_time() {
+        let metrics = Metrics::enabled();
+        let span = metrics.span("work");
+        for _ in 0..3 {
+            drop(span.start());
+        }
+        span.record(Duration::from_millis(5));
+        let snapshot = metrics.snapshot();
+        let sample = &snapshot.spans[0];
+        assert_eq!(sample.entries, 4);
+        assert!(sample.nanos >= 5_000_000);
+    }
+
+    #[test]
+    fn span_macro_records_on_scope_exit() {
+        let metrics = Metrics::enabled();
+        {
+            span!(metrics, "scoped");
+            std::hint::black_box(());
+        }
+        assert_eq!(metrics.snapshot().spans[0].entries, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let metrics = Metrics::enabled();
+        metrics.counter("zeta").incr();
+        metrics.counter("alpha").incr();
+        let snapshot = metrics.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

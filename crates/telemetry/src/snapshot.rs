@@ -1,0 +1,208 @@
+//! Point-in-time registry snapshots and their renderings.
+
+use std::fmt::Write as _;
+
+use crate::json::JsonObject;
+
+/// The snapshot JSON schema version, bumped on any incompatible change
+/// (see `docs/OBSERVABILITY.md` for the evolution rules).
+pub const SNAPSHOT_SCHEMA: &str = "memstream-telemetry v1";
+
+/// One counter's sampled value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Registered name (dot-separated catalogue key).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One span accumulator's sampled state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSample {
+    /// Registered name.
+    pub name: String,
+    /// How many times the span was entered.
+    pub entries: u64,
+    /// Total wall-clock nanoseconds accumulated inside the span.
+    pub nanos: u64,
+}
+
+impl SpanSample {
+    /// Total accumulated seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// A consistent copy of a [`crate::Metrics`] registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Every counter, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// Every span accumulator, sorted by name.
+    pub spans: Vec<SpanSample>,
+}
+
+impl Snapshot {
+    /// The value of the counter named `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The total seconds of the span named `name`, if registered.
+    #[must_use]
+    pub fn span_seconds(&self, name: &str) -> Option<f64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(SpanSample::seconds)
+    }
+
+    /// A throughput helper: counter `counter` divided by the non-zero
+    /// seconds of span `span`. `None` when either is unregistered.
+    /// Elapsed time is clamped to one nanosecond, so a registered pair
+    /// always yields a finite, positive rate.
+    #[must_use]
+    pub fn rate_per_second(&self, counter: &str, span: &str) -> Option<f64> {
+        let count = self.counter(counter)? as f64;
+        let seconds = self.span_seconds(span)?.max(1e-9);
+        Some(count / seconds)
+    }
+
+    /// The fixed-width table the harness prints to **stderr** under
+    /// `--stats`: counters first, then spans with entry counts and
+    /// accumulated seconds.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry:");
+        if self.counters.is_empty() && self.spans.is_empty() {
+            let _ = writeln!(out, "  (no metrics recorded)");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  {:<38} {:>14}", "counter", "value");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<38} {:>14}", c.name, c.value);
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "  {:<38} {:>7} {:>12}", "span", "entries", "seconds");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:>7} {:>12.6}",
+                    s.name,
+                    s.entries,
+                    s.seconds()
+                );
+            }
+        }
+        out
+    }
+
+    /// The snapshot as a versioned JSON document:
+    ///
+    /// ```json
+    /// {"schema": "memstream-telemetry v1",
+    ///  "counters": {"cache.hits": 600},
+    ///  "spans": {"grid.eval": {"entries": 1, "seconds": 0.0123}}}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for c in &self.counters {
+            counters = counters.field_u64(&c.name, c.value);
+        }
+        let mut spans = JsonObject::new();
+        for s in &self.spans {
+            spans = spans.field_object(
+                &s.name,
+                JsonObject::new()
+                    .field_u64("entries", s.entries)
+                    .field_f64("seconds", s.seconds()),
+            );
+        }
+        JsonObject::new()
+            .field_str("schema", SNAPSHOT_SCHEMA)
+            .field_object("counters", counters)
+            .field_object("spans", spans)
+            .render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::Metrics;
+
+    fn snapshot() -> Snapshot {
+        let metrics = Metrics::enabled();
+        metrics.counter("cache.hits").add(600);
+        metrics.counter("grid.cells_evaluated").add(42);
+        metrics
+            .span("grid.eval")
+            .record(std::time::Duration::from_millis(250));
+        metrics.snapshot()
+    }
+
+    #[test]
+    fn accessors_find_registered_names_only() {
+        let s = snapshot();
+        assert_eq!(s.counter("cache.hits"), Some(600));
+        assert_eq!(s.counter("nope"), None);
+        assert!((s.span_seconds("grid.eval").unwrap() - 0.25).abs() < 1e-9);
+        assert_eq!(s.span_seconds("nope"), None);
+    }
+
+    #[test]
+    fn rates_are_finite_and_positive_even_for_zero_time_spans() {
+        let metrics = Metrics::enabled();
+        metrics.counter("c").add(10);
+        metrics.span("s").record(std::time::Duration::ZERO);
+        let rate = metrics.snapshot().rate_per_second("c", "s").unwrap();
+        assert!(rate.is_finite() && rate > 0.0);
+        let s = snapshot();
+        let rate = s
+            .rate_per_second("grid.cells_evaluated", "grid.eval")
+            .unwrap();
+        assert!((rate - 42.0 / 0.25).abs() < 1e-6);
+        assert_eq!(s.rate_per_second("nope", "grid.eval"), None);
+    }
+
+    #[test]
+    fn table_lists_every_metric_once() {
+        let table = snapshot().render_table();
+        assert!(table.starts_with("telemetry:"));
+        for name in ["cache.hits", "grid.cells_evaluated", "grid.eval"] {
+            assert_eq!(table.matches(name).count(), 1, "{name} in:\n{table}");
+        }
+        assert!(Snapshot::default().render_table().contains("no metrics"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let text = snapshot().to_json();
+        let doc = parse(&text).expect("snapshot JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SNAPSHOT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("cache.hits"))
+                .and_then(Json::as_u64),
+            Some(600)
+        );
+        let eval = doc.get("spans").and_then(|s| s.get("grid.eval")).unwrap();
+        assert_eq!(eval.get("entries").and_then(Json::as_u64), Some(1));
+        assert!((eval.get("seconds").and_then(Json::as_f64).unwrap() - 0.25).abs() < 1e-9);
+    }
+}

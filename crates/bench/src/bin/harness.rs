@@ -41,7 +41,11 @@
 //!
 //! `grid`, `refine` and `shard-worker` all accept `--stats` (telemetry
 //! table on stderr) and `--stats-json PATH` (snapshot as JSON); neither
-//! ever changes stdout.
+//! ever changes stdout. `--cache-format v1|v2` (with `--cache` or
+//! `--shards`) selects the cache file encoding — `v1` is the TSV
+//! interchange format, `v2` the binary fast-load format; readers
+//! auto-detect, and the choice never changes a stdout byte
+//! (`docs/CACHE_FORMAT.md`).
 
 use memstream_bench::{
     ablation_best_effort, ablation_probe_ratings, breakeven_rows, comparison_rows, fig2_rows,
@@ -297,6 +301,7 @@ struct SharedFlags {
     rates: usize,
     threads: usize,
     cache_path: Option<String>,
+    cache_format: memstream_grid::CacheFormat,
     classic: bool,
     shards: Option<usize>,
     stats: bool,
@@ -309,6 +314,7 @@ impl SharedFlags {
             rates: 24,
             threads: 0, // 0 = machine width
             cache_path: None,
+            cache_format: memstream_grid::CacheFormat::default(),
             classic: false,
             shards: None,
             stats: false,
@@ -323,6 +329,14 @@ impl SharedFlags {
             "--rates" => self.rates = parse_flag(flag, &value()),
             "--threads" => self.threads = parse_flag(flag, &value()),
             "--cache" => self.cache_path = Some(value()),
+            "--cache-format" => {
+                let raw = value();
+                self.cache_format =
+                    memstream_grid::CacheFormat::parse_flag(&raw).unwrap_or_else(|| {
+                        eprintln!("bad value for --cache-format: `{raw}` is not v1 or v2");
+                        std::process::exit(2);
+                    });
+            }
             "--classic" => self.classic = true,
             "--shards" => self.shards = Some(parse_flag(flag, &value())),
             "--stats" => self.stats = true,
@@ -376,7 +390,8 @@ impl SharedFlags {
             eprintln!("cannot locate the current binary for shard workers: {e}");
             std::process::exit(2);
         });
-        let opts = memstream_shard::ShardOptions::new(program, shards);
+        let opts = memstream_shard::ShardOptions::new(program, shards)
+            .with_cache_format(self.cache_format);
         if self.threads == 0 {
             opts
         } else {
@@ -444,9 +459,13 @@ fn load_cache(path: &str) -> memstream_grid::ResultCache {
     })
 }
 
-/// Saves `cache` to `path`, exiting 2 on I/O errors.
-fn save_cache(cache: &memstream_grid::ResultCache, path: &str) {
-    cache.save(path).unwrap_or_else(|e| {
+/// Saves `cache` to `path` in `format`, exiting 2 on I/O errors.
+fn save_cache(
+    cache: &memstream_grid::ResultCache,
+    path: &str,
+    format: memstream_grid::CacheFormat,
+) {
+    cache.save_as(path, format).unwrap_or_else(|e| {
         eprintln!("cache save error: {e}");
         std::process::exit(2);
     });
@@ -466,7 +485,8 @@ fn explore_cached_or_exit(
 }
 
 /// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]
-/// [--cache PATH] [--classic] [--shards N]` — the parallel scenario-grid
+/// [--cache PATH] [--cache-format v1|v2] [--classic] [--shards N]` — the
+/// parallel scenario-grid
 /// exploration (see module docs). `--cache` loads/saves evaluated cells
 /// keyed by scenario content, so re-runs skip already-explored cells
 /// without changing a single output byte; `--classic` restricts the
@@ -495,7 +515,8 @@ fn grid(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
-                     --validate, --cache, --classic, --shards, --stats, --stats-json"
+                     --validate, --cache, --cache-format, --classic, --shards, \
+                     --stats, --stats-json"
                 );
                 std::process::exit(2);
             }
@@ -539,7 +560,7 @@ fn grid(args: &[String]) {
             // the healthy shards' work — persist it before failing and a
             // retry proceeds warm from everything that did complete.
             if let Some(path) = &cache_path {
-                save_cache(&cache, path);
+                save_cache(&cache, path, shared.cache_format);
                 eprintln!(
                     "cache file: {} entries saved (healthy shards only)",
                     cache.len()
@@ -550,7 +571,7 @@ fn grid(args: &[String]) {
         }
         let results = explore_cached_or_exit(executor, &spec, &mut cache);
         if let Some(path) = &cache_path {
-            save_cache(&cache, path);
+            save_cache(&cache, path, shared.cache_format);
             eprintln!("cache file: {} entries saved", cache.len());
         }
         results
@@ -576,7 +597,7 @@ fn grid(args: &[String]) {
                     snapshot.counter("cache.misses").unwrap_or(0),
                     cache.len()
                 );
-                save_cache(&cache, path);
+                save_cache(&cache, path, shared.cache_format);
                 results
             }
             None => executor.explore(&spec).unwrap_or_else(|e| {
@@ -610,7 +631,8 @@ fn grid(args: &[String]) {
 }
 
 /// `harness refine [--rates N] [--threads N] [--cache PATH]
-/// [--width-bound F] [--max-rounds N] [--classic] [--shards N]` — the
+/// [--cache-format v1|v2] [--width-bound F] [--max-rounds N] [--classic]
+/// [--shards N]` — the
 /// adaptive refinement loop (see module docs). `--width-bound` is the
 /// relative interval width a knee must be localised to (default 0.01 =
 /// 1 %); `--cache` makes re-runs evaluate nothing while reproducing
@@ -640,8 +662,8 @@ fn refine(args: &[String]) {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --cache, \
-                     --width-bound, --max-rounds, --classic, --shards, --stats, \
-                     --stats-json"
+                     --cache-format, --width-bound, --max-rounds, --classic, \
+                     --shards, --stats, --stats-json"
                 );
                 std::process::exit(2);
             }
@@ -697,7 +719,7 @@ fn refine(args: &[String]) {
             // healthy work of every completed round (plus the failed
             // round's healthy shards) — persist it so a retry runs warm.
             if let (Some(cache), Some(path)) = (&cache, &cache_path) {
-                save_cache(cache, path);
+                save_cache(cache, path, shared.cache_format);
                 eprintln!(
                     "cache file: {} entries saved (completed work only)",
                     cache.len()
@@ -731,7 +753,7 @@ fn refine(args: &[String]) {
         )
     );
     if let (Some(cache), Some(path)) = (&cache, &cache_path) {
-        save_cache(cache, path);
+        save_cache(cache, path, shared.cache_format);
         eprintln!("cache file: {} entries saved", cache.len());
     }
     shared.emit_stats(&metrics);

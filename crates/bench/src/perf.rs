@@ -1,13 +1,15 @@
 //! The performance trajectory: canonical benchmark scenarios and the
 //! versioned `BENCH_grid.json` they emit.
 //!
-//! `harness bench` runs four scenarios — a cold cached grid exploration,
-//! the same exploration warm, a refinement run, and a two-shard process
-//! fan-out — each under its own fresh telemetry registry, and folds the
-//! snapshots into one JSON document (schema [`BENCH_SCHEMA`], evolution
-//! rules in `docs/OBSERVABILITY.md`). Committing that file per release
-//! gives the repository a perf trajectory: cells/sec cold and warm,
-//! knees localised per refinement round, and shard-merge throughput.
+//! `harness bench` runs six scenarios — a cold cached grid exploration,
+//! the same exploration warm, the hot-path micro phases (interned-key
+//! resolution, v1 vs v2 cache load), a refinement run, and a two-shard
+//! process fan-out — each under its own fresh telemetry registry, and
+//! folds the snapshots into one JSON document (schema [`BENCH_SCHEMA`],
+//! evolution rules in `docs/OBSERVABILITY.md`). Committing that file per
+//! release gives the repository a perf trajectory: cells/sec cold and
+//! warm, key resolutions/sec, cache-load entries/sec per format, knees
+//! localised per refinement round, and shard-merge throughput.
 //!
 //! Rates are computed from the same `grid.*`/`refine.*`/`shard.*` metric
 //! catalogue the `--stats` flag exposes, so a bench number can always be
@@ -18,13 +20,22 @@ use std::io;
 use std::path::PathBuf;
 
 use memstream_grid::telemetry::json::JsonObject;
-use memstream_grid::{GridExecutor, Metrics, ResultCache};
+use memstream_grid::{CacheFormat, GridExecutor, KeyInterner, Metrics, ResultCache};
 use memstream_refine::{RefineConfig, RefinementEngine};
 use memstream_shard::{explore_sharded, GridRecipe, ShardError, ShardOptions};
 
 /// The `BENCH_grid.json` schema version, bumped on any incompatible
 /// change (see `docs/OBSERVABILITY.md` for the evolution rules).
-pub const BENCH_SCHEMA: &str = "memstream-bench-grid v1";
+pub const BENCH_SCHEMA: &str = "memstream-bench-grid v2";
+
+/// The build profile the bench binary was compiled under, recorded in
+/// the document so debug-build numbers can never masquerade as the
+/// release trajectory.
+pub const BENCH_PROFILE: &str = if cfg!(debug_assertions) {
+    "debug"
+} else {
+    "release"
+};
 
 /// Shapes of the canonical bench scenarios.
 #[derive(Debug, Clone)]
@@ -81,6 +92,8 @@ pub enum BenchError {
     Grid(memstream_grid::GridError),
     /// The shard scenario failed (spawn, merge, scratch I/O, ...).
     Shard(ShardError),
+    /// The cache-load scenario's scratch I/O failed.
+    Scratch(io::Error),
 }
 
 impl fmt::Display for BenchError {
@@ -88,6 +101,7 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::Grid(e) => write!(f, "bench grid scenario: {e}"),
             BenchError::Shard(e) => write!(f, "bench shard scenario: {e}"),
+            BenchError::Scratch(e) => write!(f, "bench scratch I/O: {e}"),
         }
     }
 }
@@ -97,7 +111,14 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Grid(e) => Some(e),
             BenchError::Shard(e) => Some(e),
+            BenchError::Scratch(e) => Some(e),
         }
+    }
+}
+
+impl From<io::Error> for BenchError {
+    fn from(e: io::Error) -> Self {
+        BenchError::Scratch(e)
     }
 }
 
@@ -130,12 +151,24 @@ pub struct GridBenchRow {
 pub struct BenchReport {
     /// The shape that was run.
     pub config: BenchConfig,
+    /// Worker threads the grid scenarios actually ran on (the resolved
+    /// machine width — recorded so trajectories from differently sized
+    /// hosts never compare silently).
+    pub threads: usize,
     /// Unique cells of the grid scenarios' grid.
     pub grid_unique_cells: usize,
     /// The cold (empty-cache) exploration.
     pub cold: GridBenchRow,
     /// The warm (fully cached) re-exploration.
     pub warm: GridBenchRow,
+    /// Interned-key resolutions (`CellKey` → canonical string) per second.
+    pub key_resolutions_per_sec: f64,
+    /// Entries of the cache file the load phases parse.
+    pub cache_entries: usize,
+    /// v1 (TSV) cache-load rate in entries per second.
+    pub v1_load_entries_per_sec: f64,
+    /// v2 (binary) cache-load rate in entries per second.
+    pub v2_load_entries_per_sec: f64,
     /// Refinement rounds actually run.
     pub refine_rounds: usize,
     /// Knees the refinement localised.
@@ -162,12 +195,21 @@ impl BenchReport {
         self.shard_merge_bytes as f64 / 1e6 / self.shard_merge_seconds.max(1e-9)
     }
 
+    /// How much faster the binary v2 cache loads than the v1 TSV parse
+    /// (denominator clamped so degenerate runs stay finite).
+    #[must_use]
+    pub fn v2_load_speedup(&self) -> f64 {
+        self.v2_load_entries_per_sec / self.v1_load_entries_per_sec.max(1e-9)
+    }
+
     /// The versioned `BENCH_grid.json` document.
     #[must_use]
     pub fn to_json(&self) -> String {
         JsonObject::new()
             .field_str("schema", BENCH_SCHEMA)
             .field_bool("quick", self.config.quick)
+            .field_u64("threads", self.threads as u64)
+            .field_str("profile", BENCH_PROFILE)
             .field_object(
                 "grid",
                 JsonObject::new()
@@ -176,7 +218,16 @@ impl BenchReport {
                     .field_f64("cold_seconds", self.cold.seconds)
                     .field_f64("cold_cells_per_sec", self.cold.cells_per_sec)
                     .field_f64("warm_seconds", self.warm.seconds)
-                    .field_f64("warm_cells_per_sec", self.warm.cells_per_sec),
+                    .field_f64("warm_cells_per_sec", self.warm.cells_per_sec)
+                    .field_f64("key_resolutions_per_sec", self.key_resolutions_per_sec),
+            )
+            .field_object(
+                "cache",
+                JsonObject::new()
+                    .field_u64("entries", self.cache_entries as u64)
+                    .field_f64("v1_load_entries_per_sec", self.v1_load_entries_per_sec)
+                    .field_f64("v2_load_entries_per_sec", self.v2_load_entries_per_sec)
+                    .field_f64("v2_load_speedup", self.v2_load_speedup()),
             )
             .field_object(
                 "refine",
@@ -203,6 +254,7 @@ impl BenchReport {
     pub fn render_summary(&self) -> String {
         format!(
             "bench ({}): grid {} cells — cold {:.0} cells/s, warm {:.0} cells/s; \
+             keys {:.0}/s; cache load v1 {:.0}, v2 {:.0} entries/s ({:.1}x); \
              refine {} knees in {} rounds ({:.2}/round); \
              shard merge {:.2} MB/s over {} bytes\n",
             if self.config.quick {
@@ -213,6 +265,10 @@ impl BenchReport {
             self.grid_unique_cells,
             self.cold.cells_per_sec,
             self.warm.cells_per_sec,
+            self.key_resolutions_per_sec,
+            self.v1_load_entries_per_sec,
+            self.v2_load_entries_per_sec,
+            self.v2_load_speedup(),
             self.refine_knees,
             self.refine_rounds,
             self.knees_per_round(),
@@ -261,7 +317,58 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
         .explore_cached(&grid, &mut cache)?;
     let warm = grid_row(&warm_metrics);
 
-    // Scenario 3: refinement from a coarse axis, private in-memory cache.
+    // Scenario 3: hot-path micro phases — interned-key resolution and
+    // v1-vs-v2 cache load, over the cold run's real entry set. Timed
+    // through spans/counters like everything else, so the numbers can be
+    // cross-checked against an instrumented run.
+    let micro_metrics = Metrics::enabled();
+    let interner = KeyInterner::new(&grid);
+    let unique = grid.unique_cells();
+    let key_reps = if config.quick { 100 } else { 400 };
+    let resolutions = micro_metrics.counter("bench.key_resolutions");
+    let resolve_timer = micro_metrics.span("bench.key_resolve").start();
+    let mut key_buf = String::new();
+    for _ in 0..key_reps {
+        for cell in &unique {
+            interner.resolve_into(interner.key(cell), &mut key_buf);
+            std::hint::black_box(key_buf.len());
+        }
+    }
+    drop(resolve_timer);
+    resolutions.add((key_reps * unique.len()) as u64);
+
+    let scratch = std::env::temp_dir().join(format!("memstream-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    let load_reps = if config.quick { 50 } else { 200 };
+    for (format, span_name, counter_name) in [
+        (
+            CacheFormat::V1,
+            "bench.cache_load_v1",
+            "bench.v1_load_entries",
+        ),
+        (
+            CacheFormat::V2,
+            "bench.cache_load_v2",
+            "bench.v2_load_entries",
+        ),
+    ] {
+        let path = scratch.join(format!("bench.{}.cache", format.flag()));
+        cache.save_as(&path, format)?;
+        let entries = micro_metrics.counter(counter_name);
+        let timer = micro_metrics.span(span_name).start();
+        let mut parsed = 0u64;
+        for _ in 0..load_reps {
+            let loaded = ResultCache::load(&path)?;
+            parsed += loaded.len() as u64;
+            std::hint::black_box(loaded.len());
+        }
+        drop(timer);
+        entries.add(parsed);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    let micro = micro_metrics.snapshot();
+
+    // Scenario 4: refinement from a coarse axis, private in-memory cache.
     let refine_metrics = Metrics::enabled();
     let refine_grid = GridRecipe::reference(false, config.refine_rates).build();
     let engine = RefinementEngine::new(
@@ -271,7 +378,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
     let outcome = engine.refine(&refine_grid, None)?;
     let refine_snapshot = refine_metrics.snapshot();
 
-    // Scenario 4: cold two-shard process fan-out of the grid scenario's
+    // Scenario 5: cold two-shard process fan-out of the grid scenario's
     // grid (same shape, so merge bytes are comparable across runs).
     let shard_metrics = Metrics::enabled();
     let mut shard_cache = ResultCache::new();
@@ -290,9 +397,20 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
 
     Ok(BenchReport {
         config: config.clone(),
+        threads: GridExecutor::parallel(0).threads(),
         grid_unique_cells,
         cold,
         warm,
+        key_resolutions_per_sec: micro
+            .rate_per_second("bench.key_resolutions", "bench.key_resolve")
+            .unwrap_or(0.0),
+        cache_entries: cache.len(),
+        v1_load_entries_per_sec: micro
+            .rate_per_second("bench.v1_load_entries", "bench.cache_load_v1")
+            .unwrap_or(0.0),
+        v2_load_entries_per_sec: micro
+            .rate_per_second("bench.v2_load_entries", "bench.cache_load_v2")
+            .unwrap_or(0.0),
         refine_rounds: outcome.report.rounds.len(),
         refine_knees: outcome.report.knees.len(),
         refine_seconds: refine_snapshot.span_seconds("refine.round").unwrap_or(0.0),
@@ -319,6 +437,7 @@ mod tests {
         use memstream_grid::telemetry::json::{parse, Json};
         let report = BenchReport {
             config: BenchConfig::quick(PathBuf::from("/bin/true")),
+            threads: 8,
             grid_unique_cells: 200,
             cold: GridBenchRow {
                 seconds: 0.5,
@@ -328,6 +447,10 @@ mod tests {
                 seconds: 0.01,
                 cells_per_sec: 20000.0,
             },
+            key_resolutions_per_sec: 1e6,
+            cache_entries: 200,
+            v1_load_entries_per_sec: 1e5,
+            v2_load_entries_per_sec: 1e6,
             refine_rounds: 3,
             refine_knees: 6,
             refine_seconds: 0.2,
@@ -336,12 +459,23 @@ mod tests {
         };
         let doc = parse(&report.to_json()).expect("bench JSON parses");
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            doc.get("profile").and_then(Json::as_str),
+            Some(BENCH_PROFILE)
+        );
         assert_eq!(
             doc.get("grid")
                 .and_then(|g| g.get("unique_cells"))
                 .and_then(Json::as_u64),
             Some(200)
         );
+        let speedup = doc
+            .get("cache")
+            .and_then(|c| c.get("v2_load_speedup"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((speedup - 10.0).abs() < 1e-9);
         let kpr = doc
             .get("refine")
             .and_then(|r| r.get("knees_per_round"))
@@ -360,6 +494,7 @@ mod tests {
     fn rates_survive_degenerate_denominators() {
         let report = BenchReport {
             config: BenchConfig::standard(PathBuf::from("/bin/true")),
+            threads: 0,
             grid_unique_cells: 0,
             cold: GridBenchRow {
                 seconds: 0.0,
@@ -369,6 +504,10 @@ mod tests {
                 seconds: 0.0,
                 cells_per_sec: 0.0,
             },
+            key_resolutions_per_sec: 0.0,
+            cache_entries: 0,
+            v1_load_entries_per_sec: 0.0,
+            v2_load_entries_per_sec: 0.0,
             refine_rounds: 0,
             refine_knees: 0,
             refine_seconds: 0.0,
@@ -377,6 +516,7 @@ mod tests {
         };
         assert!(report.knees_per_round().is_finite());
         assert!(report.merge_mb_per_sec().is_finite());
+        assert!(report.v2_load_speedup().is_finite());
         assert!(memstream_grid::telemetry::json::parse(&report.to_json()).is_ok());
     }
 }

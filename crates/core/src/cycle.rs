@@ -82,8 +82,8 @@ impl RefillCycle {
     ///   best-effort reservation) exceeds the media rate.
     /// * [`ModelError::BufferBelowCycleMinimum`] if the buffer cannot cover
     ///   the seek + shutdown + best-effort time of a single cycle.
-    pub fn compute(
-        device: &dyn EnergyModelled,
+    pub fn compute<E: EnergyModelled + ?Sized>(
+        device: &E,
         workload: &Workload,
         buffer: DataSize,
         policy: BestEffortPolicy,
@@ -135,8 +135,8 @@ impl RefillCycle {
     ///
     /// Returns [`ModelError::RateExceedsBandwidth`] if no buffer works at
     /// this stream rate.
-    pub fn min_buffer(
-        device: &dyn EnergyModelled,
+    pub fn min_buffer<E: EnergyModelled + ?Sized>(
+        device: &E,
         workload: &Workload,
         policy: BestEffortPolicy,
     ) -> Result<DataSize, ModelError> {
@@ -229,14 +229,17 @@ impl fmt::Display for RefillCycle {
 }
 
 /// `τ = Tm / B = rm / (rs · (rm − rs))` seconds per buffered bit.
-pub(crate) fn per_bit_period(device: &dyn EnergyModelled, workload: &Workload) -> f64 {
+pub(crate) fn per_bit_period<E: EnergyModelled + ?Sized>(device: &E, workload: &Workload) -> f64 {
     let rm = device.media_rate().bits_per_second();
     let rs = workload.rate().bits_per_second();
     rm / (rs * (rm - rs))
 }
 
 /// `ρ = tRW / B = 1 / (rm − rs)` seconds per buffered bit.
-pub(crate) fn per_bit_read_write(device: &dyn EnergyModelled, workload: &Workload) -> f64 {
+pub(crate) fn per_bit_read_write<E: EnergyModelled + ?Sized>(
+    device: &E,
+    workload: &Workload,
+) -> f64 {
     let rm = device.media_rate().bits_per_second();
     let rs = workload.rate().bits_per_second();
     1.0 / (rm - rs)

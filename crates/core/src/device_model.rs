@@ -81,15 +81,57 @@ pub trait AnalyticModel: Sized {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct CapabilityModel<'a> {
-    device: &'a dyn StorageDevice,
-    energy: &'a dyn EnergyModelled,
-    wear: &'a dyn WearModelled,
+/// Both device type parameters default to trait objects, so the historical
+/// `CapabilityModel<'a>` spelling keeps meaning "any registered device
+/// behind `&dyn`". Instantiating with a concrete device type (via
+/// [`CapabilityModel::from_device`]) monomorphizes every component model —
+/// the grid's series fast path for the registered mems/disk/flash devices,
+/// which produces bit-identical numbers because the math is unchanged.
+#[derive(Debug)]
+pub struct CapabilityModel<
+    'a,
+    E: EnergyModelled + ?Sized = dyn EnergyModelled + 'a,
+    W: WearModelled + ?Sized = dyn WearModelled + 'a,
+> {
+    capacity: DataSize,
+    energy: &'a E,
+    wear: &'a W,
     utilization: UtilizationSpec,
     workload: Workload,
     dram: Option<DramModel>,
     policy: BestEffortPolicy,
+}
+
+impl<E: EnergyModelled + ?Sized, W: WearModelled + ?Sized> Clone for CapabilityModel<'_, E, W> {
+    fn clone(&self) -> Self {
+        CapabilityModel {
+            capacity: self.capacity,
+            energy: self.energy,
+            wear: self.wear,
+            utilization: self.utilization,
+            workload: self.workload,
+            dram: self.dram.clone(),
+            policy: self.policy,
+        }
+    }
+}
+
+/// The utilisation sanity check shared by every constructor, so the dyn
+/// and monomorphized paths reject malformed specs with identical errors.
+fn validate_utilization(utilization: UtilizationSpec) -> Result<(), ModelError> {
+    match utilization {
+        UtilizationSpec::Constant { fraction } if !(fraction > 0.0 && fraction <= 1.0) => {
+            Err(ModelError::InvalidCapability {
+                capability: "utilization",
+                reason: format!("constant fraction {fraction} is outside (0, 1]"),
+            })
+        }
+        UtilizationSpec::SectorFormat { stripe_width: 0 } => Err(ModelError::InvalidCapability {
+            capability: "utilization",
+            reason: "sector-format stripe width is zero".to_owned(),
+        }),
+        _ => Ok(()),
+    }
 }
 
 impl<'a> CapabilityModel<'a> {
@@ -119,23 +161,9 @@ impl<'a> CapabilityModel<'a> {
         let utilization = device.utilization().ok_or(ModelError::MissingCapability {
             capability: "utilization",
         })?;
-        match utilization {
-            UtilizationSpec::Constant { fraction } if !(fraction > 0.0 && fraction <= 1.0) => {
-                return Err(ModelError::InvalidCapability {
-                    capability: "utilization",
-                    reason: format!("constant fraction {fraction} is outside (0, 1]"),
-                });
-            }
-            UtilizationSpec::SectorFormat { stripe_width: 0 } => {
-                return Err(ModelError::InvalidCapability {
-                    capability: "utilization",
-                    reason: "sector-format stripe width is zero".to_owned(),
-                });
-            }
-            _ => {}
-        }
+        validate_utilization(utilization)?;
         Ok(CapabilityModel {
-            device,
+            capacity: device.capacity(),
             energy,
             wear,
             utilization,
@@ -144,11 +172,59 @@ impl<'a> CapabilityModel<'a> {
             policy,
         })
     }
+}
 
-    /// The device under model.
+impl<'a, D> CapabilityModel<'a, D, D>
+where
+    D: StorageDevice + EnergyModelled + WearModelled,
+{
+    /// Monomorphized assembly for a device type that models its own energy
+    /// and wear (the registered mems/disk/flash devices all do): every
+    /// capability dispatch is resolved at compile time.
+    ///
+    /// The capability presence checks go through the same [`StorageDevice`]
+    /// accessors as [`CapabilityModel::new`], so a device that masks a
+    /// capability (reports `None`) is rejected with the identical error
+    /// even though the trait bound could satisfy it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CapabilityModel::new`].
+    pub fn from_device(
+        device: &'a D,
+        workload: Workload,
+        dram: Option<DramModel>,
+        policy: BestEffortPolicy,
+    ) -> Result<Self, ModelError> {
+        if device.energy().is_none() {
+            return Err(ModelError::MissingCapability {
+                capability: "energy",
+            });
+        }
+        if device.wear().is_none() {
+            return Err(ModelError::MissingCapability { capability: "wear" });
+        }
+        let utilization = device.utilization().ok_or(ModelError::MissingCapability {
+            capability: "utilization",
+        })?;
+        validate_utilization(utilization)?;
+        Ok(CapabilityModel {
+            capacity: device.capacity(),
+            energy: device,
+            wear: device,
+            utilization,
+            workload,
+            dram,
+            policy,
+        })
+    }
+}
+
+impl<'a, E: EnergyModelled + ?Sized, W: WearModelled + ?Sized> CapabilityModel<'a, E, W> {
+    /// The modelled device's media capacity.
     #[must_use]
-    pub fn device(&self) -> &dyn StorageDevice {
-        self.device
+    pub fn capacity(&self) -> DataSize {
+        self.capacity
     }
 
     /// The workload.
@@ -163,14 +239,57 @@ impl<'a> CapabilityModel<'a> {
         self.policy
     }
 
+    /// A copy of the model at a different stream rate (also available via
+    /// [`AnalyticModel::with_rate`] on the `dyn` instantiation).
+    #[must_use]
+    pub fn with_rate(&self, rate: BitRate) -> Self {
+        let mut copy = self.clone();
+        copy.workload = self.workload.with_rate(rate);
+        copy
+    }
+
+    /// The energy component model (§III-A).
+    #[must_use]
+    pub fn energy_model(&self) -> EnergyModel<'_, E> {
+        EnergyModel::new(self.energy, self.workload, self.policy, self.dram.as_ref())
+    }
+
+    /// The capacity component model (§III-B).
+    #[must_use]
+    pub fn capacity_model(&self) -> CapacityModel {
+        match self.utilization {
+            UtilizationSpec::SectorFormat { stripe_width } => {
+                CapacityModel::new(SectorFormat::for_stripe_width(stripe_width), self.capacity)
+            }
+            UtilizationSpec::Constant { fraction } => {
+                CapacityModel::constant(Ratio::from_fraction(fraction), self.capacity)
+            }
+        }
+    }
+
+    /// The lifetime component model (§III-C).
+    #[must_use]
+    pub fn lifetime_model(&self) -> LifetimeModel<'_, W> {
+        LifetimeModel::new(self.wear, self.workload, self.capacity_model())
+    }
+
     /// The combined dimensioner (§IV-C).
     #[must_use]
-    pub fn dimensioner(&self) -> BufferDimensioner<'_> {
+    pub fn dimensioner(&self) -> BufferDimensioner<'_, E, W> {
         BufferDimensioner::new(
             self.energy_model(),
             self.capacity_model(),
             self.lifetime_model(),
         )
+    }
+
+    /// Answers the §IV-C design question at this model's stream rate.
+    ///
+    /// # Errors
+    ///
+    /// See [`BufferDimensioner::dimension`].
+    pub fn dimension(&self, goal: &DesignGoal) -> Result<BufferPlan, ModelError> {
+        self.dimensioner().dimension(goal)
     }
 
     /// Energy saving versus always-on at buffer `buffer`.
@@ -206,29 +325,21 @@ impl<'a> CapabilityModel<'a> {
 
 impl AnalyticModel for CapabilityModel<'_> {
     fn with_rate(&self, rate: BitRate) -> Self {
-        let mut copy = self.clone();
-        copy.workload = self.workload.with_rate(rate);
-        copy
+        // Inherent methods win resolution, so these delegate rather than
+        // recurse.
+        self.with_rate(rate)
     }
 
     fn energy_model(&self) -> EnergyModel<'_> {
-        EnergyModel::new(self.energy, self.workload, self.policy, self.dram.as_ref())
+        self.energy_model()
     }
 
     fn capacity_model(&self) -> CapacityModel {
-        match self.utilization {
-            UtilizationSpec::SectorFormat { stripe_width } => CapacityModel::new(
-                SectorFormat::for_stripe_width(stripe_width),
-                self.device.capacity(),
-            ),
-            UtilizationSpec::Constant { fraction } => {
-                CapacityModel::constant(Ratio::from_fraction(fraction), self.device.capacity())
-            }
-        }
+        self.capacity_model()
     }
 
     fn lifetime_model(&self) -> LifetimeModel<'_> {
-        LifetimeModel::new(self.wear, self.workload, self.capacity_model())
+        self.lifetime_model()
     }
 
     fn dimension(&self, goal: &DesignGoal) -> Result<BufferPlan, ModelError> {

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use memstream_device::{EnergyModelled, WearModelled};
 use memstream_units::DataSize;
 
 use crate::capacity::CapacityModel;
@@ -93,19 +94,36 @@ impl fmt::Display for BufferPlan {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct BufferDimensioner<'a> {
-    energy: EnergyModel<'a>,
+/// Both device type parameters default to trait objects, so existing
+/// `BufferDimensioner<'a>` signatures keep compiling; pairing concrete
+/// energy/wear device types monomorphizes the whole dimensioning path.
+#[derive(Debug)]
+pub struct BufferDimensioner<
+    'a,
+    E: EnergyModelled + ?Sized = dyn EnergyModelled + 'a,
+    W: WearModelled + ?Sized = dyn WearModelled + 'a,
+> {
+    energy: EnergyModel<'a, E>,
     capacity: CapacityModel,
-    lifetime: LifetimeModel<'a>,
+    lifetime: LifetimeModel<'a, W>,
 }
 
-impl<'a> BufferDimensioner<'a> {
+impl<E: EnergyModelled + ?Sized, W: WearModelled + ?Sized> Clone for BufferDimensioner<'_, E, W> {
+    fn clone(&self) -> Self {
+        BufferDimensioner {
+            energy: self.energy.clone(),
+            capacity: self.capacity,
+            lifetime: self.lifetime.clone(),
+        }
+    }
+}
+
+impl<'a, E: EnergyModelled + ?Sized, W: WearModelled + ?Sized> BufferDimensioner<'a, E, W> {
     /// Creates a dimensioner from the three component models.
     pub fn new(
-        energy: EnergyModel<'a>,
+        energy: EnergyModel<'a, E>,
         capacity: CapacityModel,
-        lifetime: LifetimeModel<'a>,
+        lifetime: LifetimeModel<'a, W>,
     ) -> Self {
         BufferDimensioner {
             energy,
@@ -116,7 +134,7 @@ impl<'a> BufferDimensioner<'a> {
 
     /// The energy component.
     #[must_use]
-    pub fn energy(&self) -> &EnergyModel<'a> {
+    pub fn energy(&self) -> &EnergyModel<'a, E> {
         &self.energy
     }
 
@@ -128,7 +146,7 @@ impl<'a> BufferDimensioner<'a> {
 
     /// The lifetime component.
     #[must_use]
-    pub fn lifetime(&self) -> &LifetimeModel<'a> {
+    pub fn lifetime(&self) -> &LifetimeModel<'a, W> {
         &self.lifetime
     }
 

@@ -93,21 +93,36 @@ impl fmt::Display for CycleEnergy {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct EnergyModel<'a> {
-    device: &'a dyn EnergyModelled,
+/// The type parameter `E` defaults to the trait object, so existing
+/// `EnergyModel<'a>` signatures keep meaning "any device behind `&dyn`";
+/// instantiating with a concrete device type (`EnergyModel<'a, MemsDevice>`)
+/// monomorphizes every power/rate accessor — the grid's series fast path.
+#[derive(Debug)]
+pub struct EnergyModel<'a, E: EnergyModelled + ?Sized = dyn EnergyModelled + 'a> {
+    device: &'a E,
     workload: Workload,
     policy: BestEffortPolicy,
     dram: Option<&'a DramModel>,
 }
 
-impl<'a> EnergyModel<'a> {
+impl<E: EnergyModelled + ?Sized> Clone for EnergyModel<'_, E> {
+    fn clone(&self) -> Self {
+        EnergyModel {
+            device: self.device,
+            workload: self.workload,
+            policy: self.policy,
+            dram: self.dram,
+        }
+    }
+}
+
+impl<'a, E: EnergyModelled + ?Sized> EnergyModel<'a, E> {
     /// Creates an energy model for `device` under `workload`.
     ///
     /// Pass a [`DramModel`] to include buffer retention/access energy as the
     /// paper does (it then verifies the "negligible" claim numerically).
     pub fn new(
-        device: &'a dyn EnergyModelled,
+        device: &'a E,
         workload: Workload,
         policy: BestEffortPolicy,
         dram: Option<&'a DramModel>,
@@ -122,7 +137,7 @@ impl<'a> EnergyModel<'a> {
 
     /// The device under model.
     #[must_use]
-    pub fn device(&self) -> &dyn EnergyModelled {
+    pub fn device(&self) -> &E {
         self.device
     }
 

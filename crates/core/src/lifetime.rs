@@ -86,18 +86,33 @@ pub fn min_buffer_for_duty_cycles(rating: f64, target: Years, workload: &Workloa
 /// let years = model.springs_lifetime(DataSize::from_kibibytes(92.0));
 /// assert!((years.get() - 7.0).abs() < 0.2);
 /// ```
-#[derive(Debug, Clone)]
-pub struct LifetimeModel<'a> {
-    device: &'a dyn WearModelled,
+/// The type parameter `W` defaults to the trait object, so existing
+/// `LifetimeModel<'a>` signatures keep meaning "any device behind `&dyn`";
+/// instantiating with a concrete device type monomorphizes the wear-channel
+/// accessors for the grid's series fast path.
+#[derive(Debug)]
+pub struct LifetimeModel<'a, W: WearModelled + ?Sized = dyn WearModelled + 'a> {
+    device: &'a W,
     workload: Workload,
     capacity: CapacityModel,
     channels: Vec<WearChannel>,
 }
 
-impl<'a> LifetimeModel<'a> {
+impl<W: WearModelled + ?Sized> Clone for LifetimeModel<'_, W> {
+    fn clone(&self) -> Self {
+        LifetimeModel {
+            device: self.device,
+            workload: self.workload,
+            capacity: self.capacity,
+            channels: self.channels.clone(),
+        }
+    }
+}
+
+impl<'a, W: WearModelled + ?Sized> LifetimeModel<'a, W> {
     /// Creates a lifetime model. The capacity model supplies `u(B)` for
     /// utilisation-scaled channels (and the sector size `S` of Eq. (6)).
-    pub fn new(device: &'a dyn WearModelled, workload: Workload, capacity: CapacityModel) -> Self {
+    pub fn new(device: &'a W, workload: Workload, capacity: CapacityModel) -> Self {
         let channels = device.wear_channels();
         LifetimeModel {
             device,
@@ -109,7 +124,7 @@ impl<'a> LifetimeModel<'a> {
 
     /// The device under model.
     #[must_use]
-    pub fn device(&self) -> &dyn WearModelled {
+    pub fn device(&self) -> &W {
         self.device
     }
 
@@ -129,16 +144,6 @@ impl<'a> LifetimeModel<'a> {
     #[must_use]
     pub fn refills_per_year(&self, buffer: DataSize) -> f64 {
         self.workload.bits_per_year() / buffer.bits()
-    }
-
-    /// The requirement a channel dictates under (the Fig. 3 region label).
-    #[must_use]
-    pub fn channel_requirement(channel: &WearChannel) -> Requirement {
-        match channel {
-            WearChannel::DutyCycle { .. } => Requirement::SpringsLifetime,
-            WearChannel::WriteBudget { .. } => Requirement::ProbesLifetime,
-            WearChannel::EraseBudget { .. } => Requirement::EraseLifetime,
-        }
     }
 
     /// Lifetime of one channel at buffer `buffer`.
@@ -401,7 +406,23 @@ impl<'a> LifetimeModel<'a> {
     }
 }
 
-impl fmt::Display for LifetimeModel<'_> {
+impl LifetimeModel<'_> {
+    /// The requirement a channel dictates under (the Fig. 3 region label).
+    ///
+    /// Lives on the default (`dyn`) instantiation so bare
+    /// `LifetimeModel::channel_requirement(..)` paths keep resolving — the
+    /// answer does not depend on the device type.
+    #[must_use]
+    pub fn channel_requirement(channel: &WearChannel) -> Requirement {
+        match channel {
+            WearChannel::DutyCycle { .. } => Requirement::SpringsLifetime,
+            WearChannel::WriteBudget { .. } => Requirement::ProbesLifetime,
+            WearChannel::EraseBudget { .. } => Requirement::EraseLifetime,
+        }
+    }
+}
+
+impl<W: WearModelled + ?Sized> fmt::Display for LifetimeModel<'_, W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

@@ -349,6 +349,10 @@ impl StorageDevice for MemsDevice {
         })
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn clone_box(&self) -> Box<dyn StorageDevice> {
         Box::new(self.clone())
     }

@@ -3,14 +3,26 @@
 //! explorations (CI re-runs, interactive sweeps) skip already-evaluated
 //! cells across process boundaries.
 //!
-//! The on-disk format is a versioned, tab-separated line store
-//! (`memstream-grid-cache v1`), fully specified in `docs/CACHE_FORMAT.md`
-//! at the repository root. Floats are written with Rust's
-//! shortest-roundtrip formatting, so a warm-cache exploration reproduces
-//! the cold run's reports **byte-identically** — the property the CI
-//! determinism smoke asserts. Under [`ResultCache::load`], unknown or
-//! corrupt lines are ignored (they simply become cache misses), so format
-//! evolution never poisons a run.
+//! Two on-disk formats live here, both specified in
+//! `docs/CACHE_FORMAT.md` at the repository root and both fully
+//! interchangeable ([`ResultCache::load`] sniffs the header):
+//!
+//! * **v1** (`memstream-grid-cache v1`) — a tab-separated text line
+//!   store, the *interchange* default. Floats are written with Rust's
+//!   shortest-roundtrip formatting, so a warm-cache exploration
+//!   reproduces the cold run's reports **byte-identically** — the
+//!   property the CI determinism smoke asserts.
+//! * **v2** (`memstream-grid-cache v2`) — a length-prefixed binary
+//!   record store with a sorted key index, written by
+//!   [`ResultCache::save_as`] with [`CacheFormat::V2`]. Floats are raw
+//!   IEEE-754 bits, keys raw UTF-8; loading needs no float parsing or
+//!   unescaping, which is what makes warm loads fast. Conversion
+//!   between the formats is lossless: `v1 → v2 → v1` reproduces the
+//!   original file bytes exactly.
+//!
+//! Under [`ResultCache::load`], unknown or corrupt lines (v1) and
+//! trailing malformed records (v2) are ignored — they simply become
+//! cache misses — so format evolution never poisons a run.
 //!
 //! The cache file is also the workspace's **shard interchange format**:
 //! `memstream_shard` workers each emit their slice of a grid as a cache
@@ -23,9 +35,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
 
 use memstream_core::Requirement;
@@ -35,6 +47,44 @@ use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 
 const HEADER: &str = "memstream-grid-cache v1";
+const HEADER_V2: &str = "memstream-grid-cache v2";
+/// The sniffable v2 magic: the header line including its terminator.
+const V2_MAGIC: &[u8] = b"memstream-grid-cache v2\n";
+
+/// Which on-disk encoding a [`ResultCache::save_as`] writes. Loading
+/// auto-detects, so the format is a producer-side choice only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheFormat {
+    /// The tab-separated text format (`memstream-grid-cache v1`): the
+    /// interchange default, diff-able and greppable.
+    #[default]
+    V1,
+    /// The length-prefixed binary format (`memstream-grid-cache v2`):
+    /// raw IEEE-754 floats and unescaped keys behind a sorted record
+    /// index — the fast warm-start encoding.
+    V2,
+}
+
+impl CacheFormat {
+    /// Parses a CLI flag value (`"v1"` / `"v2"`).
+    #[must_use]
+    pub fn parse_flag(s: &str) -> Option<Self> {
+        match s {
+            "v1" => Some(CacheFormat::V1),
+            "v2" => Some(CacheFormat::V2),
+            _ => None,
+        }
+    }
+
+    /// The CLI flag value this format parses from.
+    #[must_use]
+    pub fn flag(self) -> &'static str {
+        match self {
+            CacheFormat::V1 => "v1",
+            CacheFormat::V2 => "v2",
+        }
+    }
+}
 
 /// Why a strict cache read ([`ResultCache::load_strict`]) rejected a file.
 ///
@@ -51,9 +101,13 @@ pub enum CacheFileError {
         /// The header line actually found (empty for an empty file).
         found: String,
     },
-    /// A body line failed to parse as a cache entry.
+    /// A body line (v1) or record (v2) failed to parse as a cache entry.
     Malformed {
-        /// 1-based line number of the offending line.
+        /// 1-based position of the offending entry: the file line for
+        /// v1, and `record ordinal + 2` for v2 (so entry *n* reports the
+        /// same position in either encoding). Structural v2 damage —
+        /// a truncated count or a corrupt record index — reports as
+        /// position 1, the header's slot.
         line: usize,
     },
 }
@@ -64,7 +118,7 @@ impl fmt::Display for CacheFileError {
             CacheFileError::Io(e) => write!(f, "cache file unreadable: {e}"),
             CacheFileError::VersionMismatch { found } => write!(
                 f,
-                "cache version mismatch: expected `{HEADER}`, found `{found}`"
+                "cache version mismatch: expected `{HEADER}` or `{HEADER_V2}`, found `{found}`"
             ),
             CacheFileError::Malformed { line } => {
                 write!(f, "cache file line {line} is not a valid entry")
@@ -176,6 +230,7 @@ struct CacheTelemetry {
     merge_bytes: Counter,
     merge_span: SpanHandle,
     save_bytes: Counter,
+    v2_save_bytes: Counter,
     save_span: SpanHandle,
 }
 
@@ -191,6 +246,7 @@ impl CacheTelemetry {
             merge_bytes: metrics.counter("cache.merge_bytes"),
             merge_span: metrics.span("cache.merge"),
             save_bytes: metrics.counter("cache.save_bytes"),
+            v2_save_bytes: metrics.counter("cache.v2_save_bytes"),
             save_span: metrics.span("cache.save"),
         }
     }
@@ -215,22 +271,32 @@ impl ResultCache {
         self.telemetry = CacheTelemetry::resolve(metrics);
     }
 
-    /// Loads a cache file. A missing file yields an empty cache;
-    /// unparseable lines are skipped.
+    /// Loads a cache file, auto-detecting the format from its header
+    /// (text v1 or binary v2). A missing file yields an empty cache;
+    /// unparseable v1 lines are skipped and a malformed v2 record drops
+    /// it plus everything after it (the length-prefixed stream cannot be
+    /// resynchronised past damage).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors other than "not found".
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let text = match fs::read_to_string(path) {
-            Ok(text) => text,
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
             Err(e) => return Err(e),
         };
         let mut cache = ResultCache::new();
+        if bytes.starts_with(V2_MAGIC) {
+            cache.entries = parse_v2(&bytes, false).entries;
+            return Ok(cache);
+        }
+        // Unknown version or non-UTF-8 garbage: empty rather than failing.
+        let Ok(text) = std::str::from_utf8(&bytes) else {
+            return Ok(cache);
+        };
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
-            // Unknown version: treat as empty rather than failing the run.
             return Ok(cache);
         }
         for line in lines {
@@ -250,11 +316,34 @@ impl ResultCache {
     /// # Errors
     ///
     /// [`CacheFileError::Io`] on any read failure (including "not found"),
-    /// [`CacheFileError::VersionMismatch`] if the header line is not
-    /// `memstream-grid-cache v1`, and [`CacheFileError::Malformed`] on the
-    /// first line that fails to parse.
+    /// [`CacheFileError::VersionMismatch`] if the header line is neither
+    /// `memstream-grid-cache v1` nor `memstream-grid-cache v2`, and
+    /// [`CacheFileError::Malformed`] on the first entry that fails to
+    /// parse (for v2 this includes a count or record index that
+    /// disagrees with the records actually present).
     pub fn load_strict(path: impl AsRef<Path>) -> Result<Self, CacheFileError> {
-        let text = fs::read_to_string(path)?;
+        let bytes = fs::read(path)?;
+        let mut cache = ResultCache::new();
+        if bytes.starts_with(V2_MAGIC) {
+            let parsed = parse_v2(&bytes, true);
+            if let Some(line) = parsed.malformed {
+                return Err(CacheFileError::Malformed { line });
+            }
+            cache.entries = parsed.entries;
+            return Ok(cache);
+        }
+        let text = match String::from_utf8(bytes) {
+            Ok(text) => text,
+            Err(e) => {
+                // Binary, but not our magic: attribute by the bytes up to
+                // the first newline, rendered lossily.
+                let bytes = e.into_bytes();
+                let first = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+                return Err(CacheFileError::VersionMismatch {
+                    found: String::from_utf8_lossy(first).into_owned(),
+                });
+            }
+        };
         let mut lines = text.lines();
         let header = lines.next().unwrap_or_default();
         if header != HEADER {
@@ -262,7 +351,6 @@ impl ResultCache {
                 found: header.to_owned(),
             });
         }
-        let mut cache = ResultCache::new();
         for (i, line) in lines.enumerate() {
             let (key, outcome) =
                 parse_line(line).ok_or(CacheFileError::Malformed { line: i + 2 })?;
@@ -288,7 +376,8 @@ impl ResultCache {
     /// [`CacheConflict`] on the first (lowest-key) conflicting entry.
     pub fn merge(&mut self, other: &ResultCache) -> Result<MergeStats, CacheConflict> {
         let _merge_timer = self.telemetry.merge_span.start();
-        let mut keys: Vec<&String> = other.entries.keys().collect();
+        let mut keys: Vec<&String> = Vec::with_capacity(other.entries.len());
+        keys.extend(other.entries.keys());
         keys.sort();
         let mut stats = MergeStats::default();
         // Pass 1 — detect, without mutating. The conflict rule is
@@ -330,22 +419,78 @@ impl ResultCache {
         Ok(stats)
     }
 
-    /// Writes the cache to `path`, sorted by key for reproducible bytes.
+    /// Writes the cache to `path` in the v1 text format, sorted by key
+    /// for reproducible bytes. Shorthand for [`ResultCache::save_as`]
+    /// with [`CacheFormat::V1`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save_as(path, CacheFormat::V1)
+    }
+
+    /// Writes the cache to `path` in `format`, sorted by key for
+    /// reproducible bytes (both formats sort identically, so conversion
+    /// preserves entry order). Entries stream through a [`io::BufWriter`]
+    /// — the whole file is never materialised in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_as(&self, path: impl AsRef<Path>, format: CacheFormat) -> io::Result<()> {
         let _save_timer = self.telemetry.save_span.start();
-        let mut keys: Vec<&String> = self.entries.keys().collect();
+        let mut keys: Vec<&String> = Vec::with_capacity(self.entries.len());
+        keys.extend(self.entries.keys());
         keys.sort();
-        let mut out = String::new();
-        let _ = writeln!(out, "{HEADER}");
-        for key in keys {
-            let _ = writeln!(out, "{}", encode_line(key, &self.entries[key]));
+        let mut out = io::BufWriter::new(fs::File::create(path)?);
+        let written = match format {
+            CacheFormat::V1 => self.write_v1(&mut out, &keys)?,
+            CacheFormat::V2 => self.write_v2(&mut out, &keys)?,
+        };
+        out.flush()?;
+        self.telemetry.save_bytes.add(written);
+        if format == CacheFormat::V2 {
+            self.telemetry.v2_save_bytes.add(written);
         }
-        self.telemetry.save_bytes.add(out.len() as u64);
-        fs::write(path, out)
+        Ok(())
+    }
+
+    /// Streams the v1 text encoding, returning the bytes written.
+    fn write_v1(&self, out: &mut impl io::Write, keys: &[&String]) -> io::Result<u64> {
+        out.write_all(HEADER.as_bytes())?;
+        out.write_all(b"\n")?;
+        let mut written = HEADER.len() as u64 + 1;
+        for key in keys {
+            let line = encode_line(key, &self.entries[*key]);
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+            written += line.len() as u64 + 1;
+        }
+        Ok(written)
+    }
+
+    /// Streams the v2 binary encoding (records then index), returning
+    /// the bytes written.
+    fn write_v2(&self, out: &mut impl io::Write, keys: &[&String]) -> io::Result<u64> {
+        out.write_all(V2_MAGIC)?;
+        out.write_all(&(keys.len() as u64).to_le_bytes())?;
+        let mut offset = V2_MAGIC.len() as u64 + 8;
+        let mut index: Vec<u64> = Vec::with_capacity(keys.len());
+        for key in keys {
+            index.push(offset);
+            let body = encode_record(key, &self.entries[*key]);
+            let len = u32::try_from(body.len()).expect("cache record exceeds u32 length");
+            out.write_all(&len.to_le_bytes())?;
+            out.write_all(&body)?;
+            offset += 4 + body.len() as u64;
+        }
+        let index_offset = offset;
+        for record_offset in &index {
+            out.write_all(&record_offset.to_le_bytes())?;
+        }
+        out.write_all(&index_offset.to_le_bytes())?;
+        Ok(offset + 8 * (index.len() as u64 + 1))
     }
 
     /// Number of cached outcomes.
@@ -542,6 +687,238 @@ fn parse_line(line: &str) -> Option<(String, CellOutcome)> {
         _ => return None,
     };
     Some((unescape(key), outcome))
+}
+
+// ---------------------------------------------------------------------
+// The v2 binary encoding (docs/CACHE_FORMAT.md § "v2 binary format").
+// Scalars are little-endian; floats are raw IEEE-754 bits, so the
+// round-trip through v2 is exact by construction. Strings are
+// `u32 length + UTF-8 bytes`, unescaped. Each record is
+// `u32 body length + body`, body = `key string, tag byte, payload`.
+// ---------------------------------------------------------------------
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            push_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(
+        out,
+        u32::try_from(s.len()).expect("cache string exceeds u32 length"),
+    );
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes one entry's record body (everything after the length prefix).
+fn encode_record(key: &str, outcome: &CellOutcome) -> Vec<u8> {
+    let mut body = Vec::with_capacity(key.len() + 64);
+    push_str(&mut body, key);
+    match outcome {
+        CellOutcome::Feasible(p) => {
+            body.push(b'F');
+            push_f64(&mut body, p.buffer.bits());
+            push_str(&mut body, p.dominant);
+            push_opt_f64(&mut body, p.saving);
+            push_f64(&mut body, p.utilization.fraction());
+            push_f64(&mut body, p.lifetime.get());
+            push_opt_f64(
+                &mut body,
+                p.energy_per_bit.map(EnergyPerBit::joules_per_bit),
+            );
+        }
+        CellOutcome::Infeasible { region, detail } => {
+            body.push(b'X');
+            push_str(&mut body, region);
+            push_str(&mut body, detail);
+        }
+        CellOutcome::EnergyOnly(p) => {
+            body.push(b'D');
+            push_opt_f64(&mut body, p.break_even.map(DataSize::bits));
+            push_opt_f64(&mut body, p.buffer_for_saving.map(DataSize::bits));
+            push_opt_f64(&mut body, p.saving);
+        }
+        CellOutcome::Unmodelled { detail } => {
+            body.push(b'U');
+            push_str(&mut body, detail);
+        }
+    }
+    body
+}
+
+/// A bounds-checked cursor over a v2 byte stream. Every reader returns
+/// `None` past the end — truncation surfaces as a parse failure, never
+/// a panic.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn opt_f64(&mut self) -> Option<Option<f64>> {
+        match self.take(1)?[0] {
+            0 => Some(None),
+            1 => self.f64().map(Some),
+            _ => None,
+        }
+    }
+
+    fn str_slice(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.str_slice().map(str::to_owned)
+    }
+
+    /// A region/dominant label, interned to the evaluator's static set.
+    fn label(&mut self) -> Option<&'static str> {
+        self.str_slice().and_then(static_label)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Decodes one record body. Trailing garbage within the body rejects the
+/// record — the length prefix and the payload must agree exactly.
+fn decode_record(body: &[u8]) -> Option<(String, CellOutcome)> {
+    let mut r = ByteReader {
+        bytes: body,
+        pos: 0,
+    };
+    let key = r.string()?;
+    let outcome = match r.take(1)?[0] {
+        b'F' => CellOutcome::Feasible(PlannedPoint {
+            buffer: DataSize::from_bits(r.f64()?),
+            dominant: r.label()?,
+            saving: r.opt_f64()?,
+            utilization: Ratio::from_fraction(r.f64()?),
+            lifetime: Years::new(r.f64()?),
+            energy_per_bit: r.opt_f64()?.map(EnergyPerBit::from_joules_per_bit),
+        }),
+        b'X' => CellOutcome::Infeasible {
+            region: r.label()?,
+            detail: r.string()?,
+        },
+        b'D' => CellOutcome::EnergyOnly(EnergyOnlyPoint {
+            break_even: r.opt_f64()?.map(DataSize::from_bits),
+            buffer_for_saving: r.opt_f64()?.map(DataSize::from_bits),
+            saving: r.opt_f64()?,
+        }),
+        b'U' => CellOutcome::Unmodelled {
+            detail: r.string()?,
+        },
+        _ => return None,
+    };
+    r.done().then_some((key, outcome))
+}
+
+/// The result of scanning a v2 file: every entry parsed before the first
+/// malformation, and where that malformation sits (`None` for a clean
+/// file). The lenient loader keeps the prefix; the strict loader turns
+/// `malformed` into a [`CacheFileError::Malformed`].
+///
+/// Entries land directly in the cache's map shape, pre-sized from the
+/// header count — the binary format knows its cardinality up front, so
+/// a v2 load never rehashes (an edge the line-at-a-time v1 parse cannot
+/// have).
+struct V2Parse {
+    entries: HashMap<String, CellOutcome>,
+    malformed: Option<usize>,
+}
+
+/// Scans the records of a v2 file (`bytes` starts with [`V2_MAGIC`]).
+/// With `verify_index`, the trailing record index must agree with the
+/// records actually present and the file must end exactly after it.
+fn parse_v2(bytes: &[u8], verify_index: bool) -> V2Parse {
+    let mut r = ByteReader {
+        bytes,
+        pos: V2_MAGIC.len(),
+    };
+    let Some(count) = r.u64().and_then(|c| usize::try_from(c).ok()) else {
+        return V2Parse {
+            entries: HashMap::new(),
+            malformed: Some(1),
+        };
+    };
+    // Pre-size against the honest minimum record footprint, so a hostile
+    // count cannot balloon the allocation past the actual file size.
+    let mut entries = HashMap::with_capacity(count.min(bytes.len() / 10));
+    let mut offsets: Vec<u64> = Vec::with_capacity(if verify_index { count } else { 0 });
+    for ordinal in 0..count {
+        let record_start = r.pos as u64;
+        let entry = r
+            .u32()
+            .and_then(|len| r.take(len as usize))
+            .and_then(decode_record);
+        match entry {
+            Some((key, outcome)) => {
+                if verify_index {
+                    offsets.push(record_start);
+                }
+                entries.insert(key, outcome);
+            }
+            None => {
+                return V2Parse {
+                    entries,
+                    malformed: Some(ordinal + 2),
+                }
+            }
+        }
+    }
+    if verify_index {
+        let index_offset = r.pos as u64;
+        let clean = offsets.iter().all(|expected| r.u64() == Some(*expected))
+            && r.u64() == Some(index_offset)
+            && r.done();
+        if !clean {
+            return V2Parse {
+                entries,
+                malformed: Some(1),
+            };
+        }
+    }
+    V2Parse {
+        entries,
+        malformed: None,
+    }
 }
 
 #[cfg(test)]
@@ -797,6 +1174,151 @@ mod tests {
             ResultCache::load_strict(temp_path("strict-missing.cache")).unwrap_err(),
             CacheFileError::Io(_)
         ));
+    }
+
+    /// A cache holding every outcome kind plus hostile keys/details —
+    /// the conversion fixtures.
+    fn hostile_cache() -> ResultCache {
+        let grid = ScenarioGrid::paper_baseline(4);
+        let mut cache = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut cache)
+            .unwrap();
+        cache.insert(
+            "key\twith\ttabs\nand\\newlines".to_owned(),
+            CellOutcome::Infeasible {
+                region: "X",
+                detail: "tab\there\nnewline\\backslash".to_owned(),
+            },
+        );
+        cache.insert(
+            "unmodelled".to_owned(),
+            CellOutcome::Unmodelled {
+                detail: "missing capability: wear".to_owned(),
+            },
+        );
+        cache.insert(
+            "energy-only".to_owned(),
+            CellOutcome::EnergyOnly(EnergyOnlyPoint {
+                break_even: Some(DataSize::from_kibibytes(3.5)),
+                buffer_for_saving: None,
+                saving: Some(0.5),
+            }),
+        );
+        cache
+    }
+
+    #[test]
+    fn v2_save_load_round_trips_in_both_readers() {
+        let path = temp_path("v2-roundtrip.cache");
+        let cache = hostile_cache();
+        cache.save_as(&path, CacheFormat::V2).unwrap();
+        assert!(
+            fs::read(&path).unwrap().starts_with(V2_MAGIC),
+            "v2 files carry the sniffable magic"
+        );
+        for loaded in [
+            ResultCache::load(&path).unwrap(),
+            ResultCache::load_strict(&path).unwrap(),
+        ] {
+            assert_eq!(loaded.len(), cache.len());
+            for key in cache.keys() {
+                assert_eq!(loaded.get(key), cache.get(key), "drift under key {key}");
+            }
+        }
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn v1_v2_v1_conversion_is_byte_identical() {
+        let (p1, p2, p3) = (
+            temp_path("convert-a.cache"),
+            temp_path("convert-b.cache"),
+            temp_path("convert-c.cache"),
+        );
+        let cache = hostile_cache();
+        cache.save_as(&p1, CacheFormat::V1).unwrap();
+        ResultCache::load_strict(&p1)
+            .unwrap()
+            .save_as(&p2, CacheFormat::V2)
+            .unwrap();
+        ResultCache::load_strict(&p2)
+            .unwrap()
+            .save_as(&p3, CacheFormat::V1)
+            .unwrap();
+        assert_eq!(
+            fs::read(&p1).unwrap(),
+            fs::read(&p3).unwrap(),
+            "v1 → v2 → v1 must reproduce the original file bytes"
+        );
+        // And converting the same entries twice gives identical v2 bytes.
+        let p4 = temp_path("convert-d.cache");
+        cache.save_as(&p4, CacheFormat::V2).unwrap();
+        assert_eq!(fs::read(&p2).unwrap(), fs::read(&p4).unwrap());
+        for p in [p1, p2, p3, p4] {
+            fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn v2_lenient_load_keeps_the_prefix_of_a_truncated_file() {
+        let path = temp_path("v2-truncated.cache");
+        let mut cache = ResultCache::new();
+        for key in ["a", "b", "c"] {
+            cache.insert(
+                key.to_owned(),
+                CellOutcome::Unmodelled {
+                    detail: format!("detail {key}"),
+                },
+            );
+        }
+        cache.save_as(&path, CacheFormat::V2).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Keep the magic, the count and the first record only.
+        let first_len = u32::from_le_bytes(
+            bytes[V2_MAGIC.len() + 8..V2_MAGIC.len() + 12]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        fs::write(&path, &bytes[..V2_MAGIC.len() + 8 + 4 + first_len]).unwrap();
+
+        let lenient = ResultCache::load(&path).unwrap();
+        assert_eq!(lenient.len(), 1, "the intact prefix survives");
+        assert!(lenient.contains_key("a"), "records sort by key");
+        match ResultCache::load_strict(&path).unwrap_err() {
+            CacheFileError::Malformed { line } => assert_eq!(line, 3, "second record, slot 3"),
+            other => panic!("expected malformed record, got {other}"),
+        }
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn v2_strict_load_verifies_the_record_index() {
+        let path = temp_path("v2-bad-index.cache");
+        hostile_cache().save_as(&path, CacheFormat::V2).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        // The records themselves are intact: the lenient reader (which
+        // never consults the index) still loads everything.
+        assert_eq!(
+            ResultCache::load(&path).unwrap().len(),
+            hostile_cache().len()
+        );
+        match ResultCache::load_strict(&path).unwrap_err() {
+            CacheFileError::Malformed { line } => assert_eq!(line, 1, "structural damage"),
+            other => panic!("expected malformed index, got {other}"),
+        }
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn cache_format_flags_round_trip() {
+        for format in [CacheFormat::V1, CacheFormat::V2] {
+            assert_eq!(CacheFormat::parse_flag(format.flag()), Some(format));
+        }
+        assert_eq!(CacheFormat::parse_flag("v3"), None);
+        assert_eq!(CacheFormat::default(), CacheFormat::V1);
     }
 
     #[test]

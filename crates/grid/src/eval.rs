@@ -4,7 +4,7 @@
 //! what lets the executor fan cells out across threads and still promise
 //! byte-identical results.
 
-use memstream_core::{AnalyticModel, CapabilityModel, EnergyModel, ModelError};
+use memstream_core::{CapabilityModel, EnergyModel, ModelError};
 use memstream_device::DramModel;
 use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 
@@ -102,6 +102,12 @@ impl CellOutcome {
 
 /// Evaluates one cell of `grid`, dispatching on the capabilities the
 /// cell's device exposes. Pure: equal inputs give equal outputs.
+///
+/// This is the *reference* evaluator: the executor's hot path runs the
+/// series-batched [`crate::series::evaluate_series`], whose equivalence
+/// tests pin it to this function bit for bit. The model stack here (and
+/// the DRAM model) is rebuilt per cell — correct, simple, slow.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn evaluate(grid: &ScenarioGrid, cell: &GridCell) -> CellOutcome {
     let rate = grid.rates()[cell.rate];
     let goal = &grid.goals()[cell.goal];
@@ -155,7 +161,7 @@ pub(crate) fn evaluate(grid: &ScenarioGrid, cell: &GridCell) -> CellOutcome {
     }
 }
 
-fn infeasible_region(err: &ModelError) -> &'static str {
+pub(crate) fn infeasible_region(err: &ModelError) -> &'static str {
     match err {
         ModelError::InfeasibleGoal { requirement, .. } => requirement.label(),
         _ => "X",

@@ -4,30 +4,86 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
-use memstream_telemetry::Metrics;
+use memstream_telemetry::{Counter, Metrics, SpanHandle};
 
 use crate::cache::ResultCache;
-use crate::eval::{evaluate, CellOutcome};
+use crate::eval::CellOutcome;
+use crate::key::KeyInterner;
+use crate::series::{evaluate_series, plan_series, Series};
 use crate::spec::{GridCell, GridError, ScenarioGrid};
 use crate::store::{pareto_frontier, ParetoPoint, ResultStore};
 
 /// Explores a [`ScenarioGrid`] on a fixed number of worker threads.
 ///
-/// Workers pull cells from a shared atomic cursor (cheap work stealing:
-/// an idle worker immediately claims the next unevaluated job, so uneven
-/// cell costs cannot idle a core). Results carry their job index, are
-/// re-ordered on collection, and evaluation is pure — so the transcript
-/// of any run is byte-identical to [`GridExecutor::serial`].
+/// Workers pull rate-axis *series* from a shared atomic cursor (cheap
+/// work stealing: an idle worker immediately claims the next unevaluated
+/// series, so uneven costs cannot idle a core). Each series builds its
+/// capability model once and sweeps the rates against it
+/// (the crate's private `series` module); results carry their job
+/// indices, are re-ordered
+/// on collection, and evaluation is pure — so the transcript of any run
+/// is byte-identical to [`GridExecutor::serial`].
 ///
 /// An executor carries a [`Metrics`] handle (disabled by default, see
 /// [`GridExecutor::with_metrics`]) and records the `grid.*` catalogue of
-/// `docs/OBSERVABILITY.md`: cell counts, per-worker evaluation tallies
-/// and the explore/eval/assemble wall-clock breakdown. Telemetry never
-/// touches the results, so instrumented and bare runs stay byte-identical.
+/// `docs/OBSERVABILITY.md`: cell/series counts, per-worker evaluation
+/// tallies and the explore/eval/assemble wall-clock breakdown. Counter
+/// and span handles are resolved **once per executor** — the explore and
+/// fan-out loops never take the registry lock. Telemetry never touches
+/// the results, so instrumented and bare runs stay byte-identical.
 #[derive(Debug, Clone)]
 pub struct GridExecutor {
     threads: usize,
     metrics: Metrics,
+    telemetry: ExecTelemetry,
+}
+
+/// The executor's pre-resolved telemetry handles. The default (for a
+/// disabled registry) is all no-ops.
+#[derive(Debug, Clone, Default)]
+struct ExecTelemetry {
+    explore_span: SpanHandle,
+    eval_span: SpanHandle,
+    assemble_span: SpanHandle,
+    cells_total: Counter,
+    cells_unique: Counter,
+    cells_evaluated: Counter,
+    series_built: Counter,
+    models_reused: Counter,
+    interner_keys: Counter,
+    /// One handle per worker slot, indexed by worker id.
+    worker_cells: Vec<Counter>,
+}
+
+impl ExecTelemetry {
+    /// Resolves every handle the executor will ever use, including the
+    /// per-worker tallies for all `threads` slots (replacing the old
+    /// per-fan-out `format!("grid.worker.{i}.cells")` lookups).
+    fn resolve(metrics: &Metrics, threads: usize) -> Self {
+        if !metrics.is_enabled() {
+            return ExecTelemetry::default();
+        }
+        ExecTelemetry {
+            explore_span: metrics.span("grid.explore"),
+            eval_span: metrics.span("grid.eval"),
+            assemble_span: metrics.span("grid.assemble"),
+            cells_total: metrics.counter("grid.cells_total"),
+            cells_unique: metrics.counter("grid.cells_unique"),
+            cells_evaluated: metrics.counter("grid.cells_evaluated"),
+            series_built: metrics.counter("grid.series_built"),
+            models_reused: metrics.counter("grid.models_reused"),
+            interner_keys: metrics.counter("grid.interner.keys"),
+            worker_cells: (0..threads)
+                .map(|i| metrics.counter(&format!("grid.worker.{i}.cells")))
+                .collect(),
+        }
+    }
+
+    /// The tally handle of worker `i` (no-op when out of range, i.e. on
+    /// a disabled registry).
+    fn worker(&self, i: usize) -> Counter {
+        self.worker_cells.get(i).cloned().unwrap_or_default()
+    }
 }
 
 impl GridExecutor {
@@ -37,6 +93,7 @@ impl GridExecutor {
         GridExecutor {
             threads: 1,
             metrics: Metrics::disabled(),
+            telemetry: ExecTelemetry::default(),
         }
     }
 
@@ -52,15 +109,18 @@ impl GridExecutor {
         GridExecutor {
             threads,
             metrics: Metrics::disabled(),
+            telemetry: ExecTelemetry::default(),
         }
     }
 
     /// The same executor reporting into `metrics` (a cheap shared
     /// handle; clones of this executor keep reporting into the same
-    /// registry).
+    /// registry). Telemetry handles resolve here, once — not per
+    /// exploration.
     #[must_use]
     pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
         self.metrics = metrics.clone();
+        self.telemetry = ExecTelemetry::resolve(metrics, self.threads);
         self
     }
 
@@ -83,25 +143,18 @@ impl GridExecutor {
     ///
     /// [`GridError::EmptyAxis`] if any axis of the grid is empty.
     pub fn explore(&self, grid: &ScenarioGrid) -> Result<GridResults, GridError> {
-        memstream_telemetry::span!(self.metrics, "grid.explore");
+        let _explore = self.telemetry.explore_span.start();
         grid.check_axes()?;
-        let (job_cells, cell_to_job) = ResultStore::plan(grid);
-        self.metrics
-            .counter("grid.cells_total")
-            .add(cell_to_job.len() as u64);
-        self.metrics
-            .counter("grid.cells_unique")
-            .add(job_cells.len() as u64);
+        let interner = KeyInterner::new(grid);
+        let (job_cells, cell_to_job) = ResultStore::plan_with(grid, &interner);
+        self.telemetry.cells_total.add(cell_to_job.len() as u64);
+        self.telemetry.cells_unique.add(job_cells.len() as u64);
+        self.telemetry
+            .interner_keys
+            .add(interner.interned_strings() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
-        let outcomes = evaluate_jobs(grid, &job_cells, workers, &self.metrics);
-        Ok(assemble(
-            grid,
-            cell_to_job,
-            job_cells,
-            outcomes,
-            workers,
-            &self.metrics,
-        ))
+        let outcomes = self.evaluate_jobs(grid, &job_cells, workers);
+        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers))
     }
 
     /// Like [`GridExecutor::explore`], but resolves every job against
@@ -109,6 +162,10 @@ impl GridExecutor {
     /// them back into the cache. Because cached outcomes round-trip
     /// exactly, the results — and every report rendered from them — are
     /// byte-identical to an uncached exploration.
+    ///
+    /// Cache keys are interned [`crate::CellKey`]s resolved into one
+    /// reused string buffer; the canonical bytes match the legacy
+    /// [`ScenarioGrid::dedup_key`] exactly, so v1 cache files stay valid.
     ///
     /// # Errors
     ///
@@ -118,22 +175,24 @@ impl GridExecutor {
         grid: &ScenarioGrid,
         cache: &mut ResultCache,
     ) -> Result<GridResults, GridError> {
-        memstream_telemetry::span!(self.metrics, "grid.explore");
+        let _explore = self.telemetry.explore_span.start();
         grid.check_axes()?;
-        let (job_cells, cell_to_job) = ResultStore::plan(grid);
-        self.metrics
-            .counter("grid.cells_total")
-            .add(cell_to_job.len() as u64);
-        self.metrics
-            .counter("grid.cells_unique")
-            .add(job_cells.len() as u64);
+        let interner = KeyInterner::new(grid);
+        let (job_cells, cell_to_job) = ResultStore::plan_with(grid, &interner);
+        self.telemetry.cells_total.add(cell_to_job.len() as u64);
+        self.telemetry.cells_unique.add(job_cells.len() as u64);
+        self.telemetry
+            .interner_keys
+            .add(interner.interned_strings() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
 
         let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(job_cells.len());
         let mut miss_slots: Vec<usize> = Vec::new();
         let mut miss_cells: Vec<GridCell> = Vec::new();
+        let mut key_buf = String::new();
         for (slot, cell) in job_cells.iter().enumerate() {
-            match cache.lookup(&grid.dedup_key(cell)) {
+            interner.resolve_into(interner.key(cell), &mut key_buf);
+            match cache.lookup(&key_buf) {
                 Some(outcome) => outcomes.push(Some(outcome)),
                 None => {
                     outcomes.push(None);
@@ -143,14 +202,9 @@ impl GridExecutor {
             }
         }
 
-        let fresh = evaluate_jobs(
-            grid,
-            &miss_cells,
-            workers.min(miss_cells.len()).max(1),
-            &self.metrics,
-        );
+        let fresh = self.evaluate_jobs(grid, &miss_cells, workers.min(miss_cells.len()).max(1));
         for ((slot, cell), outcome) in miss_slots.into_iter().zip(&miss_cells).zip(fresh) {
-            cache.insert(grid.dedup_key(cell), outcome.clone());
+            cache.insert(interner.resolve(interner.key(cell)), outcome.clone());
             outcomes[slot] = Some(outcome);
         }
 
@@ -158,14 +212,7 @@ impl GridExecutor {
             .into_iter()
             .map(|o| o.expect("every job is cached or evaluated"))
             .collect();
-        Ok(assemble(
-            grid,
-            cell_to_job,
-            job_cells,
-            outcomes,
-            workers,
-            &self.metrics,
-        ))
+        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers))
     }
 
     /// Resolves an explicit list of cells against `cache`: cached cells
@@ -176,103 +223,125 @@ impl GridExecutor {
     /// [`ScenarioGrid::unique_cells`](crate::ScenarioGrid::unique_cells)
     /// for the canonical slicing domain).
     pub fn resolve_cells(&self, grid: &ScenarioGrid, cells: &[GridCell], cache: &mut ResultCache) {
-        memstream_telemetry::span!(self.metrics, "grid.explore");
-        self.metrics
-            .counter("grid.cells_total")
-            .add(cells.len() as u64);
+        let _explore = self.telemetry.explore_span.start();
+        self.telemetry.cells_total.add(cells.len() as u64);
+        let interner = KeyInterner::new(grid);
+        self.telemetry
+            .interner_keys
+            .add(interner.interned_strings() as u64);
         let mut miss_cells: Vec<GridCell> = Vec::new();
+        let mut key_buf = String::new();
         for cell in cells {
-            if cache.lookup(&grid.dedup_key(cell)).is_none() {
+            interner.resolve_into(interner.key(cell), &mut key_buf);
+            if cache.lookup(&key_buf).is_none() {
                 miss_cells.push(*cell);
             }
         }
         let workers = self.threads.min(miss_cells.len()).max(1);
-        let fresh = evaluate_jobs(grid, &miss_cells, workers, &self.metrics);
+        let fresh = self.evaluate_jobs(grid, &miss_cells, workers);
         for (cell, outcome) in miss_cells.iter().zip(fresh) {
-            cache.insert(grid.dedup_key(cell), outcome);
+            cache.insert(interner.resolve(interner.key(cell)), outcome);
+        }
+    }
+
+    /// Evaluates `jobs` serially or fanned out, per `workers`, through
+    /// the series planner: one capability model per rate-axis series.
+    fn evaluate_jobs(
+        &self,
+        grid: &ScenarioGrid,
+        jobs: &[GridCell],
+        workers: usize,
+    ) -> Vec<CellOutcome> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let _eval = self.telemetry.eval_span.start();
+        self.telemetry.cells_evaluated.add(jobs.len() as u64);
+        let series = plan_series(jobs);
+        self.telemetry.series_built.add(series.len() as u64);
+        self.telemetry
+            .models_reused
+            .add((jobs.len() - series.len()) as u64);
+        if workers == 1 {
+            self.telemetry.worker(0).add(jobs.len() as u64);
+            let mut slots: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
+            for s in &series {
+                for (job, outcome) in evaluate_series(grid, s) {
+                    slots[job] = Some(outcome);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|o| o.expect("series cover the job list"))
+                .collect()
+        } else {
+            fan_out(grid, jobs.len(), &series, workers, &self.telemetry)
+        }
+    }
+
+    /// Folds evaluated job outcomes into the final results record.
+    fn assemble(
+        &self,
+        grid: &ScenarioGrid,
+        cell_to_job: Vec<usize>,
+        job_cells: Vec<GridCell>,
+        outcomes: Vec<CellOutcome>,
+        workers: usize,
+    ) -> GridResults {
+        let _assemble = self.telemetry.assemble_span.start();
+        let store = ResultStore::new(cell_to_job, job_cells, outcomes);
+        let frontier = pareto_frontier(&store);
+        GridResults {
+            grid: grid.clone(),
+            store,
+            frontier,
+            workers,
         }
     }
 }
 
-/// Evaluates `jobs` serially or fanned out, per `workers`.
-fn evaluate_jobs(
-    grid: &ScenarioGrid,
-    jobs: &[GridCell],
-    workers: usize,
-    metrics: &Metrics,
-) -> Vec<CellOutcome> {
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    memstream_telemetry::span!(metrics, "grid.eval");
-    metrics
-        .counter("grid.cells_evaluated")
-        .add(jobs.len() as u64);
-    if workers == 1 {
-        metrics
-            .counter("grid.worker.0.cells")
-            .add(jobs.len() as u64);
-        jobs.iter().map(|c| evaluate(grid, c)).collect()
-    } else {
-        fan_out(grid, jobs, workers, metrics)
-    }
-}
-
-/// Folds evaluated job outcomes into the final results record.
-fn assemble(
-    grid: &ScenarioGrid,
-    cell_to_job: Vec<usize>,
-    job_cells: Vec<GridCell>,
-    outcomes: Vec<CellOutcome>,
-    workers: usize,
-    metrics: &Metrics,
-) -> GridResults {
-    memstream_telemetry::span!(metrics, "grid.assemble");
-    let store = ResultStore::new(cell_to_job, job_cells, outcomes);
-    let frontier = pareto_frontier(&store);
-    GridResults {
-        grid: grid.clone(),
-        store,
-        frontier,
-        workers,
-    }
-}
-
-/// Evaluates `jobs` on `workers` threads, returning outcomes in job order.
+/// Evaluates the planned `series` on `workers` threads, returning
+/// outcomes in job order (`n_jobs` slots).
 ///
-/// Each worker tallies its evaluated cells in a thread-local count and
-/// publishes once on exit into `grid.worker.{i}.cells` — the hot loop
-/// performs no shared-memory telemetry traffic.
+/// Workers claim whole series from the cursor and send one batched
+/// result vector per series; each worker tallies its evaluated cells in
+/// a thread-local count and publishes once on exit into
+/// `grid.worker.{i}.cells` — the hot loop performs no shared-memory
+/// telemetry traffic and one channel send per *series*, not per cell.
 fn fan_out(
     grid: &ScenarioGrid,
-    jobs: &[GridCell],
+    n_jobs: usize,
+    series: &[Series],
     workers: usize,
-    metrics: &Metrics,
+    telemetry: &ExecTelemetry,
 ) -> Vec<CellOutcome> {
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
+    let (tx, rx) = mpsc::channel::<Vec<(usize, CellOutcome)>>();
     thread::scope(|scope| {
         for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
-            let tally = metrics.counter(&format!("grid.worker.{worker}.cells"));
+            let tally = telemetry.worker(worker);
             scope.spawn(move || {
                 let mut evaluated: u64 = 0;
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = jobs.get(i) else { break };
-                    if tx.send((i, evaluate(grid, cell))).is_err() {
+                    let Some(s) = series.get(i) else { break };
+                    let batch = evaluate_series(grid, s);
+                    evaluated += batch.len() as u64;
+                    if tx.send(batch).is_err() {
                         break;
                     }
-                    evaluated += 1;
                 }
                 tally.add(evaluated);
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
-        for (i, outcome) in rx {
-            slots[i] = Some(outcome);
+        let mut slots: Vec<Option<CellOutcome>> = vec![None; n_jobs];
+        for batch in rx {
+            for (job, outcome) in batch {
+                slots[job] = Some(outcome);
+            }
         }
         slots
             .into_iter()
@@ -394,6 +463,35 @@ mod tests {
         for i in 0..10 {
             assert_eq!(results.outcome(i), results.outcome(10 + i));
         }
+    }
+
+    #[test]
+    fn telemetry_counts_series_and_reused_models() {
+        let metrics = Metrics::enabled();
+        let grid = ScenarioGrid::paper_baseline(8);
+        let results = GridExecutor::parallel(3)
+            .with_metrics(&metrics)
+            .explore(&grid)
+            .unwrap();
+        let snapshot = metrics.snapshot();
+        let series = snapshot.counter("grid.series_built").unwrap();
+        let reused = snapshot.counter("grid.models_reused").unwrap();
+        assert!(series > 0, "series planner ran");
+        assert_eq!(
+            series + reused,
+            results.unique_evaluations() as u64,
+            "every unique cell is either a series representative or a model reuse"
+        );
+        assert!(snapshot.counter("grid.interner.keys").unwrap() > 0);
+        // Per-worker tallies must sum to the evaluated cells.
+        let workers: u64 = (0..3)
+            .map(|i| {
+                snapshot
+                    .counter(&format!("grid.worker.{i}.cells"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(workers, results.unique_evaluations() as u64);
     }
 
     #[test]

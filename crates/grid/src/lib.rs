@@ -51,17 +51,20 @@
 mod cache;
 mod eval;
 mod exec;
+mod key;
 pub mod report;
+mod series;
 mod spec;
 mod store;
 mod validate;
 
-pub use cache::{CacheConflict, CacheFileError, MergeStats, ResultCache};
+pub use cache::{CacheConflict, CacheFileError, CacheFormat, MergeStats, ResultCache};
 // The instrumentation layer, re-exported so downstream crates (refine,
 // shard, the harness) can thread one `Metrics` registry through an
 // executor without naming the telemetry crate themselves.
 pub use eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
 pub use exec::{GridExecutor, GridResults};
+pub use key::{CellKey, KeyInterner};
 pub use memstream_telemetry as telemetry;
 pub use memstream_telemetry::Metrics;
 pub use spec::{DeviceEntry, GridCell, GridError, ScenarioGrid, WorkloadProfile};

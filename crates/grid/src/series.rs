@@ -1,0 +1,318 @@
+//! Series-batched evaluation: the executor's hot path.
+//!
+//! [`crate::eval::evaluate`] rebuilds the capability model — device
+//! validation, DRAM model, capability discovery — for every cell, even
+//! though only the *rate* axis varies within a `(device, workload, goal)`
+//! group. A [`SeriesPlan`] groups the deduplicated job list by those three
+//! axes; [`evaluate_series`] then constructs the model **once per series**
+//! and sweeps the rates against the reused device intermediates, building
+//! a single [`BufferDimensioner`](memstream_core::BufferDimensioner) per
+//! rate instead of one model stack per metric.
+//!
+//! For the registered concrete devices (MEMS, disk, flash) the series
+//! model is **monomorphized** via [`StorageDevice::as_any`]: the sweep
+//! runs on `CapabilityModel<MemsDevice, MemsDevice>` (etc.) with static
+//! dispatch instead of `&dyn` capability calls. The arithmetic is
+//! identical either way (IEEE f64 is deterministic under
+//! monomorphization), and the executor's `parallel_matches_serial_exactly`
+//! plus this module's equivalence tests pin the outputs to
+//! [`crate::eval::evaluate`] bit for bit.
+
+use memstream_core::{CapabilityModel, DesignGoal, EnergyModel, ModelError};
+use memstream_device::{
+    DiskDevice, DramModel, EnergyModelled, FlashDevice, MemsDevice, StorageDevice, WearModelled,
+};
+use memstream_workload::Workload;
+
+use crate::eval::{infeasible_region, CellOutcome, EnergyOnlyPoint, PlannedPoint};
+use crate::spec::{GridCell, ScenarioGrid};
+
+/// One rate-axis series of the job list: every job sharing a
+/// `(device, workload, goal)` axis triple, in job order.
+#[derive(Debug, Clone)]
+pub(crate) struct Series {
+    device: usize,
+    workload: usize,
+    goal: usize,
+    /// `(job index, rate axis index)` of each member.
+    jobs: Vec<(usize, usize)>,
+}
+
+impl Series {
+    /// Number of jobs this series evaluates.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// Groups `jobs` (dedup representatives, in canonical job order) into
+/// rate-axis series.
+///
+/// Representatives are first occurrences in canonical order (device
+/// outermost, goal innermost), so each one carries the *minimal* raw
+/// index per axis for its class — two jobs with equal device/workload/
+/// goal classes therefore share raw indices, and grouping by raw index
+/// is exactly grouping by content class.
+pub(crate) fn plan_series(jobs: &[GridCell]) -> Vec<Series> {
+    let mut series: Vec<Series> = Vec::new();
+    let mut last: Option<usize> = None;
+    for (index, cell) in jobs.iter().enumerate() {
+        // Jobs arrive sorted by (device, workload, rate, goal); a series
+        // keyed on (device, workload, goal) is contiguous only when the
+        // goal axis has one class, so fall back to a linear probe over
+        // the (short) tail of open series.
+        let matches = |s: &Series| {
+            s.device == cell.device && s.workload == cell.workload && s.goal == cell.goal
+        };
+        let slot = match last {
+            Some(i) if matches(&series[i]) => Some(i),
+            _ => series.iter().rposition(matches),
+        };
+        let slot = match slot {
+            Some(i) => i,
+            None => {
+                series.push(Series {
+                    device: cell.device,
+                    workload: cell.workload,
+                    goal: cell.goal,
+                    jobs: Vec::new(),
+                });
+                series.len() - 1
+            }
+        };
+        series[slot].jobs.push((index, cell.rate));
+        last = Some(slot);
+    }
+    series
+}
+
+/// The per-series model, built once and swept over rates.
+enum SeriesModel<'a> {
+    /// Monomorphized fast paths for the registered concrete devices.
+    Mems(CapabilityModel<'a, MemsDevice, MemsDevice>),
+    Disk(CapabilityModel<'a, DiskDevice, DiskDevice>),
+    Flash(CapabilityModel<'a, FlashDevice, FlashDevice>),
+    /// Unregistered full-pipeline devices keep the `&dyn` path.
+    Dyn(CapabilityModel<'a>),
+    /// The device only exposes energy (the classic 1.8″ disk mask).
+    EnergyOnly(&'a dyn EnergyModelled),
+    /// No usable capability; the (rate-independent) detail string.
+    Unmodelled(String),
+}
+
+/// Builds the series model for `device`, monomorphizing when the concrete
+/// type is registered. The capability checks and error strings are
+/// identical on every path, so the fallback classification matches
+/// [`crate::eval::evaluate`] exactly.
+fn build_model<'a>(
+    grid: &'a ScenarioGrid,
+    device: &'a dyn StorageDevice,
+    workload: Workload,
+    dram: Option<DramModel>,
+) -> SeriesModel<'a> {
+    let policy = grid.best_effort_policy();
+    if let Some(any) = device.as_any() {
+        if let Some(mems) = any.downcast_ref::<MemsDevice>() {
+            return match CapabilityModel::from_device(mems, workload, dram, policy) {
+                Ok(model) => SeriesModel::Mems(model),
+                Err(err) => degraded(device, &err),
+            };
+        }
+        if let Some(disk) = any.downcast_ref::<DiskDevice>() {
+            return match CapabilityModel::from_device(disk, workload, dram, policy) {
+                Ok(model) => SeriesModel::Disk(model),
+                Err(err) => degraded(device, &err),
+            };
+        }
+        if let Some(flash) = any.downcast_ref::<FlashDevice>() {
+            return match CapabilityModel::from_device(flash, workload, dram, policy) {
+                Ok(model) => SeriesModel::Flash(model),
+                Err(err) => degraded(device, &err),
+            };
+        }
+    }
+    match CapabilityModel::new(device, workload, dram, policy) {
+        Ok(model) => SeriesModel::Dyn(model),
+        Err(err) => degraded(device, &err),
+    }
+}
+
+/// The fallback classification of [`crate::eval::evaluate`]: genuinely
+/// missing capabilities demote to the energy-only path when the device
+/// speaks energy at all; anything else (including malformed capability
+/// payloads) stays visible as unmodelled.
+fn degraded<'a>(device: &'a dyn StorageDevice, err: &ModelError) -> SeriesModel<'a> {
+    match err {
+        ModelError::MissingCapability { .. } => match device.energy() {
+            Some(energy_device) => SeriesModel::EnergyOnly(energy_device),
+            None => SeriesModel::Unmodelled(err.to_string()),
+        },
+        invalid => SeriesModel::Unmodelled(invalid.to_string()),
+    }
+}
+
+/// One full-pipeline cell at `rate`, on a series model of any dispatch
+/// flavour. One dimensioner serves every metric of the planned point.
+fn eval_full<E, W>(
+    model: &CapabilityModel<'_, E, W>,
+    goal: &DesignGoal,
+    rate: memstream_units::BitRate,
+) -> CellOutcome
+where
+    E: EnergyModelled + ?Sized,
+    W: WearModelled + ?Sized,
+{
+    let at_rate = model.with_rate(rate);
+    let dim = at_rate.dimensioner();
+    match dim.dimension(goal) {
+        Ok(plan) => {
+            let b = plan.buffer();
+            CellOutcome::Feasible(PlannedPoint {
+                buffer: b,
+                dominant: plan.dominant().label(),
+                saving: dim.energy().saving(b).ok(),
+                utilization: dim.capacity().utilization(b),
+                lifetime: dim.lifetime().device_lifetime(b),
+                energy_per_bit: dim.energy().per_bit_energy(b).ok(),
+            })
+        }
+        Err(err) => CellOutcome::Infeasible {
+            region: infeasible_region(&err),
+            detail: err.to_string(),
+        },
+    }
+}
+
+/// Evaluates every job of `series`, returning `(job index, outcome)`
+/// pairs in member order. Bit-identical to calling
+/// [`crate::eval::evaluate`] on each member's cell.
+pub(crate) fn evaluate_series(grid: &ScenarioGrid, series: &Series) -> Vec<(usize, CellOutcome)> {
+    let device = grid.devices()[series.device].device();
+    let goal = &grid.goals()[series.goal];
+    let base = grid.workloads()[series.workload].workload();
+    let rates = grid.rates();
+    let dram = grid.dram_enabled().then(DramModel::micron_ddr_mobile);
+
+    // The model validates against the first member's rate — capability
+    // discovery and validation are rate-independent, so any member works;
+    // sweeping then re-rates the shared model per cell.
+    let first_rate = rates[series.jobs[0].1];
+    let model = build_model(grid, device, base.with_rate(first_rate), dram);
+
+    series
+        .jobs
+        .iter()
+        .map(|&(job, rate_idx)| {
+            let rate = rates[rate_idx];
+            let outcome = match &model {
+                SeriesModel::Mems(m) => eval_full(m, goal, rate),
+                SeriesModel::Disk(m) => eval_full(m, goal, rate),
+                SeriesModel::Flash(m) => eval_full(m, goal, rate),
+                SeriesModel::Dyn(m) => eval_full(m, goal, rate),
+                SeriesModel::EnergyOnly(energy_device) => {
+                    let energy = EnergyModel::new(
+                        *energy_device,
+                        base.with_rate(rate),
+                        grid.best_effort_policy(),
+                        None,
+                    );
+                    let buffer_for_saving = goal
+                        .energy_saving_target()
+                        .and_then(|e| energy.min_buffer_for_saving(e).ok());
+                    CellOutcome::EnergyOnly(EnergyOnlyPoint {
+                        break_even: energy.break_even_buffer().ok(),
+                        buffer_for_saving,
+                        saving: buffer_for_saving.and_then(|b| energy.saving(b).ok()),
+                    })
+                }
+                SeriesModel::Unmodelled(detail) => CellOutcome::Unmodelled {
+                    detail: detail.clone(),
+                },
+            };
+            (job, outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::spec::{DeviceEntry, ScenarioGrid, WorkloadProfile};
+    use crate::store::ResultStore;
+    use memstream_device::EnergyOnly;
+
+    /// Runs the series path over a grid's job list and asserts every
+    /// outcome equals the reference per-cell evaluator, bitwise.
+    fn assert_series_matches_reference(grid: &ScenarioGrid) {
+        let (jobs, _) = ResultStore::plan(grid);
+        let series = plan_series(&jobs);
+        let members: usize = series.iter().map(Series::len).sum();
+        assert_eq!(members, jobs.len(), "series partition the job list");
+        let mut seen = vec![false; jobs.len()];
+        for s in &series {
+            for (job, outcome) in evaluate_series(grid, s) {
+                assert!(!seen[job], "job {job} evaluated twice");
+                seen[job] = true;
+                assert_eq!(
+                    outcome,
+                    evaluate(grid, &jobs[job]),
+                    "series outcome diverges at job {job} ({:?})",
+                    jobs[job]
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "series cover the job list");
+    }
+
+    #[test]
+    fn baseline_series_match_per_cell_evaluation() {
+        assert_series_matches_reference(&ScenarioGrid::paper_baseline(9));
+    }
+
+    #[test]
+    fn classic_series_match_per_cell_evaluation() {
+        // Exercises the energy-only (masked disk) series path.
+        assert_series_matches_reference(&ScenarioGrid::paper_classic(7));
+    }
+
+    #[test]
+    fn dramless_series_match_per_cell_evaluation() {
+        assert_series_matches_reference(&ScenarioGrid::paper_baseline(6).without_dram());
+    }
+
+    #[test]
+    fn masked_devices_stay_on_the_generic_path() {
+        // An `EnergyOnly`-wrapped MEMS device downcasts to none of the
+        // registered concrete types; it must land on the energy-only
+        // series exactly as the per-cell evaluator classifies it.
+        let grid = ScenarioGrid::new()
+            .device(DeviceEntry::new(
+                "masked",
+                EnergyOnly::new(MemsDevice::table1()),
+            ))
+            .workload(WorkloadProfile::paper())
+            .rate_span(64.0, 2048.0, 6)
+            .goal(memstream_core::DesignGoal::fig3b());
+        assert_series_matches_reference(&grid);
+    }
+
+    #[test]
+    fn series_grouping_reuses_models_across_rates() {
+        // paper_baseline: 5 devices × 1 workload × R rates × 2 goals,
+        // deduplicated. Series count must not scale with the rate axis.
+        let grid = ScenarioGrid::paper_baseline(11);
+        let (jobs, _) = ResultStore::plan(&grid);
+        let series = plan_series(&jobs);
+        assert!(
+            series.len() * 4 <= jobs.len(),
+            "expected ≥4 jobs per series on average: {} series / {} jobs",
+            series.len(),
+            jobs.len()
+        );
+        for s in &series {
+            assert!(s.len() > 1, "rate axis collapsed to a singleton series");
+        }
+    }
+}

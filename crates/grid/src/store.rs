@@ -1,8 +1,7 @@
 //! Result storage: cell→job deduplication and Pareto aggregation.
 
-use std::collections::HashMap;
-
 use crate::eval::{CellOutcome, PlannedPoint};
+use crate::key::KeyInterner;
 use crate::spec::{GridCell, ScenarioGrid};
 
 /// Deduplicated outcome storage.
@@ -23,16 +22,28 @@ impl ResultStore {
     /// cell→job map. Outcomes are attached later by the executor.
     #[must_use]
     pub(crate) fn plan(grid: &ScenarioGrid) -> (Vec<GridCell>, Vec<usize>) {
-        let mut by_key: HashMap<String, usize> = HashMap::new();
+        ResultStore::plan_with(grid, &KeyInterner::new(grid))
+    }
+
+    /// [`ResultStore::plan`] against a pre-built interner: no key strings
+    /// are formatted or hashed — deduplication is a dense lookup table
+    /// over axis-class indices, which represent exactly the legacy
+    /// string-equality classes.
+    #[must_use]
+    pub(crate) fn plan_with(
+        grid: &ScenarioGrid,
+        interner: &KeyInterner,
+    ) -> (Vec<GridCell>, Vec<usize>) {
+        let mut by_class: Vec<usize> = vec![usize::MAX; interner.class_capacity()];
         let mut job_cells: Vec<GridCell> = Vec::new();
         let mut cell_to_job = Vec::with_capacity(grid.len());
         for cell in grid.cells() {
-            let key = grid.dedup_key(&cell);
-            let job = *by_key.entry(key).or_insert_with(|| {
+            let slot = &mut by_class[interner.class_index(&cell)];
+            if *slot == usize::MAX {
+                *slot = job_cells.len();
                 job_cells.push(cell);
-                job_cells.len() - 1
-            });
-            cell_to_job.push(job);
+            }
+            cell_to_job.push(*slot);
         }
         (job_cells, cell_to_job)
     }

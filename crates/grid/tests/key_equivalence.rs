@@ -1,0 +1,156 @@
+//! The key-compatibility acceptance suite: interned [`CellKey`]s must
+//! resolve to the legacy [`ScenarioGrid::dedup_key`] bytes for every
+//! cell (old v1 cache files stay warm across the interner migration),
+//! and cache files must convert v1 → v2 → v1 without a byte of drift.
+
+use memstream_core::DesignGoal;
+use memstream_device::{DiskDevice, EnergyOnly, FlashDevice, MemsDevice};
+use memstream_grid::{
+    CacheFormat, CellOutcome, DeviceEntry, GridExecutor, KeyInterner, ResultCache, ScenarioGrid,
+    WorkloadProfile,
+};
+
+/// A per-process temp path (concurrent `cargo test` runs share the OS
+/// temp dir; the pid keeps them apart).
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("memstream-key-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// A flash-heavy grid: two content-identical flash entries (dedup must
+/// share their keys), a tweaked sibling, and a masked MEMS device.
+fn flash_grid(n_rates: usize) -> ScenarioGrid {
+    ScenarioGrid::new()
+        .device(DeviceEntry::new("flash-a", FlashDevice::mobile_mlc()))
+        .device(DeviceEntry::new("flash-b", FlashDevice::mobile_mlc()))
+        .device(DeviceEntry::new("disk", DiskDevice::calibrated_1p8_inch()))
+        .device(DeviceEntry::new(
+            "masked-mems",
+            EnergyOnly::new(MemsDevice::table1()),
+        ))
+        .workload(WorkloadProfile::paper())
+        .rate_span(64.0, 4096.0, n_rates)
+        .goal(DesignGoal::fig3a())
+        .goal(DesignGoal::fig3b())
+}
+
+#[test]
+fn interned_keys_match_legacy_dedup_keys_for_every_cell() {
+    for grid in [
+        ScenarioGrid::paper_baseline(9),
+        ScenarioGrid::paper_classic(6),
+        flash_grid(5),
+        ScenarioGrid::paper_baseline(4).without_dram(),
+    ] {
+        let interner = KeyInterner::new(&grid);
+        for cell in grid.cells() {
+            let key = interner.key(&cell);
+            assert_eq!(
+                interner.resolve(key),
+                grid.dedup_key(&cell),
+                "interned key diverges from the legacy bytes at {cell:?}"
+            );
+        }
+        // Key equality must also coincide with legacy string equality
+        // across the unique-cell representatives.
+        let unique = grid.unique_cells();
+        for a in &unique {
+            for b in &unique {
+                assert_eq!(
+                    interner.key(a) == interner.key(b),
+                    grid.dedup_key(a) == grid.dedup_key(b),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interner_resolved_keys_hit_caches_written_with_legacy_keys() {
+    // A cache keyed by legacy `dedup_key` strings (how every pre-interner
+    // cache file was produced) must be fully warm under the interner.
+    let grid = ScenarioGrid::paper_baseline(5);
+    let mut legacy = ResultCache::new();
+    let results = GridExecutor::serial().explore(&grid).expect("explore");
+    for (cell, outcome) in results.records() {
+        legacy.insert(grid.dedup_key(&cell), outcome.clone());
+    }
+    let mut warm = legacy.clone();
+    let rerun = GridExecutor::serial()
+        .explore_cached(&grid, &mut warm)
+        .expect("warm explore");
+    assert_eq!(warm.hits(), rerun.unique_evaluations());
+    assert_eq!(warm.misses(), 0, "interner keys must hit legacy entries");
+}
+
+#[test]
+fn cache_conversion_v1_v2_v1_is_byte_identical() {
+    let grid = flash_grid(6);
+    let mut cache = ResultCache::new();
+    GridExecutor::serial()
+        .explore_cached(&grid, &mut cache)
+        .expect("explore");
+    // Hostile entries: keys and details carrying every escaped byte.
+    cache.insert(
+        "hostile\tkey\nwith\\everything".to_owned(),
+        CellOutcome::Unmodelled {
+            detail: "tab\t newline\n backslash\\ done".to_owned(),
+        },
+    );
+
+    let (v1_a, v2, v1_b) = (
+        temp_path("conv-1.cache"),
+        temp_path("conv-2.cache"),
+        temp_path("conv-3.cache"),
+    );
+    cache.save_as(&v1_a, CacheFormat::V1).expect("save v1");
+    ResultCache::load_strict(&v1_a)
+        .expect("strict v1 load")
+        .save_as(&v2, CacheFormat::V2)
+        .expect("save v2");
+    ResultCache::load_strict(&v2)
+        .expect("strict v2 load")
+        .save_as(&v1_b, CacheFormat::V1)
+        .expect("save v1 again");
+    assert_eq!(
+        std::fs::read(&v1_a).expect("read"),
+        std::fs::read(&v1_b).expect("read"),
+        "v1 → v2 → v1 conversion must be lossless to the byte"
+    );
+    for p in [v1_a, v2, v1_b] {
+        std::fs::remove_file(p).expect("cleanup");
+    }
+}
+
+#[test]
+fn warm_explorations_are_byte_identical_across_cache_formats() {
+    let grid = ScenarioGrid::paper_baseline(7);
+    let mut cold_cache = ResultCache::new();
+    let cold = GridExecutor::parallel(2)
+        .explore_cached(&grid, &mut cold_cache)
+        .expect("cold explore");
+    let reference = memstream_grid::report::cells_csv(&cold);
+
+    for format in [CacheFormat::V1, CacheFormat::V2] {
+        let path = temp_path(&format!("warm-{}.cache", format.flag()));
+        cold_cache.save_as(&path, format).expect("save");
+        let mut warm_cache = ResultCache::load(&path).expect("load");
+        let warm = GridExecutor::parallel(3)
+            .explore_cached(&grid, &mut warm_cache)
+            .expect("warm explore");
+        assert_eq!(
+            warm_cache.misses(),
+            0,
+            "{} cache must be fully warm",
+            format.flag()
+        );
+        assert_eq!(
+            memstream_grid::report::cells_csv(&warm),
+            reference,
+            "{} warm run must reproduce the cold bytes",
+            format.flag()
+        );
+        std::fs::remove_file(path).expect("cleanup");
+    }
+}

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use memstream_grid::{GridError, MergeStats, Metrics, ResultCache};
+use memstream_grid::{CacheFormat, GridError, MergeStats, Metrics, ResultCache};
 
 use crate::protocol::WorkerSpec;
 use crate::recipe::GridRecipe;
@@ -208,6 +208,10 @@ pub struct ShardOptions {
     /// (spawn/wait/merge wall time, cell and failure counts — see
     /// `docs/OBSERVABILITY.md`). Disabled by default.
     pub metrics: Metrics,
+    /// Encoding of the scratch cache files (the warm file the coordinator
+    /// ships and the slice files workers write back). Readers auto-detect,
+    /// so the format never affects merged results — only scratch I/O speed.
+    pub cache_format: CacheFormat,
 }
 
 impl ShardOptions {
@@ -227,6 +231,7 @@ impl ShardOptions {
             program,
             leading_args: vec!["shard-worker".to_owned()],
             metrics: Metrics::disabled(),
+            cache_format: CacheFormat::default(),
         }
     }
 
@@ -241,6 +246,13 @@ impl ShardOptions {
     #[must_use]
     pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
         self.metrics = metrics.clone();
+        self
+    }
+
+    /// Sets the encoding of the fan-out's scratch cache files.
+    #[must_use]
+    pub fn with_cache_format(mut self, format: CacheFormat) -> Self {
+        self.cache_format = format;
         self
     }
 }
@@ -315,7 +327,9 @@ pub fn explore_sharded(
         None
     } else {
         let path = scratch.join("warm.cache");
-        cache.save(&path).map_err(ShardError::Scratch)?;
+        cache
+            .save_as(&path, opts.cache_format)
+            .map_err(ShardError::Scratch)?;
         Some(path)
     };
 
@@ -337,6 +351,7 @@ pub fn explore_sharded(
             threads: opts.worker_threads,
             stats: false,
             stats_json: None,
+            cache_format: opts.cache_format,
             recipe: recipe.clone(),
         };
         let child = Command::new(&opts.program)
@@ -515,6 +530,7 @@ mod tests {
             program: PathBuf::from("/bin/sh"),
             leading_args: vec!["-c".to_owned(), script.to_owned(), "fake-worker".to_owned()],
             metrics: Metrics::disabled(),
+            cache_format: CacheFormat::V1,
         }
     }
 

@@ -12,6 +12,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use memstream_grid::CacheFormat;
 use memstream_units::BitRate;
 
 use crate::recipe::GridRecipe;
@@ -65,6 +66,10 @@ pub struct WorkerSpec {
     /// Write the worker's telemetry snapshot as JSON to this path when
     /// the run completes.
     pub stats_json: Option<PathBuf>,
+    /// The encoding of the cache file the worker writes (and the
+    /// coordinator's warm file). The flag is only emitted for non-default
+    /// formats, so v1 command lines are byte-identical to older builds.
+    pub cache_format: CacheFormat,
     /// The grid to build and slice.
     pub recipe: GridRecipe,
 }
@@ -106,6 +111,10 @@ impl WorkerSpec {
             args.push("--stats-json".to_owned());
             args.push(path.display().to_string());
         }
+        if self.cache_format != CacheFormat::default() {
+            args.push("--cache-format".to_owned());
+            args.push(self.cache_format.flag().to_owned());
+        }
         args
     }
 
@@ -125,6 +134,7 @@ impl WorkerSpec {
         let mut rate_list: Option<Vec<BitRate>> = None;
         let mut stats = false;
         let mut stats_json: Option<PathBuf> = None;
+        let mut cache_format = CacheFormat::default();
 
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -161,6 +171,12 @@ impl WorkerSpec {
                 "--classic" => classic = true,
                 "--stats" => stats = true,
                 "--stats-json" => stats_json = Some(PathBuf::from(value()?)),
+                "--cache-format" => {
+                    let raw = value()?;
+                    cache_format = CacheFormat::parse_flag(&raw).ok_or_else(|| {
+                        ProtocolError::new(format!("--cache-format `{raw}` is not v1 or v2"))
+                    })?;
+                }
                 "--rate-list" => {
                     let raw = value()?;
                     let mut axis = Vec::new();
@@ -199,6 +215,7 @@ impl WorkerSpec {
             threads,
             stats,
             stats_json,
+            cache_format,
             recipe,
         })
     }
@@ -218,6 +235,7 @@ mod tests {
             threads: 3,
             stats: true,
             stats_json: Some(PathBuf::from("/tmp/shard-2-stats.json")),
+            cache_format: CacheFormat::V2,
             recipe: GridRecipe::classic(7).with_rate_axis([
                 BitRate::from_kbps(32.0),
                 // A midpoint-style irrational rate: the shortest-roundtrip
@@ -239,9 +257,15 @@ mod tests {
             threads: 0,
             stats: false,
             stats_json: None,
+            cache_format: CacheFormat::V1,
             recipe: GridRecipe::baseline(24),
         };
-        assert_eq!(WorkerSpec::from_args(&spec.to_args()).unwrap(), spec);
+        let args = spec.to_args();
+        assert!(
+            !args.iter().any(|a| a == "--cache-format"),
+            "the default format must stay off the wire (old coordinators reject it)"
+        );
+        assert_eq!(WorkerSpec::from_args(&args).unwrap(), spec);
     }
 
     #[test]
@@ -254,6 +278,7 @@ mod tests {
             &["--shard", "0/2", "--cache", "x", "--bogus"],
             &["--shard", "0/2", "--cache", "x", "--rate-list", "1,zap"],
             &["--shard", "0/2", "--cache", "x", "--rates", "1"],
+            &["--shard", "0/2", "--cache", "x", "--cache-format", "v9"],
         ];
         for case in cases {
             let args: Vec<String> = case.iter().map(|s| (*s).to_owned()).collect();

@@ -9,7 +9,7 @@
 
 use std::io;
 
-use memstream_grid::{GridExecutor, Metrics, ResultCache};
+use memstream_grid::{GridExecutor, KeyInterner, Metrics, ResultCache};
 
 use crate::coordinator::shard_range;
 use crate::protocol::WorkerSpec;
@@ -61,17 +61,18 @@ pub fn run_worker_with_metrics(spec: &WorkerSpec, metrics: &Metrics) -> io::Resu
         .with_metrics(metrics)
         .resolve_cells(&grid, cells, &mut working);
 
+    let interner = KeyInterner::new(&grid);
     let mut slice = ResultCache::new();
     slice.set_metrics(metrics);
     for cell in cells {
-        let key = grid.dedup_key(cell);
+        let key = interner.resolve(interner.key(cell));
         let outcome = working
             .get(&key)
             .expect("resolve_cells covered every assigned cell")
             .clone();
         slice.insert(key, outcome);
     }
-    slice.save(&spec.cache)?;
+    slice.save_as(&spec.cache, spec.cache_format)?;
 
     Ok(WorkerSummary {
         assigned: cells.len(),
@@ -84,6 +85,7 @@ pub fn run_worker_with_metrics(spec: &WorkerSpec, metrics: &Metrics) -> io::Resu
 mod tests {
     use super::*;
     use crate::recipe::GridRecipe;
+    use memstream_grid::CacheFormat;
     use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
@@ -101,6 +103,8 @@ mod tests {
         let grid = recipe.build();
         let unique = grid.unique_cells();
         let path = temp_path("slice.cache");
+        // v2 output: the strict reader below doubles as the coordinator's
+        // auto-detecting merge path.
         let summary = run_worker(&WorkerSpec {
             shard: 1,
             shard_count: 3,
@@ -109,6 +113,7 @@ mod tests {
             threads: 1,
             stats: false,
             stats_json: None,
+            cache_format: CacheFormat::V2,
             recipe,
         })
         .expect("worker runs");
@@ -146,6 +151,7 @@ mod tests {
             threads: 1,
             stats: false,
             stats_json: None,
+            cache_format: CacheFormat::V1,
             recipe,
         })
         .expect("worker runs");

@@ -40,8 +40,10 @@
 //! (`docs/OBSERVABILITY.md`). The human summary goes to stderr.
 //!
 //! `grid`, `refine` and `shard-worker` all accept `--stats` (telemetry
-//! table on stderr) and `--stats-json PATH` (snapshot as JSON); neither
-//! ever changes stdout. `--cache-format v1|v2` (with `--cache` or
+//! table on stderr) and `--stats-json PATH` (snapshot as JSON), and —
+//! together with `bench` — `--trace PATH` (the run's timeline as a
+//! Chrome/Perfetto-loadable trace, shard worker events merged in); none
+//! of them ever changes stdout. `--cache-format v1|v2` (with `--cache` or
 //! `--shards`) selects the cache file encoding — `v1` is the TSV
 //! interchange format, `v2` the binary fast-load format; readers
 //! auto-detect, and the choice never changes a stdout byte
@@ -306,6 +308,7 @@ struct SharedFlags {
     shards: Option<usize>,
     stats: bool,
     stats_json: Option<String>,
+    trace: Option<String>,
 }
 
 impl SharedFlags {
@@ -319,6 +322,17 @@ impl SharedFlags {
             shards: None,
             stats: false,
             stats_json: None,
+            trace: None,
+        }
+    }
+
+    /// The run's event tracer: live exactly when `--trace` asked for a
+    /// timeline, so an untraced run never reads the clock for events.
+    fn tracer(&self) -> memstream_grid::telemetry::Tracer {
+        if self.trace.is_some() {
+            memstream_grid::telemetry::Tracer::enabled()
+        } else {
+            memstream_grid::telemetry::Tracer::disabled()
         }
     }
 
@@ -341,6 +355,7 @@ impl SharedFlags {
             "--shards" => self.shards = Some(parse_flag(flag, &value())),
             "--stats" => self.stats = true,
             "--stats-json" => self.stats_json = Some(value()),
+            "--trace" => self.trace = Some(value()),
             _ => return false,
         }
         true
@@ -360,6 +375,29 @@ impl SharedFlags {
                 eprintln!("stats-json write error: {path}: {e}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Writes the run's timeline per `--trace`: the coordinator's own
+    /// events merged with any shard workers' trace fragments, as one
+    /// Chrome/Perfetto-loadable JSON document. Same failure contract as
+    /// `--stats-json`: an unwritable explicitly requested artifact is
+    /// fatal, exit 2 with the path and OS error attributed.
+    fn emit_trace(
+        &self,
+        tracer: &memstream_grid::telemetry::Tracer,
+        workers: Vec<memstream_grid::telemetry::TraceSnapshot>,
+    ) {
+        let Some(path) = &self.trace else {
+            return;
+        };
+        let mut snapshot = tracer.snapshot();
+        for fragment in workers {
+            snapshot.merge(fragment);
+        }
+        if let Err(e) = std::fs::write(path, snapshot.to_chrome_json()) {
+            eprintln!("trace write error: {path}: {e}");
+            std::process::exit(2);
         }
     }
 
@@ -391,7 +429,8 @@ impl SharedFlags {
             std::process::exit(2);
         });
         let opts = memstream_shard::ShardOptions::new(program, shards)
-            .with_cache_format(self.cache_format);
+            .with_cache_format(self.cache_format)
+            .with_trace(self.trace.is_some());
         if self.threads == 0 {
             opts
         } else {
@@ -516,7 +555,7 @@ fn grid(args: &[String]) {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
                      --validate, --cache, --cache-format, --classic, --shards, \
-                     --stats, --stats-json"
+                     --stats, --stats-json, --trace"
                 );
                 std::process::exit(2);
             }
@@ -528,10 +567,12 @@ fn grid(args: &[String]) {
     // One registry for the whole run: the executor, the cache and (when
     // sharded) the coordinator all report into it. Telemetry writes only
     // to stderr and requested files, so stdout bytes are untouched
-    // whether or not anyone asked for stats.
-    let metrics = memstream_grid::Metrics::enabled();
+    // whether or not anyone asked for stats or a trace.
+    let tracer = shared.tracer();
+    let metrics = memstream_grid::Metrics::enabled_with_tracer(&tracer);
     let spec = reference_grid(shared.rates, shared.classic);
     let executor = GridExecutor::parallel(shared.threads).with_metrics(&metrics);
+    let mut worker_traces = Vec::new();
     let results = if let Some(shards) = shared.shards {
         // Sharded: fan missing cells out to worker processes, union
         // their cache files, then assemble locally from pure hits —
@@ -555,6 +596,7 @@ fn grid(args: &[String]) {
             std::process::exit(2);
         });
         report_shard_run(&run);
+        worker_traces.extend(run.workers.iter().filter_map(|w| w.trace.clone()));
         if !run.is_complete() {
             // The merge is atomic per shard, so the cache holds exactly
             // the healthy shards' work — persist it before failing and a
@@ -608,6 +650,7 @@ fn grid(args: &[String]) {
     };
 
     shared.emit_stats(&metrics);
+    shared.emit_trace(&tracer, worker_traces);
     print!("{}", report::grid_stdout(&results, full_csv));
     if let Some(seconds) = validate {
         let validation = memstream_grid::validate_frontier(&results, seconds);
@@ -663,7 +706,7 @@ fn refine(args: &[String]) {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --cache, \
                      --cache-format, --width-bound, --max-rounds, --classic, \
-                     --shards, --stats, --stats-json"
+                     --shards, --stats, --stats-json, --trace"
                 );
                 std::process::exit(2);
             }
@@ -682,7 +725,8 @@ fn refine(args: &[String]) {
 
     // One registry across engine, executor, cache and coordinator (see
     // the `grid` subcommand).
-    let metrics = memstream_grid::Metrics::enabled();
+    let tracer = shared.tracer();
+    let metrics = memstream_grid::Metrics::enabled_with_tracer(&tracer);
     let spec = reference_grid(shared.rates, shared.classic);
     let executor = GridExecutor::parallel(shared.threads).with_metrics(&metrics);
     let engine = RefinementEngine::new(
@@ -695,6 +739,7 @@ fn refine(args: &[String]) {
     if let Some(cache) = cache.as_mut() {
         cache.set_metrics(&metrics);
     }
+    let mut worker_traces = Vec::new();
     let outcome = if let Some(shards) = shared.shards {
         // Sharded: every round fans only its new rates out to worker
         // processes; the merged cache warms the next round. Stdout is
@@ -713,6 +758,7 @@ fn refine(args: &[String]) {
         for (i, run) in explorer.rounds().iter().enumerate() {
             eprintln!("round {} shard fan-out:", i + 1);
             report_shard_run(run);
+            worker_traces.extend(run.workers.iter().filter_map(|w| w.trace.clone()));
         }
         outcome.unwrap_or_else(|e| {
             // Per-shard merges are atomic, so the cache holds exactly the
@@ -757,6 +803,7 @@ fn refine(args: &[String]) {
         eprintln!("cache file: {} entries saved", cache.len());
     }
     shared.emit_stats(&metrics);
+    shared.emit_trace(&tracer, worker_traces);
     print!("{}", report::refine_stdout(&outcome));
 }
 
@@ -773,7 +820,15 @@ fn shard_worker(args: &[String]) {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let metrics = memstream_grid::Metrics::enabled();
+    // The tracer is live exactly when the coordinator asked for a
+    // fragment file: the worker's span events (and their thread ids)
+    // land in the merged timeline alongside the coordinator's own.
+    let tracer = if spec.trace.is_some() {
+        memstream_grid::telemetry::Tracer::enabled()
+    } else {
+        memstream_grid::telemetry::Tracer::disabled()
+    };
+    let metrics = memstream_grid::Metrics::enabled_with_tracer(&tracer);
     match run_worker_with_metrics(&spec, &metrics) {
         Ok(summary) => {
             eprintln!(
@@ -795,6 +850,12 @@ fn shard_worker(args: &[String]) {
                     std::process::exit(2);
                 }
             }
+            if let Some(path) = &spec.trace {
+                if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
+                    eprintln!("trace write error: {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
         }
         Err(e) => {
             eprintln!("shard {}/{} failed: {e}", spec.shard, spec.shard_count);
@@ -810,18 +871,21 @@ fn shard_worker(args: &[String]) {
 fn bench(args: &[String]) {
     let mut quick = false;
     let mut out = std::path::PathBuf::from("BENCH_grid.json");
+    let mut trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
         match flag.as_str() {
             "--quick" => quick = true,
-            "--out" => {
-                out = std::path::PathBuf::from(it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for --out");
-                    std::process::exit(2);
-                }));
-            }
+            "--out" => out = std::path::PathBuf::from(value()),
+            "--trace" => trace = Some(value()),
             other => {
-                eprintln!("unknown flag `{other}`; try --quick, --out PATH");
+                eprintln!("unknown flag `{other}`; try --quick, --out PATH, --trace PATH");
                 std::process::exit(2);
             }
         }
@@ -835,16 +899,32 @@ fn bench(args: &[String]) {
     } else {
         memstream_bench::perf::BenchConfig::standard(program)
     };
-    let report = memstream_bench::perf::run_bench(&config).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(1);
-    });
+    let tracer = if trace.is_some() {
+        memstream_grid::telemetry::Tracer::enabled()
+    } else {
+        memstream_grid::telemetry::Tracer::disabled()
+    };
+    let (report, worker_traces) = memstream_bench::perf::run_bench_traced(&config, &tracer)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
     eprint!("{}", report.render_summary());
     if let Err(e) = memstream_bench::perf::write_bench(&report, &out) {
         eprintln!("bench write error: {}: {e}", out.display());
         std::process::exit(2);
     }
     eprintln!("bench: wrote {}", out.display());
+    if let Some(path) = &trace {
+        let mut snapshot = tracer.snapshot();
+        for fragment in worker_traces {
+            snapshot.merge(fragment);
+        }
+        if let Err(e) = std::fs::write(path, snapshot.to_chrome_json()) {
+            eprintln!("trace write error: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `harness custom --rate 1024kbps [--buffer 20KiB] [--saving 70%]

@@ -20,13 +20,16 @@ use std::io;
 use std::path::PathBuf;
 
 use memstream_grid::telemetry::json::JsonObject;
+use memstream_grid::telemetry::{TraceSnapshot, Tracer};
 use memstream_grid::{CacheFormat, GridExecutor, KeyInterner, Metrics, ResultCache};
 use memstream_refine::{RefineConfig, RefinementEngine};
 use memstream_shard::{explore_sharded, GridRecipe, ShardError, ShardOptions};
 
 /// The `BENCH_grid.json` schema version, bumped on any incompatible
 /// change (see `docs/OBSERVABILITY.md` for the evolution rules).
-pub const BENCH_SCHEMA: &str = "memstream-bench-grid v2";
+/// v3 added the cold scenario's per-series evaluation-latency
+/// percentiles to the `grid` section.
+pub const BENCH_SCHEMA: &str = "memstream-bench-grid v3";
 
 /// The build profile the bench binary was compiled under, recorded in
 /// the document so debug-build numbers can never masquerade as the
@@ -161,6 +164,12 @@ pub struct BenchReport {
     pub cold: GridBenchRow,
     /// The warm (fully cached) re-exploration.
     pub warm: GridBenchRow,
+    /// Cold-scenario per-series evaluation latency p50, in seconds (from
+    /// the `grid.series_eval` histogram — the distribution behind
+    /// `cold_cells_per_sec`).
+    pub eval_latency_p50_seconds: f64,
+    /// Cold-scenario per-series evaluation latency p99, in seconds.
+    pub eval_latency_p99_seconds: f64,
     /// Interned-key resolutions (`CellKey` → canonical string) per second.
     pub key_resolutions_per_sec: f64,
     /// Entries of the cache file the load phases parse.
@@ -219,6 +228,8 @@ impl BenchReport {
                     .field_f64("cold_cells_per_sec", self.cold.cells_per_sec)
                     .field_f64("warm_seconds", self.warm.seconds)
                     .field_f64("warm_cells_per_sec", self.warm.cells_per_sec)
+                    .field_f64("eval_latency_p50_seconds", self.eval_latency_p50_seconds)
+                    .field_f64("eval_latency_p99_seconds", self.eval_latency_p99_seconds)
                     .field_f64("key_resolutions_per_sec", self.key_resolutions_per_sec),
             )
             .field_object(
@@ -254,6 +265,7 @@ impl BenchReport {
     pub fn render_summary(&self) -> String {
         format!(
             "bench ({}): grid {} cells — cold {:.0} cells/s, warm {:.0} cells/s; \
+             eval p50 {:.0} us, p99 {:.0} us; \
              keys {:.0}/s; cache load v1 {:.0}, v2 {:.0} entries/s ({:.1}x); \
              refine {} knees in {} rounds ({:.2}/round); \
              shard merge {:.2} MB/s over {} bytes\n",
@@ -265,6 +277,8 @@ impl BenchReport {
             self.grid_unique_cells,
             self.cold.cells_per_sec,
             self.warm.cells_per_sec,
+            self.eval_latency_p50_seconds * 1e6,
+            self.eval_latency_p99_seconds * 1e6,
             self.key_resolutions_per_sec,
             self.v1_load_entries_per_sec,
             self.v2_load_entries_per_sec,
@@ -299,9 +313,24 @@ fn grid_row(metrics: &Metrics) -> GridBenchRow {
 ///
 /// [`BenchError`] naming the scenario that failed.
 pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
+    run_bench_traced(config, &Tracer::disabled()).map(|(report, _)| report)
+}
+
+/// [`run_bench`] with every scenario's registry sharing `tracer`, so a
+/// `--trace` run sees the whole bench as one timeline. Also returns the
+/// shard scenario's worker trace fragments for the caller to merge into
+/// the final document.
+///
+/// # Errors
+///
+/// [`BenchError`] naming the scenario that failed.
+pub fn run_bench_traced(
+    config: &BenchConfig,
+    tracer: &Tracer,
+) -> Result<(BenchReport, Vec<TraceSnapshot>), BenchError> {
     // Scenario 1+2: cold then warm cached exploration of the same grid.
     let grid = GridRecipe::reference(false, config.grid_rates).build();
-    let cold_metrics = Metrics::enabled();
+    let cold_metrics = Metrics::enabled_with_tracer(tracer);
     let mut cache = ResultCache::new();
     cache.set_metrics(&cold_metrics);
     let results = GridExecutor::parallel(0)
@@ -309,8 +338,10 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
         .explore_cached(&grid, &mut cache)?;
     let grid_unique_cells = results.unique_evaluations();
     let cold = grid_row(&cold_metrics);
+    let cold_snapshot = cold_metrics.snapshot();
+    let eval_latency = cold_snapshot.histogram("grid.series_eval");
 
-    let warm_metrics = Metrics::enabled();
+    let warm_metrics = Metrics::enabled_with_tracer(tracer);
     cache.set_metrics(&warm_metrics);
     GridExecutor::parallel(0)
         .with_metrics(&warm_metrics)
@@ -321,7 +352,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
     // v1-vs-v2 cache load, over the cold run's real entry set. Timed
     // through spans/counters like everything else, so the numbers can be
     // cross-checked against an instrumented run.
-    let micro_metrics = Metrics::enabled();
+    let micro_metrics = Metrics::enabled_with_tracer(tracer);
     let interner = KeyInterner::new(&grid);
     let unique = grid.unique_cells();
     let key_reps = if config.quick { 100 } else { 400 };
@@ -369,7 +400,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
     let micro = micro_metrics.snapshot();
 
     // Scenario 4: refinement from a coarse axis, private in-memory cache.
-    let refine_metrics = Metrics::enabled();
+    let refine_metrics = Metrics::enabled_with_tracer(tracer);
     let refine_grid = GridRecipe::reference(false, config.refine_rates).build();
     let engine = RefinementEngine::new(
         GridExecutor::parallel(0).with_metrics(&refine_metrics),
@@ -380,11 +411,12 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
 
     // Scenario 5: cold two-shard process fan-out of the grid scenario's
     // grid (same shape, so merge bytes are comparable across runs).
-    let shard_metrics = Metrics::enabled();
+    let shard_metrics = Metrics::enabled_with_tracer(tracer);
     let mut shard_cache = ResultCache::new();
     shard_cache.set_metrics(&shard_metrics);
-    let opts =
-        ShardOptions::new(config.program.clone(), config.shards).with_metrics(&shard_metrics);
+    let opts = ShardOptions::new(config.program.clone(), config.shards)
+        .with_metrics(&shard_metrics)
+        .with_trace(tracer.is_enabled());
     let run = explore_sharded(
         &GridRecipe::reference(false, config.grid_rates),
         &mut shard_cache,
@@ -393,14 +425,18 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
     if !run.is_complete() {
         return Err(BenchError::Shard(ShardError::Workers(run.failures)));
     }
+    let worker_traces: Vec<TraceSnapshot> =
+        run.workers.iter().filter_map(|w| w.trace.clone()).collect();
     let shard_snapshot = shard_metrics.snapshot();
 
-    Ok(BenchReport {
+    let report = BenchReport {
         config: config.clone(),
         threads: GridExecutor::parallel(0).threads(),
         grid_unique_cells,
         cold,
         warm,
+        eval_latency_p50_seconds: eval_latency.map_or(0.0, |h| h.p50_seconds()),
+        eval_latency_p99_seconds: eval_latency.map_or(0.0, |h| h.p99_seconds()),
         key_resolutions_per_sec: micro
             .rate_per_second("bench.key_resolutions", "bench.key_resolve")
             .unwrap_or(0.0),
@@ -416,7 +452,8 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, BenchError> {
         refine_seconds: refine_snapshot.span_seconds("refine.round").unwrap_or(0.0),
         shard_merge_bytes: shard_snapshot.counter("shard.merge_bytes").unwrap_or(0),
         shard_merge_seconds: shard_snapshot.span_seconds("shard.merge").unwrap_or(0.0),
-    })
+    };
+    Ok((report, worker_traces))
 }
 
 /// Writes `report` to `path` as `BENCH_grid.json`.
@@ -447,6 +484,8 @@ mod tests {
                 seconds: 0.01,
                 cells_per_sec: 20000.0,
             },
+            eval_latency_p50_seconds: 0.0005,
+            eval_latency_p99_seconds: 0.002,
             key_resolutions_per_sec: 1e6,
             cache_entries: 200,
             v1_load_entries_per_sec: 1e5,
@@ -470,6 +509,12 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(200)
         );
+        let p99 = doc
+            .get("grid")
+            .and_then(|g| g.get("eval_latency_p99_seconds"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((p99 - 0.002).abs() < 1e-12);
         let speedup = doc
             .get("cache")
             .and_then(|c| c.get("v2_load_speedup"))
@@ -504,6 +549,8 @@ mod tests {
                 seconds: 0.0,
                 cells_per_sec: 0.0,
             },
+            eval_latency_p50_seconds: 0.0,
+            eval_latency_p99_seconds: 0.0,
             key_resolutions_per_sec: 0.0,
             cache_entries: 0,
             v1_load_entries_per_sec: 0.0,

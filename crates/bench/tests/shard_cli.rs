@@ -125,6 +125,29 @@ fn shard_accounting_stays_off_stdout() {
 }
 
 #[test]
+fn worker_heartbeats_become_an_aggregated_progress_line() {
+    let output = run(&["grid", "--rates", "6", "--shards", "2"]);
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // The coordinator aggregates the workers' `shard-progress i/N:
+    // done/total` heartbeats into its own throttled line...
+    assert!(
+        stderr.contains("shard progress: "),
+        "coordinator must print an aggregated progress line:\n{stderr}"
+    );
+    // ...and consumes the raw heartbeats instead of forwarding them as
+    // worker stderr.
+    assert!(
+        !stderr.contains("shard-progress"),
+        "raw heartbeat lines must not be forwarded:\n{stderr}"
+    );
+    assert!(
+        output.stdout.is_empty() || !String::from_utf8_lossy(&output.stdout).contains("progress"),
+        "progress never touches stdout"
+    );
+}
+
+#[test]
 fn worker_subcommand_rejects_malformed_specs() {
     let output = run(&["shard-worker", "--shard", "5/2", "--cache", "x"]);
     assert_eq!(output.status.code(), Some(2));

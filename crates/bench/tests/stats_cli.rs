@@ -203,6 +203,130 @@ fn unwritable_stats_json_fails_attributed() {
 }
 
 #[test]
+fn unwritable_trace_fails_attributed() {
+    for subcommand in [
+        vec!["grid", "--rates", "4"],
+        vec!["refine", "--rates", "4", "--max-rounds", "2"],
+    ] {
+        let mut args = subcommand.clone();
+        args.extend(["--trace", "/nonexistent-dir/run.trace.json"]);
+        let output = run(&args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{subcommand:?} must exit 2 on unwritable --trace"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("trace write error: /nonexistent-dir/run.trace.json"),
+            "failure must name the path:\n{stderr}"
+        );
+    }
+}
+
+/// The PR's acceptance scenario end to end: a sharded, cached, traced,
+/// stats-instrumented refinement must (a) reproduce the plain run's
+/// stdout byte for byte, (b) emit a Perfetto-loadable trace containing
+/// balanced events from the coordinator *and* both worker processes,
+/// and (c) report non-zero per-series eval-latency percentiles — which
+/// can only come from the workers' histograms flowing back across the
+/// process boundary, because the coordinator itself only assembles from
+/// the warm union.
+#[test]
+fn sharded_traced_refinement_is_byte_identical_and_observable() {
+    use memstream_grid::telemetry::{parse_histograms, TracePhase, TraceSnapshot};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let cache = temp_path("accept.cache");
+    let _ = std::fs::remove_file(&cache);
+    let trace = temp_path("accept.trace.json");
+    let json = temp_path("accept.stats.json");
+
+    let reference = stdout_of(&["refine", "--rates", "5", "--max-rounds", "2"]);
+    let output = run(&[
+        "refine",
+        "--rates",
+        "5",
+        "--max-rounds",
+        "2",
+        "--shards",
+        "2",
+        "--cache",
+        cache.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--stats",
+        "--stats-json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "traced sharded refine failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(output.stdout).expect("utf-8 stdout"),
+        reference,
+        "tracing and stats must never touch stdout"
+    );
+
+    // (b) the timeline: valid Chrome JSON, events from >= 3 processes
+    // (coordinator + 2 workers), every begin balanced by an end, and
+    // all three subsystem categories present.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let snapshot = TraceSnapshot::from_chrome_json(&text).expect("trace parses");
+    assert!(!snapshot.events.is_empty());
+    let pids: BTreeSet<u32> = snapshot.events.iter().map(|e| e.pid).collect();
+    assert!(
+        pids.len() >= 3,
+        "coordinator and both workers must contribute events, pids: {pids:?}"
+    );
+    for ts in snapshot.events.windows(2) {
+        assert!(ts[0].ts_micros <= ts[1].ts_micros, "events must be sorted");
+    }
+    let mut balance: BTreeMap<&str, i64> = BTreeMap::new();
+    for event in &snapshot.events {
+        match event.phase {
+            TracePhase::Begin => *balance.entry(event.name.as_str()).or_default() += 1,
+            TracePhase::End => *balance.entry(event.name.as_str()).or_default() -= 1,
+            TracePhase::Instant => {}
+        }
+    }
+    for (name, delta) in &balance {
+        assert_eq!(*delta, 0, "unbalanced begin/end for {name}");
+    }
+    for prefix in ["grid.", "refine.", "shard."] {
+        assert!(
+            balance.keys().any(|name| name.starts_with(prefix)),
+            "timeline must contain {prefix}* spans, got {:?}",
+            balance.keys().collect::<Vec<_>>()
+        );
+    }
+
+    // (c) the stats: the workers' eval-latency histogram survived the
+    // process boundary with non-zero percentiles, in the JSON and in
+    // the human table.
+    let stats_text = std::fs::read_to_string(&json).expect("stats written");
+    let histograms = parse_histograms(&stats_text).expect("histograms parse");
+    let eval = histograms
+        .iter()
+        .find(|h| h.name == "grid.series_eval")
+        .expect("grid.series_eval histogram in the snapshot");
+    assert!(eval.count > 0, "workers must have evaluated series");
+    assert!(eval.p50_seconds() > 0.0, "p50 must be non-zero");
+    assert!(eval.p99_seconds() >= eval.p50_seconds());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("grid.series_eval"),
+        "--stats table must list the histogram:\n{stderr}"
+    );
+
+    for p in [cache, trace, json] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
 fn bench_quick_emits_a_sane_versioned_trajectory() {
     let out = temp_path("BENCH_grid.json");
     let out_str = out.to_str().expect("utf-8 temp path");

@@ -41,7 +41,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use memstream_core::Requirement;
-use memstream_telemetry::{Counter, Metrics, SpanHandle};
+use memstream_telemetry::{Counter, Histogram, Metrics, SpanHandle};
 use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 
 use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
@@ -232,6 +232,9 @@ struct CacheTelemetry {
     save_bytes: Counter,
     v2_save_bytes: Counter,
     save_span: SpanHandle,
+    /// Per-lookup latency distribution (`cache.lookup`); the clock is
+    /// only read when the histogram is live.
+    lookup_latency: Histogram,
 }
 
 impl CacheTelemetry {
@@ -248,6 +251,7 @@ impl CacheTelemetry {
             save_bytes: metrics.counter("cache.save_bytes"),
             v2_save_bytes: metrics.counter("cache.v2_save_bytes"),
             save_span: metrics.span("cache.save"),
+            lookup_latency: metrics.histogram("cache.lookup"),
         }
     }
 
@@ -517,9 +521,19 @@ impl ResultCache {
         self.misses
     }
 
-    /// Looks up an outcome, counting the hit/miss.
+    /// Looks up an outcome, counting the hit/miss and timing the probe
+    /// into the `cache.lookup` histogram when telemetry is enabled.
     pub(crate) fn lookup(&mut self, key: &str) -> Option<CellOutcome> {
-        match self.entries.get(key) {
+        let started = self
+            .telemetry
+            .lookup_latency
+            .is_live()
+            .then(std::time::Instant::now);
+        let found = self.entries.get(key);
+        if let Some(started) = started {
+            self.telemetry.lookup_latency.record(started.elapsed());
+        }
+        match found {
             Some(outcome) => {
                 self.hits += 1;
                 self.telemetry.hits.incr();

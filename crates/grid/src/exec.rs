@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
-use memstream_telemetry::{Counter, Metrics, SpanHandle};
+use memstream_telemetry::{Counter, Histogram, Metrics, SpanHandle, Tracer};
 
 use crate::cache::ResultCache;
 use crate::eval::CellOutcome;
@@ -53,6 +53,12 @@ struct ExecTelemetry {
     interner_keys: Counter,
     /// One handle per worker slot, indexed by worker id.
     worker_cells: Vec<Counter>,
+    /// Per-series evaluation latency distribution (`grid.series_eval`).
+    series_latency: Histogram,
+    /// Emits one `grid.series` begin/end pair per evaluated series when
+    /// tracing is on, so worker-thread parallelism is visible in the
+    /// timeline.
+    tracer: Tracer,
 }
 
 impl ExecTelemetry {
@@ -76,7 +82,22 @@ impl ExecTelemetry {
             worker_cells: (0..threads)
                 .map(|i| metrics.counter(&format!("grid.worker.{i}.cells")))
                 .collect(),
+            series_latency: metrics.histogram("grid.series_eval"),
+            tracer: metrics.tracer(),
         }
+    }
+
+    /// Evaluates one series, timing it into the latency histogram and
+    /// bracketing it with trace events when either sink is live.
+    fn timed_series(&self, grid: &ScenarioGrid, s: &Series) -> Vec<(usize, CellOutcome)> {
+        self.tracer.begin("grid.series");
+        let started = self.series_latency.is_live().then(std::time::Instant::now);
+        let batch = evaluate_series(grid, s);
+        if let Some(started) = started {
+            self.series_latency.record(started.elapsed());
+        }
+        self.tracer.end("grid.series");
+        batch
     }
 
     /// The tally handle of worker `i` (no-op when out of range, i.e. on
@@ -266,7 +287,7 @@ impl GridExecutor {
             self.telemetry.worker(0).add(jobs.len() as u64);
             let mut slots: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
             for s in &series {
-                for (job, outcome) in evaluate_series(grid, s) {
+                for (job, outcome) in self.telemetry.timed_series(grid, s) {
                     slots[job] = Some(outcome);
                 }
             }
@@ -327,7 +348,7 @@ fn fan_out(
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(s) = series.get(i) else { break };
-                    let batch = evaluate_series(grid, s);
+                    let batch = telemetry.timed_series(grid, s);
                     evaluated += batch.len() as u64;
                     if tx.send(batch).is_err() {
                         break;
@@ -483,6 +504,10 @@ mod tests {
             "every unique cell is either a series representative or a model reuse"
         );
         assert!(snapshot.counter("grid.interner.keys").unwrap() > 0);
+        // One latency observation per evaluated series.
+        let latency = snapshot.histogram("grid.series_eval").unwrap();
+        assert_eq!(latency.count, series);
+        assert!(latency.p50_nanos() <= latency.p99_nanos());
         // Per-worker tallies must sum to the evaluated cells.
         let workers: u64 = (0..3)
             .map(|i| {

@@ -315,6 +315,7 @@ impl RefinementEngine {
         // for in-process and fanned-out rounds.
         let metrics = self.executor.metrics().clone();
         let round_span = metrics.span("refine.round");
+        let scan_span = metrics.span("refine.scan");
         let rounds_counter = metrics.counter("refine.rounds");
         let appended_counter = metrics.counter("refine.rates_appended");
         let bisections_counter = metrics.counter("refine.bisections");
@@ -336,7 +337,9 @@ impl RefinementEngine {
         let mut rounds: Vec<RoundRecord> = Vec::new();
         let round_timer = round_span.start();
         let mut results = explore_round(explorer, &working, cache, Vec::new(), &mut rounds)?;
+        let scan_timer = scan_span.start();
         let mut transitions = scan_transitions(&results);
+        drop(scan_timer);
         drop(round_timer);
         rounds.last_mut().expect("round 1 recorded").transitions = transitions.len();
         record_round(&rounds);
@@ -357,7 +360,9 @@ impl RefinementEngine {
             working = working.with_rate_axis(rates.iter().copied());
             let round_timer = round_span.start();
             results = explore_round(explorer, &working, cache, appended, &mut rounds)?;
+            let scan_timer = scan_span.start();
             transitions = scan_transitions(&results);
+            drop(scan_timer);
             drop(round_timer);
             rounds.last_mut().expect("round recorded").transitions = transitions.len();
             record_round(&rounds);

@@ -14,14 +14,18 @@
 
 use std::fmt;
 use std::io;
+use std::io::BufRead as _;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use memstream_grid::telemetry::{parse_histograms, TraceSnapshot};
 use memstream_grid::{CacheFormat, GridError, MergeStats, Metrics, ResultCache};
 
-use crate::protocol::WorkerSpec;
+use crate::protocol::{parse_progress, WorkerSpec};
 use crate::recipe::GridRecipe;
 
 /// The contiguous slice of a `len`-element canonical cell range owned by
@@ -111,7 +115,19 @@ pub struct WorkerReport {
     pub merged: Option<MergeStats>,
     /// The worker's captured stderr (its own accounting lines; forwarded
     /// to the coordinator's stderr by the harness, never to stdout).
+    /// Heartbeat lines are consumed into the progress display, not kept
+    /// here.
     pub stderr: String,
+    /// Wall-clock seconds from spawn to exit (also recorded into the
+    /// `shard.worker_wall` histogram when metrics are enabled). Zero for
+    /// a worker that never spawned.
+    pub wall_seconds: f64,
+    /// `shard-progress` heartbeat lines the coordinator consumed from
+    /// this worker's stderr.
+    pub heartbeats: usize,
+    /// The worker's timeline-trace fragment, when the fan-out ran with
+    /// tracing ([`ShardOptions::with_trace`]) and the worker wrote one.
+    pub trace: Option<TraceSnapshot>,
 }
 
 /// The outcome of one [`explore_sharded`] fan-out.
@@ -212,6 +228,12 @@ pub struct ShardOptions {
     /// ships and the slice files workers write back). Readers auto-detect,
     /// so the format never affects merged results — only scratch I/O speed.
     pub cache_format: CacheFormat,
+    /// Whether workers are asked to record a timeline trace. Each worker
+    /// writes a Chrome-trace fragment into the scratch directory; the
+    /// coordinator reads the fragments back into
+    /// [`WorkerReport::trace`] for the harness to merge with its own
+    /// timeline. Disabled by default.
+    pub trace: bool,
 }
 
 impl ShardOptions {
@@ -232,6 +254,7 @@ impl ShardOptions {
             leading_args: vec!["shard-worker".to_owned()],
             metrics: Metrics::disabled(),
             cache_format: CacheFormat::default(),
+            trace: false,
         }
     }
 
@@ -254,6 +277,124 @@ impl ShardOptions {
     pub fn with_cache_format(mut self, format: CacheFormat) -> Self {
         self.cache_format = format;
         self
+    }
+
+    /// Asks workers to record timeline-trace fragments (collected into
+    /// [`WorkerReport::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// How often the aggregated `shard progress:` line is re-printed at most.
+const PROGRESS_THROTTLE: Duration = Duration::from_millis(200);
+
+/// The coordinator's aggregated view of worker heartbeats: per-shard
+/// done/total cells, re-rendered to **stderr** as a single throttled
+/// `shard progress: done/total cells` line whenever a heartbeat moves
+/// the totals. Never touches stdout.
+struct ProgressBoard {
+    state: Mutex<BoardState>,
+}
+
+struct BoardState {
+    done: Vec<usize>,
+    total: Vec<usize>,
+    last_print: Option<Instant>,
+}
+
+impl ProgressBoard {
+    fn new(shards: usize) -> Self {
+        ProgressBoard {
+            state: Mutex::new(BoardState {
+                done: vec![0; shards],
+                total: vec![0; shards],
+                last_print: None,
+            }),
+        }
+    }
+
+    /// Folds one worker heartbeat in and re-prints the aggregate line if
+    /// the throttle window has passed (the final heartbeat — every shard
+    /// done — always prints).
+    fn update(&self, shard: usize, done: usize, total: usize) {
+        let Ok(mut state) = self.state.lock() else {
+            return;
+        };
+        if shard >= state.done.len() {
+            return;
+        }
+        state.done[shard] = done;
+        state.total[shard] = total;
+        let sum_done: usize = state.done.iter().sum();
+        let sum_total: usize = state.total.iter().sum();
+        let complete = sum_total > 0 && sum_done == sum_total;
+        let due = state
+            .last_print
+            .is_none_or(|last| last.elapsed() >= PROGRESS_THROTTLE);
+        if complete || due {
+            state.last_print = Some(Instant::now());
+            eprintln!("shard progress: {sum_done}/{sum_total} cells");
+        }
+    }
+}
+
+/// What one streaming collector thread hands back: exit status, the
+/// worker's non-heartbeat stderr, heartbeat accounting and wall time.
+struct CollectedWorker {
+    status: io::Result<std::process::ExitStatus>,
+    stderr: String,
+    heartbeats: usize,
+    wall: Duration,
+}
+
+/// Drains one child's pipes as they fill (a worker blocked on a full
+/// pipe against a coordinator waiting on a sibling would deadlock),
+/// consuming `shard-progress` heartbeat lines into the board and keeping
+/// everything else as the worker's stderr.
+fn collect_streaming(
+    mut child: std::process::Child,
+    board: &Arc<ProgressBoard>,
+    started: Instant,
+) -> CollectedWorker {
+    let drain = child.stdout.take().map(|mut out| {
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = io::Read::read_to_end(&mut out, &mut sink);
+            sink
+        })
+    });
+    let mut stderr = String::new();
+    let mut heartbeats = 0usize;
+    if let Some(pipe) = child.stderr.take() {
+        let mut reader = io::BufReader::new(pipe);
+        let mut line = Vec::new();
+        loop {
+            line.clear();
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let text = String::from_utf8_lossy(&line);
+            if let Some((shard, _, done, total)) = parse_progress(text.trim_end()) {
+                heartbeats += 1;
+                board.update(shard, done, total);
+            } else {
+                stderr.push_str(&text);
+            }
+        }
+    }
+    let status = child.wait();
+    if let Some(drain) = drain {
+        let _ = drain.join();
+    }
+    CollectedWorker {
+        status,
+        stderr,
+        heartbeats,
+        wall: started.elapsed(),
     }
 }
 
@@ -340,6 +481,7 @@ pub fn explore_sharded(
     // buffers would deadlock a chatty worker against the coordinator.
     let spawn_timer = metrics.span("shard.spawn").start();
     metrics.counter("shard.workers_spawned").add(shards as u64);
+    let board = Arc::new(ProgressBoard::new(shards));
     let mut children = Vec::with_capacity(shards);
     let mut failures: Vec<ShardFailure> = Vec::new();
     for index in 0..shards {
@@ -350,7 +492,16 @@ pub fn explore_sharded(
             warm: warm.clone(),
             threads: opts.worker_threads,
             stats: false,
-            stats_json: None,
+            // Workers with live telemetry write their registry (and its
+            // latency histograms) into scratch; the coordinator merges
+            // the histograms back so eval/cache latency distributions
+            // survive the process boundary.
+            stats_json: metrics
+                .is_enabled()
+                .then(|| scratch.join(format!("shard-{index}.stats.json"))),
+            trace: opts
+                .trace
+                .then(|| scratch.join(format!("shard-{index}.trace.json"))),
             cache_format: opts.cache_format,
             recipe: recipe.clone(),
         };
@@ -363,7 +514,10 @@ pub fn explore_sharded(
             .spawn();
         match child {
             Ok(child) => {
-                let collector = std::thread::spawn(move || child.wait_with_output());
+                let started = Instant::now();
+                let board = Arc::clone(&board);
+                let collector =
+                    std::thread::spawn(move || collect_streaming(child, &board, started));
                 children.push((spec, Some(collector)));
             }
             Err(e) => {
@@ -382,6 +536,7 @@ pub fn explore_sharded(
     let wait_span = metrics.span("shard.wait");
     let merge_span = metrics.span("shard.merge");
     let merge_bytes = metrics.counter("shard.merge_bytes");
+    let wall_histogram = metrics.histogram("shard.worker_wall");
     let mut workers = Vec::with_capacity(shards);
     for (spec, collector) in children {
         let range = shard_range(unique.len(), spec.shard, spec.shard_count);
@@ -394,13 +549,41 @@ pub fn explore_sharded(
             cached: slice_cached,
             merged: None,
             stderr: String::new(),
+            wall_seconds: 0.0,
+            heartbeats: 0,
+            trace: None,
         };
         if let Some(collector) = collector {
             let wait_timer = wait_span.start();
-            let output = collector.join().expect("worker collector thread");
+            let collected = collector.join().expect("worker collector thread");
             drop(wait_timer);
+            report.stderr = collected.stderr;
+            report.heartbeats = collected.heartbeats;
+            report.wall_seconds = collected.wall.as_secs_f64();
+            wall_histogram.record(collected.wall);
+            // The worker's latency histograms and trace fragment are
+            // best-effort observability: read them whatever the exit
+            // status says (a worker that later fails verification still
+            // measured real evaluations). Counters and spans are *not*
+            // merged — the coordinator's own registry already accounts
+            // for the run, and double-counting would corrupt the
+            // hit/miss totals the harness prints.
+            if let Some(path) = &spec.stats_json {
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    if let Ok(samples) = parse_histograms(&text) {
+                        for sample in &samples {
+                            metrics.histogram(&sample.name).merge_sample(sample);
+                        }
+                    }
+                }
+            }
+            if let Some(path) = &spec.trace {
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    report.trace = TraceSnapshot::from_chrome_json(&text).ok();
+                }
+            }
             let merge_timer = merge_span.start();
-            let collected = collect_worker(&spec, output, slice_keys, cache, &mut report);
+            let collected = collect_worker(&spec, collected.status, slice_keys, cache, &mut report);
             drop(merge_timer);
             match collected {
                 Ok(()) => {
@@ -436,13 +619,13 @@ pub fn explore_sharded(
     })
 }
 
-/// Takes one waited worker's output, verifies its cache against the
+/// Takes one waited worker's exit status, verifies its cache against the
 /// expected key slice, and unions it into `cache` (atomically — a
 /// conflicting shard contributes nothing). Any anomaly becomes the
 /// shard's ledger entry.
 fn collect_worker(
     spec: &WorkerSpec,
-    output: io::Result<std::process::Output>,
+    status: io::Result<std::process::ExitStatus>,
     slice_keys: &[String],
     cache: &mut ResultCache,
     report: &mut WorkerReport,
@@ -452,12 +635,11 @@ fn collect_worker(
         kind,
         detail,
     };
-    let output = output.map_err(|e| fail(ShardFailureKind::Died, format!("wait failed: {e}")))?;
-    report.stderr = String::from_utf8_lossy(&output.stderr).into_owned();
-    if !output.status.success() {
+    let status = status.map_err(|e| fail(ShardFailureKind::Died, format!("wait failed: {e}")))?;
+    if !status.success() {
         return Err(fail(
             ShardFailureKind::Died,
-            format!("exited abnormally ({})", output.status),
+            format!("exited abnormally ({status})"),
         ));
     }
 
@@ -531,6 +713,7 @@ mod tests {
             leading_args: vec!["-c".to_owned(), script.to_owned(), "fake-worker".to_owned()],
             metrics: Metrics::disabled(),
             cache_format: CacheFormat::V1,
+            trace: false,
         }
     }
 
@@ -618,6 +801,57 @@ mod tests {
         if let Some(dir) = run.scratch {
             let _ = std::fs::remove_dir_all(dir);
         }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn heartbeat_lines_are_consumed_not_kept_as_worker_stderr() {
+        // The fake worker emits two well-formed heartbeats plus one
+        // ordinary stderr line, then "evaluates" by copying the warm
+        // file (which holds the full grid, so the single shard's slice
+        // is exactly covered). The coordinator must count the heartbeats,
+        // keep only the ordinary line, and time the worker's wall clock.
+        use memstream_grid::GridExecutor;
+        let recipe = GridRecipe::classic(3);
+        let grid = recipe.build();
+        // Pre-resolve the whole grid into a file the fake worker can
+        // copy, but start the coordinator's own cache empty so the run
+        // actually fans out (a fully warm run spawns nothing).
+        let mut full = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut full)
+            .unwrap();
+        let warm_src = std::env::temp_dir().join(format!(
+            "memstream-heartbeat-warm-{}.cache",
+            std::process::id()
+        ));
+        full.save(&warm_src).unwrap();
+        let mut cache = ResultCache::new();
+        let script = format!(
+            r#"
+            while [ "$#" -gt 0 ]; do case "$1" in
+                --cache) C="$2"; shift 2;;
+                *) shift;;
+            esac; done
+            echo 'shard-progress 0/1: 3/6' >&2
+            echo 'ordinary accounting line' >&2
+            echo 'shard-progress 0/1: 6/6' >&2
+            cp '{}' "$C"
+        "#,
+            warm_src.display()
+        );
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(&script, 1)).expect("run");
+        assert!(run.is_complete(), "ledger: {:?}", run.failures);
+        assert_eq!(run.workers[0].heartbeats, 2);
+        assert!(run.workers[0].stderr.contains("ordinary accounting line"));
+        assert!(
+            !run.workers[0].stderr.contains("shard-progress"),
+            "heartbeats must be consumed, kept stderr was {:?}",
+            run.workers[0].stderr
+        );
+        assert!(run.workers[0].wall_seconds > 0.0);
+        assert!(run.workers[0].trace.is_none(), "tracing was off");
+        let _ = std::fs::remove_file(warm_src);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use coordinator::{
     explore_sharded, shard_range, shard_ranges, ShardError, ShardFailure, ShardFailureKind,
     ShardOptions, ShardRun, WorkerReport,
 };
-pub use protocol::{ProtocolError, WorkerSpec};
+pub use protocol::{format_progress, parse_progress, ProtocolError, WorkerSpec};
 pub use recipe::GridRecipe;
 pub use round::ShardedRoundExplorer;
 pub use worker::{run_worker, run_worker_with_metrics, WorkerSummary};

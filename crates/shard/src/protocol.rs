@@ -66,6 +66,10 @@ pub struct WorkerSpec {
     /// Write the worker's telemetry snapshot as JSON to this path when
     /// the run completes.
     pub stats_json: Option<PathBuf>,
+    /// Write the worker's trace events as Chrome trace JSON to this path
+    /// when the run completes (the coordinator collects the fragments and
+    /// merges them into the run-wide timeline).
+    pub trace: Option<PathBuf>,
     /// The encoding of the cache file the worker writes (and the
     /// coordinator's warm file). The flag is only emitted for non-default
     /// formats, so v1 command lines are byte-identical to older builds.
@@ -111,6 +115,10 @@ impl WorkerSpec {
             args.push("--stats-json".to_owned());
             args.push(path.display().to_string());
         }
+        if let Some(path) = &self.trace {
+            args.push("--trace".to_owned());
+            args.push(path.display().to_string());
+        }
         if self.cache_format != CacheFormat::default() {
             args.push("--cache-format".to_owned());
             args.push(self.cache_format.flag().to_owned());
@@ -134,6 +142,7 @@ impl WorkerSpec {
         let mut rate_list: Option<Vec<BitRate>> = None;
         let mut stats = false;
         let mut stats_json: Option<PathBuf> = None;
+        let mut trace: Option<PathBuf> = None;
         let mut cache_format = CacheFormat::default();
 
         let mut it = args.iter();
@@ -171,6 +180,7 @@ impl WorkerSpec {
                 "--classic" => classic = true,
                 "--stats" => stats = true,
                 "--stats-json" => stats_json = Some(PathBuf::from(value()?)),
+                "--trace" => trace = Some(PathBuf::from(value()?)),
                 "--cache-format" => {
                     let raw = value()?;
                     cache_format = CacheFormat::parse_flag(&raw).ok_or_else(|| {
@@ -215,10 +225,37 @@ impl WorkerSpec {
             threads,
             stats,
             stats_json,
+            trace,
             cache_format,
             recipe,
         })
     }
+}
+
+/// Renders one worker heartbeat line for the shard-progress stderr
+/// protocol: `shard-progress i/N: done/total`. Workers emit these lines
+/// on **stderr** (stdout stays byte-identical); the coordinator consumes
+/// them with [`parse_progress`] instead of forwarding them.
+#[must_use]
+pub fn format_progress(shard: usize, shard_count: usize, done: usize, total: usize) -> String {
+    format!("shard-progress {shard}/{shard_count}: {done}/{total}")
+}
+
+/// Parses a worker heartbeat line produced by [`format_progress`],
+/// returning `(shard, shard_count, cells_done, cells_total)`. Any other
+/// line — including ordinary worker stderr — returns `None`.
+#[must_use]
+pub fn parse_progress(line: &str) -> Option<(usize, usize, usize, usize)> {
+    let rest = line.strip_prefix("shard-progress ")?;
+    let (coords, cells) = rest.split_once(": ")?;
+    let (shard, shard_count) = coords.split_once('/')?;
+    let (done, total) = cells.split_once('/')?;
+    Some((
+        shard.parse().ok()?,
+        shard_count.parse().ok()?,
+        done.parse().ok()?,
+        total.parse().ok()?,
+    ))
 }
 
 #[cfg(test)]
@@ -235,6 +272,7 @@ mod tests {
             threads: 3,
             stats: true,
             stats_json: Some(PathBuf::from("/tmp/shard-2-stats.json")),
+            trace: Some(PathBuf::from("/tmp/shard-2.trace.json")),
             cache_format: CacheFormat::V2,
             recipe: GridRecipe::classic(7).with_rate_axis([
                 BitRate::from_kbps(32.0),
@@ -257,6 +295,7 @@ mod tests {
             threads: 0,
             stats: false,
             stats_json: None,
+            trace: None,
             cache_format: CacheFormat::V1,
             recipe: GridRecipe::baseline(24),
         };
@@ -265,7 +304,29 @@ mod tests {
             !args.iter().any(|a| a == "--cache-format"),
             "the default format must stay off the wire (old coordinators reject it)"
         );
+        assert!(
+            !args.iter().any(|a| a == "--trace"),
+            "tracing off must stay off the wire (old coordinators reject it)"
+        );
         assert_eq!(WorkerSpec::from_args(&args).unwrap(), spec);
+    }
+
+    #[test]
+    fn progress_lines_round_trip_and_reject_ordinary_stderr() {
+        let line = format_progress(1, 4, 75, 300);
+        assert_eq!(line, "shard-progress 1/4: 75/300");
+        assert_eq!(parse_progress(&line), Some((1, 4, 75, 300)));
+        for not_a_heartbeat in [
+            "",
+            "worker log line",
+            "shard-progress",
+            "shard-progress 1/4",
+            "shard-progress 1/4: 75",
+            "shard-progress one/4: 75/300",
+            "shard-progress 1/4: 75/zap",
+        ] {
+            assert_eq!(parse_progress(not_a_heartbeat), None, "{not_a_heartbeat:?}");
+        }
     }
 
     #[test]

@@ -150,6 +150,7 @@ mod tests {
                 leading_args: vec!["-c".to_owned(), "exit 3".to_owned(), "w".to_owned()],
                 metrics: memstream_grid::Metrics::disabled(),
                 cache_format: memstream_grid::CacheFormat::V1,
+                trace: false,
             },
             GridExecutor::serial(),
         );

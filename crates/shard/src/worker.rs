@@ -12,7 +12,14 @@ use std::io;
 use memstream_grid::{GridExecutor, KeyInterner, Metrics, ResultCache};
 
 use crate::coordinator::shard_range;
-use crate::protocol::WorkerSpec;
+use crate::protocol::{format_progress, WorkerSpec};
+
+/// How many heartbeat chunks a worker splits its slice into. Each chunk
+/// is one `resolve_cells` pass, so more chunks mean finer-grained
+/// liveness at the cost of re-planning series across chunk boundaries;
+/// four keeps that overhead marginal while a stuck worker is still
+/// spotted within a quarter of its slice.
+const PROGRESS_CHUNKS: usize = 4;
 
 /// What one worker run did (the numbers the harness prints to stderr).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +47,13 @@ pub fn run_worker(spec: &WorkerSpec) -> io::Result<WorkerSummary> {
 /// `shard-worker --stats` path). Telemetry never changes the cache file
 /// a worker writes.
 ///
+/// The slice is resolved in a fixed number of chunks, and after each
+/// chunk the worker emits one machine-parseable heartbeat line on
+/// **stderr** (`shard-progress i/N: cells_done/cells_total`, see
+/// [`format_progress`]). The coordinator consumes these lines into its
+/// aggregated progress display instead of forwarding them; stdout is
+/// untouched, so the byte-identity contract holds.
+///
 /// # Errors
 ///
 /// I/O errors from reading the warm cache or writing the output file.
@@ -57,9 +71,20 @@ pub fn run_worker_with_metrics(spec: &WorkerSpec, metrics: &Metrics) -> io::Resu
         None => ResultCache::new(),
     };
     working.set_metrics(metrics);
-    GridExecutor::parallel(spec.threads)
-        .with_metrics(metrics)
-        .resolve_cells(&grid, cells, &mut working);
+    let executor = GridExecutor::parallel(spec.threads).with_metrics(metrics);
+    let chunk_size = cells.len().div_ceil(PROGRESS_CHUNKS).max(1);
+    let mut done = 0usize;
+    if cells.is_empty() {
+        eprintln!("{}", format_progress(spec.shard, spec.shard_count, 0, 0));
+    }
+    for chunk in cells.chunks(chunk_size) {
+        executor.resolve_cells(&grid, chunk, &mut working);
+        done += chunk.len();
+        eprintln!(
+            "{}",
+            format_progress(spec.shard, spec.shard_count, done, cells.len())
+        );
+    }
 
     let interner = KeyInterner::new(&grid);
     let mut slice = ResultCache::new();
@@ -113,6 +138,7 @@ mod tests {
             threads: 1,
             stats: false,
             stats_json: None,
+            trace: None,
             cache_format: CacheFormat::V2,
             recipe,
         })
@@ -151,6 +177,7 @@ mod tests {
             threads: 1,
             stats: false,
             stats_json: None,
+            trace: None,
             cache_format: CacheFormat::V1,
             recipe,
         })

@@ -110,6 +110,32 @@ impl JsonObject {
         self.push(name, rendered)
     }
 
+    /// Appends an array of integers (each written exactly).
+    #[must_use]
+    pub fn field_array_u64(self, name: &str, values: &[u64]) -> Self {
+        let body = values
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        self.push(name, format!("[{body}]"))
+    }
+
+    /// Appends an array of objects (each rendered compactly).
+    #[must_use]
+    pub fn field_array_of_objects(
+        self,
+        name: &str,
+        values: impl IntoIterator<Item = JsonObject>,
+    ) -> Self {
+        let body = values
+            .into_iter()
+            .map(|o| o.render())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.push(name, format!("[{body}]"))
+    }
+
     /// Renders compactly (no whitespace).
     #[must_use]
     pub fn render(&self) -> String {

@@ -4,10 +4,13 @@
 //! Every future hot-path PR (monomorphized dispatch, batched evaluation,
 //! a binary cache format) needs a number to be accountable to. This crate
 //! is that number's substrate: a [`Metrics`] registry of named atomic
-//! **counters** and monotonic-timer **span accumulators**, plus a
-//! [`Snapshot`] that serializes the registry to a human-readable table or
-//! JSON (hand-rolled writer — the workspace has no registry access, so no
-//! serde). The metric name catalogue and the span semantics live in
+//! **counters**, monotonic-timer **span accumulators** and log-bucketed
+//! **histograms** ([`Histogram`], p50/p90/p99/max), plus a [`Snapshot`]
+//! that serializes the registry to a human-readable table or JSON
+//! (hand-rolled writer — the workspace has no registry access, so no
+//! serde), and a [`Tracer`] collecting begin/end/instant events into a
+//! Chrome/Perfetto-loadable timeline. The metric name catalogue, the
+//! trace event schema and the span semantics live in
 //! `docs/OBSERVABILITY.md` at the repository root.
 //!
 //! Design constraints, in order:
@@ -50,12 +53,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod histogram;
 pub mod json;
 mod metrics;
 mod snapshot;
+mod trace;
 
+pub use histogram::{Histogram, HistogramSample};
 pub use metrics::{Counter, Metrics, SpanGuard, SpanHandle};
-pub use snapshot::{CounterSample, Snapshot, SpanSample, SNAPSHOT_SCHEMA};
+pub use snapshot::{parse_histograms, CounterSample, Snapshot, SpanSample, SNAPSHOT_SCHEMA};
+pub use trace::{TraceEvent, TracePhase, TraceSnapshot, Tracer};
 
 #[cfg(test)]
 mod tests {
@@ -69,5 +76,9 @@ mod tests {
         assert_send_sync::<Counter>();
         assert_send_sync::<SpanHandle>();
         assert_send_sync::<Snapshot>();
+        assert_send_sync::<Histogram>();
+        assert_send_sync::<HistogramSample>();
+        assert_send_sync::<Tracer>();
+        assert_send_sync::<TraceSnapshot>();
     }
 }

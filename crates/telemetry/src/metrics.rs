@@ -1,11 +1,13 @@
-//! The registry: named atomic counters and span accumulators.
+//! The registry: named atomic counters, span accumulators and histograms.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::histogram::{Histogram, HistogramCell};
 use crate::snapshot::{CounterSample, Snapshot, SpanSample};
+use crate::trace::Tracer;
 
 /// One span's accumulator: how many times it was entered and the total
 /// wall-clock nanoseconds spent inside, both relaxed atomics.
@@ -22,6 +24,8 @@ struct SpanCell {
 struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     spans: Mutex<BTreeMap<String, Arc<SpanCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    tracer: Tracer,
 }
 
 /// A registry of named counters and span accumulators.
@@ -54,10 +58,33 @@ impl Metrics {
         }
     }
 
+    /// An enabled registry whose spans also emit begin/end events into
+    /// `tracer` (when the tracer itself is enabled). This is how `--trace`
+    /// turns the existing span instrumentation into a timeline without any
+    /// extra call sites.
+    #[must_use]
+    pub fn enabled_with_tracer(tracer: &Tracer) -> Self {
+        Metrics {
+            inner: Some(Arc::new(Registry {
+                tracer: tracer.clone(),
+                ..Registry::default()
+            })),
+        }
+    }
+
     /// Whether this handle records anything.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The tracer attached to this registry (the disabled tracer when the
+    /// registry is disabled or was created without one).
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.inner
+            .as_ref()
+            .map_or_else(Tracer::disabled, |registry| registry.tracer.clone())
     }
 
     /// Resolves (registering on first use) the counter named `name`.
@@ -81,7 +108,9 @@ impl Metrics {
     }
 
     /// Resolves (registering on first use) the span accumulator named
-    /// `name`. Like [`Metrics::counter`], resolve once and reuse.
+    /// `name`. Like [`Metrics::counter`], resolve once and reuse. When the
+    /// registry carries an enabled tracer, the handle also emits trace
+    /// begin/end events for every guard and [`SpanHandle::record`] call.
     #[must_use]
     pub fn span(&self, name: &str) -> SpanHandle {
         SpanHandle {
@@ -95,11 +124,35 @@ impl Metrics {
                         .or_default(),
                 )
             }),
+            trace: self.inner.as_ref().and_then(|registry| {
+                registry.tracer.is_enabled().then(|| TraceTrack {
+                    tracer: registry.tracer.clone(),
+                    name: Arc::from(name),
+                })
+            }),
         }
     }
 
-    /// A consistent point-in-time copy of every counter and span, sorted
-    /// by name. Disabled registries snapshot empty.
+    /// Resolves (registering on first use) the histogram named `name`.
+    /// Resolve once and reuse; the returned [`Histogram`] records lock-free.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .as_ref()
+            .map_or_else(Histogram::default, |registry| {
+                Histogram::live(Arc::clone(
+                    registry
+                        .histograms
+                        .lock()
+                        .expect("histogram registry poisoned")
+                        .entry(name.to_owned())
+                        .or_default(),
+                ))
+            })
+    }
+
+    /// A consistent point-in-time copy of every counter, span and
+    /// histogram, sorted by name. Disabled registries snapshot empty.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         let Some(registry) = &self.inner else {
@@ -126,7 +179,18 @@ impl Metrics {
                 nanos: cell.nanos.load(Ordering::Relaxed),
             })
             .collect();
-        Snapshot { counters, spans }
+        let histograms = registry
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, cell)| cell.sample(name))
+            .collect();
+        Snapshot {
+            counters,
+            spans,
+            histograms,
+        }
     }
 }
 
@@ -169,34 +233,52 @@ impl Counter {
     }
 }
 
+/// The tracer attachment of a span handle: which tracer to emit into, and
+/// under what event name.
+#[derive(Debug, Clone)]
+struct TraceTrack {
+    tracer: Tracer,
+    name: Arc<str>,
+}
+
 /// A handle to one named span accumulator: start RAII guards with
 /// [`SpanHandle::start`] or record externally measured durations with
 /// [`SpanHandle::record`].
 #[derive(Debug, Clone, Default)]
 pub struct SpanHandle {
     cell: Option<Arc<SpanCell>>,
+    trace: Option<TraceTrack>,
 }
 
 impl SpanHandle {
     /// Starts a guard that records the elapsed wall-clock time into this
     /// accumulator when dropped. A disabled handle's guard never reads
-    /// the clock.
+    /// the clock. With a tracer attached, the guard brackets its scope
+    /// with begin/end trace events.
     #[must_use]
     pub fn start(&self) -> SpanGuard {
+        if let Some(track) = &self.trace {
+            track.tracer.begin(&track.name);
+        }
         SpanGuard {
             cell: self.cell.clone(),
             // The clock is only consulted when someone will read it back.
             start: self.cell.as_ref().map(|_| Instant::now()),
+            trace: self.trace.clone(),
         }
     }
 
     /// Records one entry of `elapsed` without a guard (for durations
-    /// measured elsewhere, e.g. around a spawned process).
+    /// measured elsewhere, e.g. around a spawned process). With a tracer
+    /// attached, a begin/end pair ending now is synthesized.
     pub fn record(&self, elapsed: Duration) {
         if let Some(cell) = &self.cell {
             cell.entries.fetch_add(1, Ordering::Relaxed);
             let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
             cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        if let Some(track) = &self.trace {
+            track.tracer.complete(&track.name, elapsed);
         }
     }
 
@@ -209,11 +291,13 @@ impl SpanHandle {
     }
 }
 
-/// The RAII guard of one span entry; records on drop.
+/// The RAII guard of one span entry; records (and closes the trace span)
+/// on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
     cell: Option<Arc<SpanCell>>,
     start: Option<Instant>,
+    trace: Option<TraceTrack>,
 }
 
 impl Drop for SpanGuard {
@@ -222,6 +306,9 @@ impl Drop for SpanGuard {
             cell.entries.fetch_add(1, Ordering::Relaxed);
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        if let Some(track) = &self.trace {
+            track.tracer.end(&track.name);
         }
     }
 }
@@ -303,6 +390,50 @@ mod tests {
             std::hint::black_box(());
         }
         assert_eq!(metrics.snapshot().spans[0].entries, 1);
+    }
+
+    #[test]
+    fn histograms_join_the_snapshot() {
+        let metrics = Metrics::enabled();
+        let h = metrics.histogram("lat");
+        assert!(h.is_live());
+        h.record(Duration::from_micros(3));
+        let snapshot = metrics.snapshot();
+        let sample = snapshot.histogram("lat").expect("registered");
+        assert_eq!(sample.count, 1);
+        assert_eq!(sample.max_nanos, 3_000);
+    }
+
+    #[test]
+    fn traced_spans_emit_balanced_begin_end_events() {
+        let tracer = crate::Tracer::enabled();
+        let metrics = Metrics::enabled_with_tracer(&tracer);
+        let span = metrics.span("grid.explore");
+        drop(span.start());
+        span.record(Duration::from_millis(2));
+        let snap = tracer.snapshot();
+        let begins = snap
+            .events
+            .iter()
+            .filter(|e| e.phase == crate::TracePhase::Begin)
+            .count();
+        let ends = snap
+            .events
+            .iter()
+            .filter(|e| e.phase == crate::TracePhase::End)
+            .count();
+        assert_eq!((begins, ends), (2, 2), "events: {:?}", snap.events);
+        assert!(snap.events.iter().all(|e| e.name == "grid.explore"));
+        // Span accounting itself is unchanged by tracing.
+        assert_eq!(metrics.snapshot().spans[0].entries, 2);
+    }
+
+    #[test]
+    fn untraced_registries_hand_out_disabled_tracers() {
+        assert!(!Metrics::enabled().tracer().is_enabled());
+        assert!(!Metrics::disabled().tracer().is_enabled());
+        let tracer = crate::Tracer::enabled();
+        assert!(Metrics::enabled_with_tracer(&tracer).tracer().is_enabled());
     }
 
     #[test]

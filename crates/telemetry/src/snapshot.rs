@@ -2,11 +2,13 @@
 
 use std::fmt::Write as _;
 
-use crate::json::JsonObject;
+use crate::histogram::{HistogramSample, BUCKET_COUNT};
+use crate::json::{Json, JsonError, JsonObject};
 
 /// The snapshot JSON schema version, bumped on any incompatible change
-/// (see `docs/OBSERVABILITY.md` for the evolution rules).
-pub const SNAPSHOT_SCHEMA: &str = "memstream-telemetry v1";
+/// (see `docs/OBSERVABILITY.md` for the evolution rules). v2 added the
+/// `histograms` section.
+pub const SNAPSHOT_SCHEMA: &str = "memstream-telemetry v2";
 
 /// One counter's sampled value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +45,8 @@ pub struct Snapshot {
     pub counters: Vec<CounterSample>,
     /// Every span accumulator, sorted by name.
     pub spans: Vec<SpanSample>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<HistogramSample>,
 }
 
 impl Snapshot {
@@ -64,6 +68,12 @@ impl Snapshot {
             .map(SpanSample::seconds)
     }
 
+    /// The histogram named `name`, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// A throughput helper: counter `counter` divided by the non-zero
     /// seconds of span `span`. `None` when either is unregistered.
     /// Elapsed time is clamped to one nanosecond, so a registered pair
@@ -77,12 +87,13 @@ impl Snapshot {
 
     /// The fixed-width table the harness prints to **stderr** under
     /// `--stats`: counters first, then spans with entry counts and
-    /// accumulated seconds.
+    /// accumulated seconds, then histograms with their percentile
+    /// estimates (all times in seconds).
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "telemetry:");
-        if self.counters.is_empty() && self.spans.is_empty() {
+        if self.counters.is_empty() && self.spans.is_empty() && self.histograms.is_empty() {
             let _ = writeln!(out, "  (no metrics recorded)");
             return out;
         }
@@ -104,16 +115,45 @@ impl Snapshot {
                 );
             }
         }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>7} {:>11} {:>11} {:>11} {:>11}",
+                "histogram", "count", "p50[s]", "p90[s]", "p99[s]", "max[s]"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:>7} {:>11.6} {:>11.6} {:>11.6} {:>11.6}",
+                    h.name,
+                    h.count,
+                    h.p50_seconds(),
+                    h.p90_seconds(),
+                    h.p99_seconds(),
+                    h.max_seconds()
+                );
+            }
+        }
         out
     }
 
     /// The snapshot as a versioned JSON document:
     ///
     /// ```json
-    /// {"schema": "memstream-telemetry v1",
+    /// {"schema": "memstream-telemetry v2",
     ///  "counters": {"cache.hits": 600},
-    ///  "spans": {"grid.eval": {"entries": 1, "seconds": 0.0123}}}
+    ///  "spans": {"grid.eval": {"entries": 1, "seconds": 0.0123}},
+    ///  "histograms": {"grid.series_eval": {"count": 30, "sum_nanos": 91230,
+    ///    "max_nanos": 8123, "p50_seconds": 0.000002, "p90_seconds": 0.000004,
+    ///    "p99_seconds": 0.000008, "max_seconds": 0.000008,
+    ///    "buckets": [0,0,0,1]}}}
     /// ```
+    ///
+    /// Histogram entries carry their raw bucket counts (trailing zero
+    /// buckets trimmed) alongside the derived percentiles, so another
+    /// process — the shard coordinator folding worker snapshots — can
+    /// reconstruct and merge the exact distribution via
+    /// [`parse_histograms`].
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut counters = JsonObject::new();
@@ -129,12 +169,57 @@ impl Snapshot {
                     .field_f64("seconds", s.seconds()),
             );
         }
+        let mut histograms = JsonObject::new();
+        for h in &self.histograms {
+            let occupied = h
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map_or(0, |last| last + 1);
+            histograms = histograms.field_object(
+                &h.name,
+                JsonObject::new()
+                    .field_u64("count", h.count)
+                    .field_u64("sum_nanos", h.sum_nanos)
+                    .field_u64("max_nanos", h.max_nanos)
+                    .field_f64("p50_seconds", h.p50_seconds())
+                    .field_f64("p90_seconds", h.p90_seconds())
+                    .field_f64("p99_seconds", h.p99_seconds())
+                    .field_f64("max_seconds", h.max_seconds())
+                    .field_array_u64("buckets", &h.buckets[..occupied]),
+            );
+        }
         JsonObject::new()
             .field_str("schema", SNAPSHOT_SCHEMA)
             .field_object("counters", counters)
             .field_object("spans", spans)
+            .field_object("histograms", histograms)
             .render_pretty()
     }
+}
+
+/// Extracts the histogram samples from a snapshot JSON document (any
+/// schema version; documents without a `histograms` section yield an
+/// empty vector). The shard coordinator uses this to fold each worker's
+/// latency distributions into its own registry.
+pub fn parse_histograms(text: &str) -> Result<Vec<HistogramSample>, JsonError> {
+    let doc = crate::json::parse(text)?;
+    let mut samples = Vec::new();
+    if let Some(Json::Object(entries)) = doc.get("histograms") {
+        for (name, body) in entries {
+            let mut sample = HistogramSample::empty(name);
+            sample.count = body.get("count").and_then(Json::as_u64).unwrap_or(0);
+            sample.sum_nanos = body.get("sum_nanos").and_then(Json::as_u64).unwrap_or(0);
+            sample.max_nanos = body.get("max_nanos").and_then(Json::as_u64).unwrap_or(0);
+            if let Some(Json::Array(buckets)) = body.get("buckets") {
+                for (i, b) in buckets.iter().take(BUCKET_COUNT).enumerate() {
+                    sample.buckets[i] = b.as_u64().unwrap_or(0);
+                }
+            }
+            samples.push(sample);
+        }
+    }
+    Ok(samples)
 }
 
 #[cfg(test)]
@@ -150,6 +235,10 @@ mod tests {
         metrics
             .span("grid.eval")
             .record(std::time::Duration::from_millis(250));
+        let latency = metrics.histogram("cache.lookup");
+        for micros in [2u64, 3, 5, 90] {
+            latency.record(std::time::Duration::from_micros(micros));
+        }
         metrics.snapshot()
     }
 
@@ -181,10 +270,65 @@ mod tests {
     fn table_lists_every_metric_once() {
         let table = snapshot().render_table();
         assert!(table.starts_with("telemetry:"));
-        for name in ["cache.hits", "grid.cells_evaluated", "grid.eval"] {
+        for name in [
+            "cache.hits",
+            "grid.cells_evaluated",
+            "grid.eval",
+            "cache.lookup",
+        ] {
             assert_eq!(table.matches(name).count(), 1, "{name} in:\n{table}");
         }
         assert!(Snapshot::default().render_table().contains("no metrics"));
+    }
+
+    #[test]
+    fn rate_is_finite_at_the_one_nanosecond_clamp_edge_and_for_empty_spans() {
+        // A counter paired with a span that accumulated exactly the clamp
+        // floor (1ns) must divide by 1e-9, not by zero.
+        let metrics = Metrics::enabled();
+        metrics.counter("c").add(7);
+        metrics.span("s").record(std::time::Duration::from_nanos(1));
+        let rate = metrics.snapshot().rate_per_second("c", "s").unwrap();
+        assert!(rate.is_finite());
+        assert!(
+            (rate - 7e9).abs() < 1.0,
+            "expected exactly 7 / 1e-9: {rate}"
+        );
+
+        // A span registered but never entered (zero entries, zero nanos)
+        // still yields a finite rate, even with a zero-valued counter.
+        let metrics = Metrics::enabled();
+        let _ = metrics.counter("c");
+        let _ = metrics.span("s");
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.spans[0].entries, 0);
+        let rate = snapshot.rate_per_second("c", "s").unwrap();
+        assert!(rate.is_finite() && rate == 0.0);
+
+        // Neither degenerate shape may leak inf/NaN into the JSON document.
+        let text = snapshot.to_json();
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+        parse(&text).expect("degenerate snapshot still parses");
+    }
+
+    #[test]
+    fn histograms_round_trip_through_json_and_merge_exactly() {
+        let s = snapshot();
+        let parsed = parse_histograms(&s.to_json()).expect("snapshot JSON parses");
+        assert_eq!(parsed.len(), 1);
+        let original = s.histogram("cache.lookup").unwrap();
+        assert_eq!(&parsed[0], original);
+
+        // A second process folding the parsed sample doubles every bucket.
+        let metrics = Metrics::enabled();
+        let h = metrics.histogram("cache.lookup");
+        h.merge_sample(&parsed[0]);
+        h.merge_sample(&parsed[0]);
+        let folded = metrics.snapshot();
+        let folded = folded.histogram("cache.lookup").unwrap();
+        assert_eq!(folded.count, original.count * 2);
+        assert_eq!(folded.max_nanos, original.max_nanos);
+        assert_eq!(folded.p99_nanos(), original.p99_nanos());
     }
 
     #[test]

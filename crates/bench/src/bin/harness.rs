@@ -23,16 +23,23 @@
 //!
 //! `--shards N` (on `grid` and `refine`) fans evaluation out across `N`
 //! spawned worker **processes** — re-execs of this binary's
-//! `shard-worker` subcommand — and reassembles the run by cache-file
-//! union (`memstream_shard`). Stdout stays byte-identical to the
-//! single-process run for any shard count, cold or warm; shard
-//! accounting and the per-shard error ledger go to stderr, and any shard
-//! failure fails the run with exit code 1.
+//! `shard-worker` subcommand — under a leased work-stealing scheduler
+//! (`memstream_shard`, spec in `docs/SHARD_PROTOCOL.md`): workers pull
+//! small cell-range leases from the coordinator, flush completed records
+//! incrementally, and leases held by dead or stalled workers are
+//! reclaimed and re-issued. Stdout stays byte-identical to the
+//! single-process run for any shard count, lease size or failure pattern
+//! that leaves one live worker; shard accounting and the per-shard error
+//! ledger go to stderr, and an *incomplete* run (coverage lost) fails
+//! with exit code 1. `--lease-cells`/`--lease-deadline` tune the
+//! scheduler; `--fault-plan SHARD:PLAN` (or the
+//! `MEMSTREAM_FAULT_PLAN=shard=K:PLAN` environment variable on a worker)
+//! injects deterministic worker faults for tests and CI smoke runs.
 //!
-//! `harness shard-worker --shard i/N --cache PATH ...` is the worker
-//! side of that protocol (not for interactive use): evaluate one
-//! contiguous slice of the grid's deduplicated cell range and write it
-//! as a result-cache file (`docs/CACHE_FORMAT.md`).
+//! `harness shard-worker --shard i/N --lease --cache PATH ...` is the
+//! worker side of that protocol (not for interactive use): request
+//! leases over stderr, receive grants over stdin, evaluate and flush
+//! each granted range (`docs/CACHE_FORMAT.md`, `docs/SHARD_PROTOCOL.md`).
 //!
 //! `harness bench [--quick] [--out PATH]` runs the canonical performance
 //! scenarios — cold/warm cached grid, refinement, two-shard fan-out —
@@ -306,6 +313,9 @@ struct SharedFlags {
     cache_format: memstream_grid::CacheFormat,
     classic: bool,
     shards: Option<usize>,
+    lease_cells: usize,
+    lease_deadline: f64,
+    fault_plans: Vec<(usize, memstream_shard::FaultPlan)>,
     stats: bool,
     stats_json: Option<String>,
     trace: Option<String>,
@@ -320,6 +330,9 @@ impl SharedFlags {
             cache_format: memstream_grid::CacheFormat::default(),
             classic: false,
             shards: None,
+            lease_cells: 0, // 0 = auto: ~LEASE_CHUNKS_PER_WORKER chunks each
+            lease_deadline: 30.0,
+            fault_plans: Vec::new(),
             stats: false,
             stats_json: None,
             trace: None,
@@ -353,6 +366,24 @@ impl SharedFlags {
             }
             "--classic" => self.classic = true,
             "--shards" => self.shards = Some(parse_flag(flag, &value())),
+            "--lease-cells" => self.lease_cells = parse_flag(flag, &value()),
+            "--lease-deadline" => self.lease_deadline = parse_flag(flag, &value()),
+            "--fault-plan" => {
+                // `SHARD:PLAN`, repeatable — a deterministic misbehaviour
+                // injected into one worker (test/CI surface; see
+                // docs/SHARD_PROTOCOL.md for the plan grammar).
+                let raw = value();
+                let parsed = raw
+                    .split_once(':')
+                    .and_then(|(shard, plan)| Some((shard.parse().ok()?, plan.parse().ok()?)));
+                match parsed {
+                    Some(plan) => self.fault_plans.push(plan),
+                    None => {
+                        eprintln!("bad value for --fault-plan: `{raw}` is not SHARD:PLAN");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--stats" => self.stats = true,
             "--stats-json" => self.stats_json = Some(value()),
             "--trace" => self.trace = Some(value()),
@@ -428,9 +459,14 @@ impl SharedFlags {
             eprintln!("cannot locate the current binary for shard workers: {e}");
             std::process::exit(2);
         });
-        let opts = memstream_shard::ShardOptions::new(program, shards)
+        let mut opts = memstream_shard::ShardOptions::new(program, shards)
             .with_cache_format(self.cache_format)
-            .with_trace(self.trace.is_some());
+            .with_trace(self.trace.is_some())
+            .with_lease_cells(self.lease_cells)
+            .with_lease_deadline(std::time::Duration::from_secs_f64(self.lease_deadline));
+        for &(shard, plan) in &self.fault_plans {
+            opts = opts.with_fault_plan(shard, plan);
+        }
         if self.threads == 0 {
             opts
         } else {
@@ -453,6 +489,10 @@ fn report_shard_run(run: &memstream_shard::ShardRun) {
             "shards: {} workers over {} unique cells ({} cached, {} fanned out)",
             run.workers_spawned, run.unique_cells, run.cached, run.fanned_out
         );
+        eprintln!(
+            "  leases: {} chunks, {} issued, {} reclaimed",
+            run.lease_chunks, run.leases_issued, run.leases_reclaimed
+        );
     }
     for worker in &run.workers {
         let merged = worker.merged.map_or_else(
@@ -460,8 +500,8 @@ fn report_shard_run(run: &memstream_shard::ShardRun) {
             |m| format!("merged {} new, {} duplicate", m.added, m.duplicates),
         );
         eprintln!(
-            "  shard {}: {} cells assigned ({} cached); {}",
-            worker.shard, worker.assigned, worker.cached, merged
+            "  shard {}: {} leases ({} cells, {} flushed); {}",
+            worker.shard, worker.leases, worker.cells, worker.flushed, merged
         );
         for line in worker.stderr.lines() {
             eprintln!("  [shard {} stderr] {}", worker.shard, line);
@@ -524,13 +564,17 @@ fn explore_cached_or_exit(
 }
 
 /// `harness grid [--rates N] [--threads N] [--full-csv] [--validate SECS]
-/// [--cache PATH] [--cache-format v1|v2] [--classic] [--shards N]` — the
-/// parallel scenario-grid
+/// [--cache PATH] [--cache-format v1|v2] [--classic] [--shards N]
+/// [--lease-cells N] [--lease-deadline SECS] [--fault-plan SHARD:PLAN]`
+/// — the parallel scenario-grid
 /// exploration (see module docs). `--cache` loads/saves evaluated cells
 /// keyed by scenario content, so re-runs skip already-explored cells
 /// without changing a single output byte; `--classic` restricts the
 /// registry to the paper's four devices (no flash); `--shards` fans
-/// evaluation out across worker processes and merges by cache union.
+/// evaluation out across worker processes under the lease scheduler and
+/// merges by cache union (`--lease-cells`/`--lease-deadline` tune the
+/// chunking and the stall watchdog; `--fault-plan` injects deterministic
+/// worker misbehaviour, the test/CI surface).
 fn grid(args: &[String]) {
     use memstream_grid::{report, GridExecutor};
 
@@ -555,6 +599,7 @@ fn grid(args: &[String]) {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --full-csv, \
                      --validate, --cache, --cache-format, --classic, --shards, \
+                     --lease-cells, --lease-deadline, --fault-plan, \
                      --stats, --stats-json, --trace"
                 );
                 std::process::exit(2);
@@ -706,7 +751,8 @@ fn refine(args: &[String]) {
                 eprintln!(
                     "unknown flag `{other}`; try --rates, --threads, --cache, \
                      --cache-format, --width-bound, --max-rounds, --classic, \
-                     --shards, --stats, --stats-json, --trace"
+                     --shards, --lease-cells, --lease-deadline, --fault-plan, \
+                     --stats, --stats-json, --trace"
                 );
                 std::process::exit(2);
             }
@@ -816,10 +862,16 @@ fn refine(args: &[String]) {
 /// coordinator captures and forwards.
 fn shard_worker(args: &[String]) {
     use memstream_shard::{run_worker_with_metrics, WorkerSpec};
-    let spec = WorkerSpec::from_args(args).unwrap_or_else(|e| {
+    let mut spec = WorkerSpec::from_args(args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    // The env seam (`MEMSTREAM_FAULT_PLAN=shard=K:PLAN`) injects a fault
+    // without the coordinator's cooperation — how CI kills one worker of
+    // a real `--shards` run. An explicit --fault-plan flag wins.
+    if spec.fault.is_none() {
+        spec.fault = memstream_shard::FaultPlan::from_env(spec.shard);
+    }
     // The tracer is live exactly when the coordinator asked for a
     // fragment file: the worker's span events (and their thread ids)
     // land in the merged timeline alongside the coordinator's own.

@@ -153,3 +153,62 @@ fn worker_subcommand_rejects_malformed_specs() {
     assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("out of range"));
 }
+
+#[test]
+fn fault_plan_flag_kills_one_worker_and_the_bytes_survive() {
+    // The hidden test/CI surface end to end: one worker is told to die
+    // mid-run, its leases are reclaimed by the survivors, the run exits 0
+    // and stdout is still byte-identical to the single-process run.
+    let reference = stdout_of(&["grid", "--rates", "5", "--threads", "2"]);
+    let output = run(&[
+        "grid",
+        "--rates",
+        "5",
+        "--shards",
+        "3",
+        "--fault-plan",
+        "1:die-after-cells=2",
+    ]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "run must complete:\n{stderr}");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), reference);
+    assert!(
+        stderr.contains("shard ledger: shard 1: worker died"),
+        "the ledger must attribute the injected death:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("reclaimed"),
+        "the lease accounting must show the reclaim:\n{stderr}"
+    );
+}
+
+#[test]
+fn fault_plan_env_var_reaches_the_selected_worker() {
+    // The environment seam (how CI injects a fault without touching the
+    // coordinator's flags): inherited by every worker, obeyed only by
+    // the one the `shard=K:` selector names.
+    let reference = stdout_of(&["grid", "--rates", "5", "--threads", "2"]);
+    let output = Command::new(HARNESS)
+        .args(["grid", "--rates", "5", "--shards", "2"])
+        .env("MEMSTREAM_FAULT_PLAN", "shard=0:die-after-cells=1")
+        .output()
+        .expect("harness spawns");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "run must complete:\n{stderr}");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), reference);
+    assert!(
+        stderr.contains("shard ledger: shard 0: worker died"),
+        "shard 0 must die per the env plan:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("shard ledger: shard 1"),
+        "the selector must spare shard 1:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_fault_plans_are_rejected() {
+    let output = run(&["grid", "--shards", "2", "--fault-plan", "die-after-cells=2"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("not SHARD:PLAN"));
+}

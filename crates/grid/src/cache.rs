@@ -935,6 +935,193 @@ fn parse_v2(bytes: &[u8], verify_index: bool) -> V2Parse {
     }
 }
 
+// ---------------------------------------------------------------------
+// Incremental flush streams (docs/SHARD_PROTOCOL.md § "Flush files"):
+// an append-only v2-record stream shard workers write between leases and
+// the coordinator tails while the worker is still running.
+// ---------------------------------------------------------------------
+
+/// An append-only incremental writer of v2 cache records — the shard
+/// workers' **flush stream**.
+///
+/// The file layout is a v2 prefix without the trailing index: magic,
+/// `u64` record count, then length-prefixed records. Each [`CacheAppender::append`]
+/// writes the new records at the end of the file *first* and only then
+/// rewrites the count field, so a writer dying mid-append leaves the
+/// count pointing at the last fully-flushed batch: the lenient
+/// [`ResultCache::load`] reads exactly the valid prefix, and a
+/// [`FlushReader`] tailing the stream drops the torn bytes. The strict
+/// [`ResultCache::load_strict`] rejects flush streams (no index) —
+/// deliberately, they are scratch, not interchange.
+#[derive(Debug)]
+pub struct CacheAppender {
+    file: fs::File,
+    count: u64,
+}
+
+impl CacheAppender {
+    /// Creates (truncating) the flush stream at `path` and writes the
+    /// empty header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(V2_MAGIC)?;
+        file.write_all(&0u64.to_le_bytes())?;
+        Ok(CacheAppender { file, count: 0 })
+    }
+
+    /// Appends one batch of records and then commits it by rewriting the
+    /// header count. Returns the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; on error the batch is not committed (the
+    /// count still covers only previously committed records).
+    pub fn append<'a, I>(&mut self, entries: I) -> io::Result<usize>
+    where
+        I: IntoIterator<Item = (&'a str, &'a CellOutcome)>,
+    {
+        use std::io::Seek as _;
+        let mut batch = Vec::new();
+        let mut appended = 0usize;
+        for (key, outcome) in entries {
+            let body = encode_record(key, outcome);
+            let len = u32::try_from(body.len()).expect("cache record exceeds u32 length");
+            batch.extend_from_slice(&len.to_le_bytes());
+            batch.extend_from_slice(&body);
+            appended += 1;
+        }
+        if appended == 0 {
+            return Ok(0);
+        }
+        self.file.seek(io::SeekFrom::End(0))?;
+        self.file.write_all(&batch)?;
+        self.count += appended as u64;
+        self.file.seek(io::SeekFrom::Start(V2_MAGIC.len() as u64))?;
+        self.file.write_all(&self.count.to_le_bytes())?;
+        Ok(appended)
+    }
+
+    /// Records committed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// What one [`FlushReader::poll`] yielded.
+#[derive(Debug, Default)]
+pub struct FlushPoll {
+    /// Records fully flushed since the previous poll, in file order.
+    pub records: Vec<(String, CellOutcome)>,
+    /// A *complete* record failed to decode (or the magic is wrong): the
+    /// length-prefixed stream cannot be resynchronised past damage, so
+    /// the reader is permanently stuck — everything before the damage
+    /// was returned, nothing after it ever will be.
+    pub damaged: bool,
+}
+
+/// An incremental tail-reader over a [`CacheAppender`] flush stream,
+/// tolerant of a writer that is still appending (or died mid-append).
+///
+/// Records are self-delimiting, so the reader ignores the header count
+/// entirely: a length prefix promising more bytes than the file holds is
+/// treated as *not flushed yet* and re-examined on the next poll — if the
+/// writer is dead, those torn trailing bytes are simply never returned.
+/// A complete record that fails to decode marks the stream damaged
+/// (sticky; see [`FlushPoll::damaged`]).
+#[derive(Debug)]
+pub struct FlushReader {
+    path: std::path::PathBuf,
+    offset: u64,
+    damaged: bool,
+}
+
+impl FlushReader {
+    /// A reader tailing the flush stream at `path` (which need not exist
+    /// yet — polls before the writer creates it return nothing).
+    #[must_use]
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        FlushReader {
+            path: path.into(),
+            offset: 0,
+            damaged: false,
+        }
+    }
+
+    /// Reads every record fully flushed since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found" (a missing file is an
+    /// empty poll — the writer just hasn't created it yet).
+    pub fn poll(&mut self) -> io::Result<FlushPoll> {
+        if self.damaged {
+            return Ok(FlushPoll {
+                records: Vec::new(),
+                damaged: true,
+            });
+        }
+        let mut file = match fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(FlushPoll::default()),
+            Err(e) => return Err(e),
+        };
+        let mut buf = Vec::new();
+        if self.offset > 0 {
+            use std::io::Seek as _;
+            file.seek(io::SeekFrom::Start(self.offset))?;
+        }
+        io::Read::read_to_end(&mut file, &mut buf)?;
+        let mut pos = 0usize;
+        if self.offset == 0 {
+            let header = V2_MAGIC.len() + 8;
+            if buf.len() < header {
+                return Ok(FlushPoll::default());
+            }
+            if !buf.starts_with(V2_MAGIC) {
+                self.damaged = true;
+                return Ok(FlushPoll {
+                    records: Vec::new(),
+                    damaged: true,
+                });
+            }
+            pos = header;
+        }
+        let mut records = Vec::new();
+        loop {
+            let rest = &buf[pos..];
+            let Some(len) = rest
+                .get(..4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+            else {
+                break;
+            };
+            let Some(body) = rest.get(4..4 + len) else {
+                break; // torn or still being written: retry next poll
+            };
+            match decode_record(body) {
+                Some(entry) => {
+                    records.push(entry);
+                    pos += 4 + len;
+                }
+                None => {
+                    self.damaged = true;
+                    break;
+                }
+            }
+        }
+        self.offset += pos as u64;
+        Ok(FlushPoll {
+            records,
+            damaged: self.damaged,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1349,6 +1536,151 @@ mod tests {
         for key in cache.keys() {
             assert_eq!(strict.get(key), cache.get(key));
         }
+        fs::remove_file(path).unwrap();
+    }
+
+    fn unmodelled(detail: &str) -> CellOutcome {
+        CellOutcome::Unmodelled {
+            detail: detail.to_owned(),
+        }
+    }
+
+    #[test]
+    fn flush_stream_is_incrementally_readable_and_leniently_loadable() {
+        let path = temp_path("flush-basic.cache");
+        let mut writer = CacheAppender::create(&path).unwrap();
+        let mut reader = FlushReader::new(&path);
+
+        let (a, b, c) = (unmodelled("a"), unmodelled("b"), unmodelled("c"));
+        assert_eq!(writer.append([("a", &a), ("b", &b)]).unwrap(), 2);
+        let poll = reader.poll().unwrap();
+        assert!(!poll.damaged);
+        assert_eq!(
+            poll.records
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+
+        // A second batch arrives only on the next poll — nothing is
+        // returned twice.
+        assert_eq!(writer.append([("c", &c)]).unwrap(), 1);
+        assert_eq!(writer.count(), 3);
+        let poll = reader.poll().unwrap();
+        assert_eq!(poll.records.len(), 1);
+        assert_eq!(poll.records[0].0, "c");
+        assert!(reader.poll().unwrap().records.is_empty());
+
+        // The stream doubles as a lenient warm file but is rejected by
+        // the strict interchange reader (no index — scratch only).
+        let lenient = ResultCache::load(&path).unwrap();
+        assert_eq!(lenient.len(), 3);
+        assert!(ResultCache::load_strict(&path).is_err());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_flush_tail_is_dropped_but_the_committed_prefix_survives() {
+        // A writer that died mid-append leaves a length prefix promising
+        // more bytes than the file holds. The tail must never surface:
+        // not from the tailing reader, not from the lenient loader.
+        let path = temp_path("flush-torn.cache");
+        let mut writer = CacheAppender::create(&path).unwrap();
+        let (a, b) = (unmodelled("a"), unmodelled("b"));
+        writer.append([("a", &a), ("b", &b)]).unwrap();
+        let mut torn = 64u32.to_le_bytes().to_vec();
+        torn.extend_from_slice(&[0xAB; 7]);
+        let mut raw = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        raw.write_all(&torn).unwrap();
+        drop(raw);
+
+        let mut reader = FlushReader::new(&path);
+        let poll = reader.poll().unwrap();
+        assert!(!poll.damaged, "a tear is not damage");
+        assert_eq!(poll.records.len(), 2);
+        // The tear never completes: later polls stay empty and undamaged.
+        let poll = reader.poll().unwrap();
+        assert!(poll.records.is_empty() && !poll.damaged);
+
+        let lenient = ResultCache::load(&path).unwrap();
+        assert_eq!(lenient.len(), 2, "count covers only committed records");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_reader_resumes_once_a_partial_record_completes() {
+        // The same byte split as a torn tail — but the writer is alive
+        // and finishes the record, so the reader must pick it up whole.
+        let path = temp_path("flush-resume.cache");
+        let mut writer = CacheAppender::create(&path).unwrap();
+        let a = unmodelled("a");
+        writer.append([("a", &a)]).unwrap();
+        let full = fs::read(&path).unwrap();
+
+        // Replay the file one byte at a time into a sibling path.
+        let partial = temp_path("flush-resume-partial.cache");
+        let mut reader = FlushReader::new(&partial);
+        let mut seen = Vec::new();
+        for end in 0..=full.len() {
+            fs::write(&partial, &full[..end]).unwrap();
+            let poll = reader.poll().unwrap();
+            assert!(!poll.damaged, "a growing file is never damage");
+            seen.extend(poll.records);
+        }
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, "a");
+        for p in [path, partial] {
+            fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_flush_record_marks_the_stream_damaged_keeping_the_prefix() {
+        let path = temp_path("flush-corrupt.cache");
+        let mut writer = CacheAppender::create(&path).unwrap();
+        let a = unmodelled("a");
+        writer.append([("a", &a)]).unwrap();
+        // A complete but undecodable record: well-formed length, garbage
+        // body.
+        let mut garbage = 8u32.to_le_bytes().to_vec();
+        garbage.extend_from_slice(&[0xAB; 8]);
+        let mut raw = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        raw.write_all(&garbage).unwrap();
+        drop(raw);
+
+        let mut reader = FlushReader::new(&path);
+        let poll = reader.poll().unwrap();
+        assert!(poll.damaged, "a decodable-length garbage record is damage");
+        assert_eq!(poll.records.len(), 1, "the valid prefix is returned");
+        // Damage is sticky: the writer appending more afterwards changes
+        // nothing.
+        writer.append([("b", &a)]).unwrap();
+        let poll = reader.poll().unwrap();
+        assert!(poll.damaged && poll.records.is_empty());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_reader_rejects_a_wrong_magic() {
+        let path = temp_path("flush-magic.cache");
+        fs::write(&path, b"memstream-grid-cache v99\nxxxxxxxxxxx").unwrap();
+        let mut reader = FlushReader::new(&path);
+        assert!(reader.poll().unwrap().damaged);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_reader_tolerates_a_missing_or_headerless_file() {
+        let path = temp_path("flush-missing.cache");
+        let _ = fs::remove_file(&path);
+        let mut reader = FlushReader::new(&path);
+        let poll = reader.poll().unwrap();
+        assert!(poll.records.is_empty() && !poll.damaged);
+        // A file shorter than the header is "not ready", not damage.
+        fs::write(&path, &V2_MAGIC[..4]).unwrap();
+        let poll = reader.poll().unwrap();
+        assert!(poll.records.is_empty() && !poll.damaged);
         fs::remove_file(path).unwrap();
     }
 }

@@ -58,7 +58,10 @@ mod spec;
 mod store;
 mod validate;
 
-pub use cache::{CacheConflict, CacheFileError, CacheFormat, MergeStats, ResultCache};
+pub use cache::{
+    CacheAppender, CacheConflict, CacheFileError, CacheFormat, FlushPoll, FlushReader, MergeStats,
+    ResultCache,
+};
 // The instrumentation layer, re-exported so downstream crates (refine,
 // shard, the harness) can thread one `Metrics` registry through an
 // executor without naming the telemetry crate themselves.

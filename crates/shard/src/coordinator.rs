@@ -1,36 +1,56 @@
-//! The coordinator: partition, spawn, collect, verify, union.
+//! The coordinator: chunk, spawn, grant, collect, reclaim, union.
 //!
-//! [`explore_sharded`] is one fan-out: it partitions the recipe grid's
-//! canonical deduplicated cell range into contiguous shards, spawns one
-//! worker process per shard (a re-exec of the current binary's
-//! `shard-worker` subcommand, stdout/stderr captured), and merges the
-//! workers' cache files back into the coordinator's [`ResultCache`] by
-//! strict union. Every anomaly — a worker that failed to spawn, died on
-//! a signal, wrote an unreadable or version-mismatched cache, covered
-//! the wrong key set, or disagreed byte-wise with an existing entry —
-//! lands in a per-shard **error ledger** instead of poisoning the merged
-//! cache: entries from healthy shards are kept, the caller decides
-//! whether a partial merge is fatal.
+//! [`explore_sharded`] is one fan-out. The grid's canonical deduplicated
+//! cell range is split into small lease chunks owned by a
+//! [`LeaseQueue`]; one worker process per shard is spawned (a re-exec of
+//! the current binary's `shard-worker` subcommand with `--lease`,
+//! stdin/stdout/stderr all piped), and a per-child **collector thread**
+//! speaks the lease protocol with it: `lease-request` lines on the
+//! worker's stderr are answered with `lease-grant`/`lease-retire` lines
+//! on its stdin, `lease-done` lines trigger a poll of the worker's
+//! incremental flush stream ([`FlushReader`]), and `shard-progress`
+//! heartbeats feed the aggregated progress display. A watchdog thread
+//! reclaims leases from workers that stop heartbeating past
+//! [`ShardOptions::lease_deadline`] (killing the stragglers), so their
+//! chunks are re-issued to live workers.
+//!
+//! Every anomaly — a worker that failed to spawn, died or stalled
+//! mid-lease, damaged its flush stream, announced a lease it never
+//! flushed, or disagreed byte-wise with an existing entry — lands in a
+//! per-shard **error ledger** instead of poisoning the merged cache.
+//! The run is *complete* when the union of collected records covers the
+//! whole range conflict-free, which holds for any worker count, lease
+//! size or failure pattern that leaves at least one live worker.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::io::BufRead as _;
+use std::io::Write as _;
 use std::ops::Range;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use memstream_grid::telemetry::{parse_histograms, TraceSnapshot};
-use memstream_grid::{CacheFormat, GridError, MergeStats, Metrics, ResultCache};
+use memstream_grid::telemetry::{parse_histograms, Histogram, TraceSnapshot};
+use memstream_grid::{CacheFormat, FlushReader, GridError, MergeStats, Metrics, ResultCache};
 
-use crate::protocol::{parse_progress, WorkerSpec};
+use crate::fault::FaultPlan;
+use crate::lease::{LeaseQueue, LeaseResponse, LEASE_CHUNKS_PER_WORKER};
+use crate::protocol::{
+    format_lease_reply, parse_lease_done, parse_lease_request, parse_progress, LeaseReply,
+    WorkerSpec,
+};
 use crate::recipe::GridRecipe;
 
 /// The contiguous slice of a `len`-element canonical cell range owned by
 /// shard `index` of `count`: `len*i/N .. len*(i+1)/N`. Slices partition
 /// the range (no gaps, no overlap) and differ in length by at most one.
+/// (The lease scheduler supersedes static slices for scheduling; this
+/// stays as the reference partition shape and the static-mode worker's
+/// contract.)
 ///
 /// # Panics
 ///
@@ -57,17 +77,22 @@ pub fn shard_ranges(len: usize, count: usize) -> Vec<Range<usize>> {
 pub enum ShardFailureKind {
     /// The worker process could not be spawned at all.
     Spawn,
-    /// The worker exited abnormally (non-zero status or killed by a
-    /// signal).
+    /// The worker exited abnormally (non-zero status, killed by a
+    /// signal) or exited cleanly while the lease queue was undrained.
     Died,
-    /// The worker's cache file was missing, unreadable, version-mismatched
-    /// or corrupt under the strict reader.
-    CacheUnreadable,
-    /// The worker's cache parsed but covers the wrong key set for its
-    /// slice — it evaluated a different grid than the coordinator planned.
+    /// The worker stopped heartbeating past the lease deadline; the
+    /// watchdog killed it and reclaimed its leases.
+    Stalled,
+    /// The worker's incremental flush stream was damaged (bad magic or
+    /// an undecodable record).
+    FlushCorrupt,
+    /// The worker announced a lease it never delivered, flushed keys
+    /// outside the planned grid, or the final merge left cells
+    /// uncovered — it evaluated a different grid than the coordinator
+    /// planned.
     Incompatible,
-    /// An entry of the worker's cache conflicts byte-wise with one the
-    /// coordinator already holds.
+    /// An entry of the worker's flush stream conflicts byte-wise with
+    /// one the coordinator already holds.
     Conflict,
 }
 
@@ -76,8 +101,9 @@ impl fmt::Display for ShardFailureKind {
         f.write_str(match self {
             ShardFailureKind::Spawn => "spawn failed",
             ShardFailureKind::Died => "worker died",
-            ShardFailureKind::CacheUnreadable => "cache unreadable",
-            ShardFailureKind::Incompatible => "cache incompatible",
+            ShardFailureKind::Stalled => "worker stalled",
+            ShardFailureKind::FlushCorrupt => "flush corrupt",
+            ShardFailureKind::Incompatible => "coverage mismatch",
             ShardFailureKind::Conflict => "cache conflict",
         })
     }
@@ -90,7 +116,8 @@ pub struct ShardFailure {
     pub shard: usize,
     /// The failure class.
     pub kind: ShardFailureKind,
-    /// Human-readable attribution (exit status, offending key, ...).
+    /// Human-readable attribution (exit status, offending key, leases
+    /// reclaimed, ...).
     pub detail: String,
 }
 
@@ -105,18 +132,22 @@ impl fmt::Display for ShardFailure {
 pub struct WorkerReport {
     /// 0-based shard index.
     pub shard: usize,
-    /// Cells of the shard's slice.
-    pub assigned: usize,
-    /// Slice cells the coordinator already held (workers resolve them
-    /// from the warm file without evaluating).
-    pub cached: usize,
-    /// What the union merge of this shard's cache did (`None` when the
-    /// shard failed before merging).
+    /// Leases this worker completed (`lease-done` accepted by the queue).
+    pub leases: usize,
+    /// Cells of those completed leases (warm cells inside the chunks
+    /// included).
+    pub cells: usize,
+    /// Records collected from this worker's incremental flush stream —
+    /// including the committed prefix of a worker that later died.
+    pub flushed: usize,
+    /// What the union merge of this worker's collected records did.
+    /// `None` when the worker never spawned or its records conflicted.
     pub merged: Option<MergeStats>,
     /// The worker's captured stderr (its own accounting lines; forwarded
     /// to the coordinator's stderr by the harness, never to stdout).
-    /// Heartbeat lines are consumed into the progress display, not kept
-    /// here.
+    /// Protocol lines (heartbeats, lease traffic) are consumed, not kept,
+    /// and a partial trailing line from a worker that died mid-write is
+    /// dropped.
     pub stderr: String,
     /// Wall-clock seconds from spawn to exit (also recorded into the
     /// `shard.worker_wall` histogram when metrics are enabled). Zero for
@@ -143,33 +174,49 @@ pub struct ShardRun {
     pub fanned_out: usize,
     /// Worker count actually used (0 on a fully warm run).
     pub workers_spawned: usize,
+    /// Lease chunks the canonical range was split into (0 on a fully
+    /// warm run).
+    pub lease_chunks: usize,
+    /// Leases granted over the run (re-issues after reclaim count
+    /// again).
+    pub leases_issued: u64,
+    /// Leases reclaimed from dead, stalled or lying workers and
+    /// re-issued to live ones.
+    pub leases_reclaimed: u64,
     /// Per-worker accounting, in shard order (empty on a fully warm run).
     pub workers: Vec<WorkerReport>,
-    /// The per-shard error ledger; empty iff the merged cache covers the
-    /// whole range.
+    /// The per-shard error ledger. With lease reclaim a run can be
+    /// complete *and* carry ledger entries (a worker died, its chunks
+    /// were re-issued); the ledger attributes what happened.
     pub failures: Vec<ShardFailure>,
-    /// The scratch directory holding shard/warm cache files; kept (for a
-    /// post-mortem) exactly when the ledger is non-empty.
+    /// Whether the merged cache covers the whole canonical range
+    /// conflict-free — the property [`ShardRun::is_complete`] reports.
+    pub complete: bool,
+    /// The scratch directory holding flush/warm files; kept (for a
+    /// post-mortem) exactly when the run is incomplete.
     pub scratch: Option<PathBuf>,
 }
 
 impl ShardRun {
-    /// Whether every shard merged cleanly.
+    /// Whether the merged cache covers every unique cell conflict-free
+    /// (individual workers may still have failed — see
+    /// [`ShardRun::failures`]).
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
+        self.complete
     }
 }
 
 /// A sharded exploration failed before any per-shard ledger could be
-/// built, or a caller promoted a non-empty ledger to a hard error.
+/// built, or a caller promoted an incomplete run's ledger to a hard
+/// error.
 #[derive(Debug)]
 pub enum ShardError {
     /// The grid itself is unexplorable.
     Grid(GridError),
     /// Coordinator-side I/O failed (scratch dir, warm-file write).
     Scratch(io::Error),
-    /// One or more shards failed; the ledger is attached.
+    /// The run was incomplete; the ledger is attached.
     Workers(Vec<ShardFailure>),
 }
 
@@ -208,7 +255,7 @@ impl From<GridError> for ShardError {
 /// How to fan a grid out across worker processes.
 #[derive(Debug, Clone)]
 pub struct ShardOptions {
-    /// Requested shard count (clamped to the number of unique cells).
+    /// Requested worker count (clamped to the number of missing cells).
     pub shards: usize,
     /// `--threads` forwarded to each worker (`0` = machine width — only
     /// sensible when workers land on different hosts).
@@ -218,15 +265,16 @@ pub struct ShardOptions {
     pub program: PathBuf,
     /// Arguments placed before the encoded [`WorkerSpec`] — normally
     /// `["shard-worker"]`, the harness subcommand. Tests substitute a
-    /// shell here to simulate dying or lying workers.
+    /// shell here to simulate dying, stalling or lying workers.
     pub leading_args: Vec<String>,
     /// Where the coordinator reports the `shard.*` telemetry catalogue
-    /// (spawn/wait/merge wall time, cell and failure counts — see
-    /// `docs/OBSERVABILITY.md`). Disabled by default.
+    /// (spawn/wait/merge wall time, cell/lease/failure counts, the
+    /// `shard.lease_wait` histogram — see `docs/OBSERVABILITY.md`).
+    /// Disabled by default.
     pub metrics: Metrics,
-    /// Encoding of the scratch cache files (the warm file the coordinator
-    /// ships and the slice files workers write back). Readers auto-detect,
-    /// so the format never affects merged results — only scratch I/O speed.
+    /// Encoding of the warm cache file the coordinator ships to workers.
+    /// (Workers' flush streams are always the v2 binary framing —
+    /// [`memstream_grid::CacheAppender`] — regardless of this setting.)
     pub cache_format: CacheFormat,
     /// Whether workers are asked to record a timeline trace. Each worker
     /// writes a Chrome-trace fragment into the scratch directory; the
@@ -234,6 +282,17 @@ pub struct ShardOptions {
     /// [`WorkerReport::trace`] for the harness to merge with its own
     /// timeline. Disabled by default.
     pub trace: bool,
+    /// Cells per lease chunk; `0` (the default) sizes chunks so each
+    /// worker gets roughly [`LEASE_CHUNKS_PER_WORKER`] of them.
+    pub lease_cells: usize,
+    /// How long a worker may go without writing a single stderr line
+    /// while holding a lease before the watchdog declares it stalled,
+    /// kills it and reclaims its leases.
+    pub lease_deadline: Duration,
+    /// Deterministic misbehaviours injected into specific workers
+    /// (`(shard index, plan)`), threaded through the hidden
+    /// `--fault-plan` worker flag. Test-suite surface.
+    pub fault_plans: Vec<(usize, FaultPlan)>,
 }
 
 impl ShardOptions {
@@ -255,6 +314,9 @@ impl ShardOptions {
             metrics: Metrics::disabled(),
             cache_format: CacheFormat::default(),
             trace: false,
+            lease_cells: 0,
+            lease_deadline: Duration::from_secs(30),
+            fault_plans: Vec::new(),
         }
     }
 
@@ -272,7 +334,7 @@ impl ShardOptions {
         self
     }
 
-    /// Sets the encoding of the fan-out's scratch cache files.
+    /// Sets the encoding of the fan-out's warm cache file.
     #[must_use]
     pub fn with_cache_format(mut self, format: CacheFormat) -> Self {
         self.cache_format = format;
@@ -286,115 +348,447 @@ impl ShardOptions {
         self.trace = trace;
         self
     }
+
+    /// Sets the lease chunk size in cells (`0` = auto).
+    #[must_use]
+    pub fn with_lease_cells(mut self, cells: usize) -> Self {
+        self.lease_cells = cells;
+        self
+    }
+
+    /// Sets the stall deadline after which a silent lease holder is
+    /// killed and its leases reclaimed.
+    #[must_use]
+    pub fn with_lease_deadline(mut self, deadline: Duration) -> Self {
+        self.lease_deadline = deadline;
+        self
+    }
+
+    /// Injects a deterministic fault into worker `shard`.
+    #[must_use]
+    pub fn with_fault_plan(mut self, shard: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((shard, plan));
+        self
+    }
 }
 
 /// How often the aggregated `shard progress:` line is re-printed at most.
 const PROGRESS_THROTTLE: Duration = Duration::from_millis(200);
 
-/// The coordinator's aggregated view of worker heartbeats: per-shard
-/// done/total cells, re-rendered to **stderr** as a single throttled
-/// `shard progress: done/total cells` line whenever a heartbeat moves
-/// the totals. Never touches stdout.
-struct ProgressBoard {
-    state: Mutex<BoardState>,
+/// How often a collector waiting for lease-queue work re-checks the
+/// queue (a condvar wakeup normally arrives much sooner).
+const GRANT_POLL: Duration = Duration::from_millis(50);
+
+/// The throttled `shard progress: done/total cells` stderr line, shared
+/// by every collector thread. Never touches stdout.
+#[derive(Default)]
+struct ProgressPrinter {
+    last: Mutex<Option<Instant>>,
 }
 
-struct BoardState {
-    done: Vec<usize>,
-    total: Vec<usize>,
-    last_print: Option<Instant>,
-}
-
-impl ProgressBoard {
-    fn new(shards: usize) -> Self {
-        ProgressBoard {
-            state: Mutex::new(BoardState {
-                done: vec![0; shards],
-                total: vec![0; shards],
-                last_print: None,
-            }),
-        }
-    }
-
-    /// Folds one worker heartbeat in and re-prints the aggregate line if
-    /// the throttle window has passed (the final heartbeat — every shard
-    /// done — always prints).
-    fn update(&self, shard: usize, done: usize, total: usize) {
-        let Ok(mut state) = self.state.lock() else {
+impl ProgressPrinter {
+    fn update(&self, done: usize, total: usize, force: bool) {
+        let Ok(mut last) = self.last.lock() else {
             return;
         };
-        if shard >= state.done.len() {
-            return;
-        }
-        state.done[shard] = done;
-        state.total[shard] = total;
-        let sum_done: usize = state.done.iter().sum();
-        let sum_total: usize = state.total.iter().sum();
-        let complete = sum_total > 0 && sum_done == sum_total;
-        let due = state
-            .last_print
-            .is_none_or(|last| last.elapsed() >= PROGRESS_THROTTLE);
-        if complete || due {
-            state.last_print = Some(Instant::now());
-            eprintln!("shard progress: {sum_done}/{sum_total} cells");
+        if force || last.is_none_or(|at| at.elapsed() >= PROGRESS_THROTTLE) {
+            *last = Some(Instant::now());
+            eprintln!("shard progress: {done}/{total} cells");
         }
     }
 }
 
-/// What one streaming collector thread hands back: exit status, the
-/// worker's non-heartbeat stderr, heartbeat accounting and wall time.
+/// The immutable work map every collector verifies against: the
+/// canonical dedup keys, which cells the coordinator already held, and
+/// the key universe (for spotting a worker that evaluated a different
+/// grid).
+struct WorkPlan {
+    keys: Vec<String>,
+    covered: Vec<bool>,
+    key_set: HashSet<String>,
+}
+
+/// The mutable scheduler state shared by collectors and the watchdog.
+struct LeaseState {
+    queue: LeaseQueue,
+    /// Per worker: when its last stderr line (of any kind) arrived.
+    last_activity: Vec<Instant>,
+    /// Per worker: the watchdog's stall attribution, once declared.
+    stalled: Vec<Option<String>>,
+}
+
+/// [`LeaseState`] plus the condvar that wakes collectors blocked waiting
+/// for reclaimed or newly completed work.
+struct LeaseShared {
+    state: Mutex<LeaseState>,
+    wakeup: Condvar,
+}
+
+impl LeaseShared {
+    fn touch(&self, worker: usize) {
+        if let Ok(mut state) = self.state.lock() {
+            state.last_activity[worker] = Instant::now();
+        }
+    }
+
+    fn progress(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("lease state");
+        (state.queue.done_cells(), state.queue.total_cells())
+    }
+
+    /// Blocks until the queue has a decisive answer for `worker` — a
+    /// grant or a retirement, never `Wait`. Waiters hold no lock while
+    /// parked; completions, reclaims and worker deaths all notify.
+    fn await_grant(&self, worker: usize) -> LeaseResponse {
+        let mut state = self.state.lock().expect("lease state");
+        loop {
+            match state.queue.request(worker) {
+                LeaseResponse::Wait => {
+                    state = self
+                        .wakeup
+                        .wait_timeout(state, GRANT_POLL)
+                        .expect("lease state")
+                        .0;
+                }
+                decisive => return decisive,
+            }
+        }
+    }
+
+    fn holds(&self, worker: usize, range: &Range<usize>) -> bool {
+        self.state
+            .lock()
+            .expect("lease state")
+            .queue
+            .holds(worker, range)
+    }
+
+    fn complete(&self, worker: usize, range: &Range<usize>) -> bool {
+        let done = self
+            .state
+            .lock()
+            .expect("lease state")
+            .queue
+            .complete(worker, range);
+        if done {
+            self.wakeup.notify_all();
+        }
+        done
+    }
+
+    fn reclaim(&self, worker: usize) -> usize {
+        let count = self
+            .state
+            .lock()
+            .expect("lease state")
+            .queue
+            .reclaim(worker);
+        self.wakeup.notify_all();
+        count
+    }
+
+    /// Bookkeeping when a worker's stderr hits EOF: any leases it still
+    /// holds go back to the queue. Returns `(reclaimed, drained)` at
+    /// that moment — a worker that exited cleanly *after* retirement
+    /// sees `(0, true)`.
+    fn on_eof(&self, worker: usize) -> (usize, bool) {
+        let mut state = self.state.lock().expect("lease state");
+        let reclaimed = state.queue.reclaim(worker);
+        let drained = state.queue.is_drained();
+        drop(state);
+        self.wakeup.notify_all();
+        (reclaimed, drained)
+    }
+
+    fn stalled_detail(&self, worker: usize) -> Option<String> {
+        self.state.lock().expect("lease state").stalled[worker].clone()
+    }
+
+    fn totals(&self) -> (usize, u64, u64) {
+        let state = self.state.lock().expect("lease state");
+        (
+            state.queue.chunk_count(),
+            state.queue.issued(),
+            state.queue.reclaimed(),
+        )
+    }
+}
+
+type SharedChild = Arc<Mutex<Child>>;
+
+/// Everything one collector thread needs, moved in at spawn.
+struct CollectorCtx {
+    worker: usize,
+    shared: Arc<LeaseShared>,
+    plan: Arc<WorkPlan>,
+    printer: Arc<ProgressPrinter>,
+    child: SharedChild,
+    stdin: Option<ChildStdin>,
+    stdout: Option<std::process::ChildStdout>,
+    stderr: Option<std::process::ChildStderr>,
+    flush_path: PathBuf,
+    lease_wait: Histogram,
+    started: Instant,
+}
+
+/// What one collector thread hands back when its worker is gone.
 struct CollectedWorker {
-    status: io::Result<std::process::ExitStatus>,
+    status: io::Result<ExitStatus>,
     stderr: String,
     heartbeats: usize,
     wall: Duration,
+    /// Records collected from the worker's flush stream.
+    local: ResultCache,
+    flushed: usize,
+    leases: usize,
+    cells: usize,
+    /// Leases still held at EOF (reclaimed and re-issued).
+    eof_reclaimed: usize,
+    /// Whether the queue was drained when this worker EOF'd.
+    drained_at_eof: bool,
+    /// A protocol violation the collector attributed mid-stream.
+    failure: Option<(ShardFailureKind, String)>,
 }
 
-/// Drains one child's pipes as they fill (a worker blocked on a full
-/// pipe against a coordinator waiting on a sibling would deadlock),
-/// consuming `shard-progress` heartbeat lines into the board and keeping
-/// everything else as the worker's stderr.
-fn collect_streaming(
-    mut child: std::process::Child,
-    board: &Arc<ProgressBoard>,
-    started: Instant,
-) -> CollectedWorker {
-    let drain = child.stdout.take().map(|mut out| {
+/// Polls the flush stream into `local`, verifying every record's key is
+/// part of the planned grid. Records decoded before any damage are kept
+/// — a dead worker's committed prefix still merges.
+fn absorb_flush(
+    reader: &mut FlushReader,
+    plan: &WorkPlan,
+    local: &mut ResultCache,
+) -> Result<usize, (ShardFailureKind, String)> {
+    let poll = reader
+        .poll()
+        .map_err(|e| (ShardFailureKind::FlushCorrupt, format!("flush stream: {e}")))?;
+    let count = poll.records.len();
+    for (key, outcome) in poll.records {
+        if !plan.key_set.contains(&key) {
+            return Err((
+                ShardFailureKind::Incompatible,
+                format!("flushed key `{key}` is not in the planned grid"),
+            ));
+        }
+        local.insert(key, outcome);
+    }
+    if poll.damaged {
+        return Err((
+            ShardFailureKind::FlushCorrupt,
+            "flush stream damaged (bad magic or undecodable record)".to_owned(),
+        ));
+    }
+    Ok(count)
+}
+
+/// The first cell of `range` the coordinator needed and `local` does not
+/// deliver, if any.
+fn uncovered_cell(plan: &WorkPlan, range: &Range<usize>, local: &ResultCache) -> Option<usize> {
+    range
+        .clone()
+        .find(|&idx| !plan.covered[idx] && !local.contains_key(&plan.keys[idx]))
+}
+
+/// Best-effort kill that never blocks: if the child's mutex is held, its
+/// collector is already in `wait()` — the process is on its way out.
+fn kill_child(child: &SharedChild) {
+    if let Ok(mut child) = child.try_lock() {
+        let _ = child.kill();
+    }
+}
+
+/// One worker's collector: drains the child's pipes as they fill (a
+/// worker blocked on a full pipe against a coordinator waiting on a
+/// sibling would deadlock), answering lease traffic and tailing the
+/// flush stream along the way.
+fn collect_streaming(ctx: CollectorCtx) -> CollectedWorker {
+    let CollectorCtx {
+        worker,
+        shared,
+        plan,
+        printer,
+        child,
+        mut stdin,
+        stdout,
+        stderr: stderr_pipe,
+        flush_path,
+        lease_wait,
+        started,
+    } = ctx;
+    // Workers write nothing to stdout, but drain it anyway: an unexpected
+    // chatty worker must never wedge the run on a full pipe.
+    let drain = stdout.map(|mut out| {
         std::thread::spawn(move || {
             let mut sink = Vec::new();
             let _ = io::Read::read_to_end(&mut out, &mut sink);
-            sink
         })
     });
+
+    let mut flush = FlushReader::new(flush_path);
+    let mut local = ResultCache::new();
     let mut stderr = String::new();
     let mut heartbeats = 0usize;
-    if let Some(pipe) = child.stderr.take() {
+    let mut flushed = 0usize;
+    let mut leases = 0usize;
+    let mut cells = 0usize;
+    let mut failure: Option<(ShardFailureKind, String)> = None;
+
+    if let Some(pipe) = stderr_pipe {
         let mut reader = io::BufReader::new(pipe);
         let mut line = Vec::new();
-        loop {
+        'lines: loop {
             line.clear();
             match reader.read_until(b'\n', &mut line) {
                 Ok(0) | Err(_) => break,
                 Ok(_) => {}
             }
+            // A worker that dies mid-write leaves a partial trailing
+            // line (`read_until` without its delimiter means the pipe
+            // closed). It is not a complete protocol line and must not
+            // pollute the kept stderr — drop it and fall through to the
+            // EOF path.
+            if line.last() != Some(&b'\n') {
+                break;
+            }
+            shared.touch(worker);
             let text = String::from_utf8_lossy(&line);
-            if let Some((shard, _, done, total)) = parse_progress(text.trim_end()) {
+            let trimmed = text.trim_end();
+            if parse_progress(trimmed).is_some() {
                 heartbeats += 1;
-                board.update(shard, done, total);
+                let (done, total) = shared.progress();
+                printer.update(done, total, false);
+            } else if parse_lease_request(trimmed).is_some() {
+                let asked = Instant::now();
+                let response = shared.await_grant(worker);
+                lease_wait.record(asked.elapsed());
+                let reply = match response {
+                    LeaseResponse::Grant(range) => LeaseReply::Grant(range),
+                    LeaseResponse::Wait | LeaseResponse::Retire => LeaseReply::Retire,
+                };
+                let delivered = stdin.as_mut().is_some_and(|pipe| {
+                    writeln!(pipe, "{}", format_lease_reply(&reply))
+                        .and_then(|()| pipe.flush())
+                        .is_ok()
+                });
+                if !delivered {
+                    // The grant channel is gone (the worker is dying):
+                    // put any grant straight back and keep draining.
+                    shared.reclaim(worker);
+                    stdin = None;
+                }
+            } else if let Some((_, _, range)) = parse_lease_done(trimmed) {
+                // Only a lease this worker actually holds counts; a
+                // stale `lease-done` (its leases were reclaimed) or a
+                // bogus range is ignored — the final coverage check
+                // still guards correctness.
+                if !shared.holds(worker, &range) {
+                    continue;
+                }
+                match absorb_flush(&mut flush, &plan, &mut local) {
+                    Ok(count) => flushed += count,
+                    Err(why) => {
+                        failure = Some(why);
+                        shared.reclaim(worker);
+                        kill_child(&child);
+                        break 'lines;
+                    }
+                }
+                if let Some(idx) = uncovered_cell(&plan, &range, &local) {
+                    failure = Some((
+                        ShardFailureKind::Incompatible,
+                        format!(
+                            "lease-done {}..{} lacks a flushed record for key `{}`",
+                            range.start, range.end, plan.keys[idx]
+                        ),
+                    ));
+                    shared.reclaim(worker);
+                    kill_child(&child);
+                    break 'lines;
+                }
+                if shared.complete(worker, &range) {
+                    leases += 1;
+                    cells += range.len();
+                    let (done, total) = shared.progress();
+                    printer.update(done, total, done == total);
+                }
             } else {
                 stderr.push_str(&text);
             }
         }
     }
-    let status = child.wait();
+
+    // Straggler records flushed after the last `lease-done` — notably
+    // the committed prefix of a worker that died mid-lease.
+    if failure.is_none() {
+        match absorb_flush(&mut flush, &plan, &mut local) {
+            Ok(count) => flushed += count,
+            Err(why) => failure = Some(why),
+        }
+    }
+    drop(stdin); // EOF the grant channel, in case the worker still reads
+    let status = child.lock().expect("child handle").wait();
     if let Some(drain) = drain {
         let _ = drain.join();
     }
+    let (eof_reclaimed, drained_at_eof) = shared.on_eof(worker);
     CollectedWorker {
         status,
         stderr,
         heartbeats,
         wall: started.elapsed(),
+        local,
+        flushed,
+        leases,
+        cells,
+        eof_reclaimed,
+        drained_at_eof,
+        failure,
+    }
+}
+
+/// The stall watchdog: ticks until stopped, reclaiming (and killing)
+/// workers that hold leases but have written nothing for the deadline.
+/// Once the queue is drained it also kills any unresponsive straggler so
+/// the run can end.
+fn run_watchdog(
+    shared: &Arc<LeaseShared>,
+    children: &[Option<SharedChild>],
+    deadline: Duration,
+    stop: &AtomicBool,
+) {
+    let tick = (deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(200));
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        let Ok(mut state) = shared.state.lock() else {
+            return;
+        };
+        let now = Instant::now();
+        let mut kill_list = Vec::new();
+        for (worker, child) in children.iter().enumerate() {
+            if state.stalled[worker].is_some() || child.is_none() {
+                continue;
+            }
+            let idle = now.saturating_duration_since(state.last_activity[worker]);
+            if idle < deadline {
+                continue;
+            }
+            if state.queue.outstanding(worker) > 0 {
+                let reclaimed = state.queue.reclaim(worker);
+                state.stalled[worker] = Some(format!(
+                    "no heartbeat for {:.1}s; killed, {reclaimed} lease(s) reclaimed",
+                    idle.as_secs_f64()
+                ));
+                shared.wakeup.notify_all();
+                kill_list.push(worker);
+            } else if state.queue.is_drained() {
+                kill_list.push(worker);
+            }
+        }
+        drop(state);
+        for worker in kill_list {
+            if let Some(child) = &children[worker] {
+                kill_child(child);
+            }
+        }
     }
 }
 
@@ -412,21 +806,24 @@ fn scratch_dir() -> io::Result<PathBuf> {
 
 /// One coordinated fan-out: resolve every unique cell of the recipe's
 /// grid into `cache`, evaluating missing cells on spawned worker
-/// processes and merging their cache files by strict union.
+/// processes under the lease scheduler and merging their incrementally
+/// flushed records by strict union.
 ///
 /// A fully warm cache short-circuits: no scratch files, no processes.
-/// Otherwise the **full** canonical range is partitioned `i/N` (workers
-/// skip warm cells via the shipped warm file), so the shard layout is a
-/// function of the grid alone, not of cache temperature.
+/// Otherwise the **full** canonical range is chunked (workers skip warm
+/// cells via the shipped warm file), so the chunk layout is a function
+/// of the grid alone, not of cache temperature.
 ///
-/// Failures of individual shards land in [`ShardRun::failures`]; the
-/// entries of every healthy shard are merged regardless, so a retry can
-/// proceed warm from everything that did work.
+/// Failures of individual workers land in [`ShardRun::failures`]; their
+/// leases are reclaimed and re-issued, so the run still completes —
+/// byte-identically — as long as one worker survives. Everything that
+/// was flushed is merged regardless, so even an incomplete run leaves
+/// the cache warmer for a retry.
 ///
 /// # Errors
 ///
 /// [`ShardError::Scratch`] when coordinator-side I/O (scratch directory,
-/// warm-file write) fails — per-shard problems are *not* errors here.
+/// warm-file write) fails — per-worker problems are *not* errors here.
 pub fn explore_sharded(
     recipe: &GridRecipe,
     cache: &mut ResultCache,
@@ -435,7 +832,8 @@ pub fn explore_sharded(
     let grid = recipe.build();
     let unique = grid.unique_cells();
     let keys: Vec<String> = unique.iter().map(|c| grid.dedup_key(c)).collect();
-    let cached = keys.iter().filter(|k| cache.contains_key(k)).count();
+    let covered: Vec<bool> = keys.iter().map(|k| cache.contains_key(k)).collect();
+    let cached = covered.iter().filter(|&&warm| warm).count();
     let missing = unique.len() - cached;
 
     let metrics = &opts.metrics;
@@ -452,13 +850,25 @@ pub fn explore_sharded(
             cached,
             fanned_out: 0,
             workers_spawned: 0,
+            lease_chunks: 0,
+            leases_issued: 0,
+            leases_reclaimed: 0,
             workers: Vec::new(),
             failures: Vec::new(),
+            complete: true,
             scratch: None,
         });
     }
 
-    let shards = opts.shards.clamp(1, unique.len());
+    let shards = opts.shards.clamp(1, missing);
+    let chunk_cells = if opts.lease_cells > 0 {
+        opts.lease_cells
+    } else {
+        unique
+            .len()
+            .div_ceil(shards * LEASE_CHUNKS_PER_WORKER)
+            .max(1)
+    };
     let scratch = scratch_dir().map_err(ShardError::Scratch)?;
     // Ship a warm file only when this grid can actually hit it. A
     // refinement round's sub-grid (new rates only) shares no keys with
@@ -474,17 +884,32 @@ pub fn explore_sharded(
         Some(path)
     };
 
-    // Spawn every worker before waiting on any: the shards run
-    // concurrently, each parallel inside itself on its own threads. Each
-    // child gets a collector thread draining its pipes immediately —
-    // waiting on children one by one while siblings still hold full pipe
-    // buffers would deadlock a chatty worker against the coordinator.
+    let key_set: HashSet<String> = keys.iter().cloned().collect();
+    let plan = Arc::new(WorkPlan {
+        keys,
+        covered,
+        key_set,
+    });
+    let shared = Arc::new(LeaseShared {
+        state: Mutex::new(LeaseState {
+            queue: LeaseQueue::new(unique.len(), chunk_cells, shards, &plan.covered),
+            last_activity: vec![Instant::now(); shards],
+            stalled: vec![None; shards],
+        }),
+        wakeup: Condvar::new(),
+    });
+    let printer = Arc::new(ProgressPrinter::default());
+    let lease_wait = metrics.histogram("shard.lease_wait");
+
+    // Spawn every worker before waiting on any: they run concurrently,
+    // each parallel inside itself on its own threads, and each child
+    // gets a collector thread draining its pipes immediately.
     let spawn_timer = metrics.span("shard.spawn").start();
     metrics.counter("shard.workers_spawned").add(shards as u64);
-    let board = Arc::new(ProgressBoard::new(shards));
-    let mut children = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    let mut children: Vec<Option<SharedChild>> = vec![None; shards];
     let mut failures: Vec<ShardFailure> = Vec::new();
-    for index in 0..shards {
+    for (index, child_slot) in children.iter_mut().enumerate() {
         let spec = WorkerSpec {
             shard: index,
             shard_count: shards,
@@ -503,22 +928,43 @@ pub fn explore_sharded(
                 .trace
                 .then(|| scratch.join(format!("shard-{index}.trace.json"))),
             cache_format: opts.cache_format,
+            lease: true,
+            fault: opts
+                .fault_plans
+                .iter()
+                .find(|(shard, _)| *shard == index)
+                .map(|(_, plan)| *plan),
             recipe: recipe.clone(),
         };
         let child = Command::new(&opts.program)
             .args(&opts.leading_args)
             .args(spec.to_args())
-            .stdin(Stdio::null())
+            .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn();
         match child {
-            Ok(child) => {
+            Ok(mut child) => {
                 let started = Instant::now();
-                let board = Arc::clone(&board);
-                let collector =
-                    std::thread::spawn(move || collect_streaming(child, &board, started));
-                children.push((spec, Some(collector)));
+                let stdin = child.stdin.take();
+                let stdout = child.stdout.take();
+                let stderr = child.stderr.take();
+                let handle: SharedChild = Arc::new(Mutex::new(child));
+                *child_slot = Some(Arc::clone(&handle));
+                let ctx = CollectorCtx {
+                    worker: index,
+                    shared: Arc::clone(&shared),
+                    plan: Arc::clone(&plan),
+                    printer: Arc::clone(&printer),
+                    child: handle,
+                    stdin,
+                    stdout,
+                    stderr,
+                    flush_path: spec.cache.clone(),
+                    lease_wait: lease_wait.clone(),
+                    started,
+                };
+                handles.push((spec, Some(std::thread::spawn(|| collect_streaming(ctx)))));
             }
             Err(e) => {
                 failures.push(ShardFailure {
@@ -526,48 +972,58 @@ pub fn explore_sharded(
                     kind: ShardFailureKind::Spawn,
                     detail: format!("{}: {e}", opts.program.display()),
                 });
-                children.push((spec, None));
+                handles.push((spec, None));
             }
         }
     }
-
     drop(spawn_timer);
+
+    // The watchdog lives as long as the collectors do: joins below rely
+    // on it to unstick stalled workers.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watchdog = children.iter().any(Option::is_some).then(|| {
+        let shared = Arc::clone(&shared);
+        let children = children.clone();
+        let stop = Arc::clone(&stop);
+        let deadline = opts.lease_deadline;
+        std::thread::spawn(move || run_watchdog(&shared, &children, deadline, &stop))
+    });
 
     let wait_span = metrics.span("shard.wait");
     let merge_span = metrics.span("shard.merge");
     let merge_bytes = metrics.counter("shard.merge_bytes");
     let wall_histogram = metrics.histogram("shard.worker_wall");
     let mut workers = Vec::with_capacity(shards);
-    for (spec, collector) in children {
-        let range = shard_range(unique.len(), spec.shard, spec.shard_count);
-        let slice_keys = &keys[range];
-        let assigned = slice_keys.len();
-        let slice_cached = slice_keys.iter().filter(|k| cache.contains_key(k)).count();
+    let mut conflicted = false;
+    for (spec, handle) in handles {
         let mut report = WorkerReport {
             shard: spec.shard,
-            assigned,
-            cached: slice_cached,
+            leases: 0,
+            cells: 0,
+            flushed: 0,
             merged: None,
             stderr: String::new(),
             wall_seconds: 0.0,
             heartbeats: 0,
             trace: None,
         };
-        if let Some(collector) = collector {
+        if let Some(handle) = handle {
             let wait_timer = wait_span.start();
-            let collected = collector.join().expect("worker collector thread");
+            let collected = handle.join().expect("worker collector thread");
             drop(wait_timer);
             report.stderr = collected.stderr;
             report.heartbeats = collected.heartbeats;
             report.wall_seconds = collected.wall.as_secs_f64();
+            report.leases = collected.leases;
+            report.cells = collected.cells;
+            report.flushed = collected.flushed;
             wall_histogram.record(collected.wall);
             // The worker's latency histograms and trace fragment are
-            // best-effort observability: read them whatever the exit
-            // status says (a worker that later fails verification still
-            // measured real evaluations). Counters and spans are *not*
-            // merged — the coordinator's own registry already accounts
-            // for the run, and double-counting would corrupt the
-            // hit/miss totals the harness prints.
+            // best-effort observability: read them whatever its fate (a
+            // worker that later fails still measured real evaluations).
+            // Counters and spans are *not* merged — the coordinator's
+            // own registry already accounts for the run, and
+            // double-counting would corrupt the hit/miss totals.
             if let Some(path) = &spec.stats_json {
                 if let Ok(text) = std::fs::read_to_string(path) {
                     if let Ok(samples) = parse_histograms(&text) {
@@ -582,30 +1038,101 @@ pub fn explore_sharded(
                     report.trace = TraceSnapshot::from_chrome_json(&text).ok();
                 }
             }
+            // Merge whatever the worker delivered — a dead worker's
+            // committed prefix included. Duplicates from a reclaimed
+            // lease finished twice must be byte-equal or the merge is a
+            // hard conflict.
             let merge_timer = merge_span.start();
-            let collected = collect_worker(&spec, collected.status, slice_keys, cache, &mut report);
-            drop(merge_timer);
-            match collected {
-                Ok(()) => {
-                    // Merge throughput numerator: the interchange file's
-                    // size on disk (the bytes the strict reader parsed).
+            match cache.merge(&collected.local) {
+                Ok(stats) => {
+                    report.merged = Some(stats);
                     if merge_bytes.is_live() {
                         if let Ok(meta) = std::fs::metadata(&spec.cache) {
                             merge_bytes.add(meta.len());
                         }
                     }
                 }
-                Err(failure) => failures.push(failure),
+                Err(conflict) => {
+                    conflicted = true;
+                    failures.push(ShardFailure {
+                        shard: spec.shard,
+                        kind: ShardFailureKind::Conflict,
+                        detail: conflict.to_string(),
+                    });
+                }
+            }
+            drop(merge_timer);
+            // Fate: an attributed protocol violation wins, then a
+            // watchdog stall, then the exit status and queue state.
+            let fate = if let Some((kind, detail)) = collected.failure {
+                Some((kind, detail))
+            } else if let Some(detail) = shared.stalled_detail(spec.shard) {
+                Some((ShardFailureKind::Stalled, detail))
+            } else {
+                match collected.status {
+                    Err(e) => Some((ShardFailureKind::Died, format!("wait failed: {e}"))),
+                    Ok(status) if !status.success() => Some((
+                        ShardFailureKind::Died,
+                        format!(
+                            "exited abnormally ({status}); {} lease(s) reclaimed",
+                            collected.eof_reclaimed
+                        ),
+                    )),
+                    Ok(_) if !collected.drained_at_eof || collected.eof_reclaimed > 0 => Some((
+                        ShardFailureKind::Died,
+                        format!(
+                            "exited before the lease queue drained ({} lease(s) reclaimed)",
+                            collected.eof_reclaimed
+                        ),
+                    )),
+                    Ok(_) => None,
+                }
+            };
+            if let Some((kind, detail)) = fate {
+                failures.push(ShardFailure {
+                    shard: spec.shard,
+                    kind,
+                    detail,
+                });
             }
         }
         workers.push(report);
     }
+    stop.store(true, Ordering::Relaxed);
+    if let Some(watchdog) = watchdog {
+        let _ = watchdog.join();
+    }
+
+    // The run's real verdict: does the merged cache cover the canonical
+    // range, conflict-free?
+    let uncovered = plan
+        .keys
+        .iter()
+        .filter(|key| !cache.contains_key(key))
+        .count();
+    if uncovered > 0 && failures.is_empty() {
+        failures.push(ShardFailure {
+            shard: 0,
+            kind: ShardFailureKind::Incompatible,
+            detail: format!("{uncovered} cell(s) uncovered after the merge"),
+        });
+    }
+    let complete = uncovered == 0 && !conflicted;
+    failures.sort_by_key(|failure| failure.shard);
+
+    let (lease_chunks, leases_issued, leases_reclaimed) = shared.totals();
+    metrics
+        .counter("shard.lease_chunks")
+        .add(lease_chunks as u64);
+    metrics.counter("shard.leases_issued").add(leases_issued);
+    metrics
+        .counter("shard.leases_reclaimed")
+        .add(leases_reclaimed);
     metrics.counter("shard.failures").add(failures.len() as u64);
 
-    let complete = failures.is_empty();
     if complete {
-        // Healthy runs leave nothing behind; a failed run keeps its
-        // scratch files for a post-mortem.
+        // Complete runs leave nothing behind; an incomplete run keeps
+        // its scratch files for a post-mortem.
         let _ = std::fs::remove_dir_all(&scratch);
     }
     Ok(ShardRun {
@@ -613,68 +1140,14 @@ pub fn explore_sharded(
         cached,
         fanned_out: missing,
         workers_spawned: shards,
+        lease_chunks,
+        leases_issued,
+        leases_reclaimed,
         workers,
         failures,
+        complete,
         scratch: (!complete).then_some(scratch),
     })
-}
-
-/// Takes one waited worker's exit status, verifies its cache against the
-/// expected key slice, and unions it into `cache` (atomically — a
-/// conflicting shard contributes nothing). Any anomaly becomes the
-/// shard's ledger entry.
-fn collect_worker(
-    spec: &WorkerSpec,
-    status: io::Result<std::process::ExitStatus>,
-    slice_keys: &[String],
-    cache: &mut ResultCache,
-    report: &mut WorkerReport,
-) -> Result<(), ShardFailure> {
-    let fail = |kind, detail| ShardFailure {
-        shard: spec.shard,
-        kind,
-        detail,
-    };
-    let status = status.map_err(|e| fail(ShardFailureKind::Died, format!("wait failed: {e}")))?;
-    if !status.success() {
-        return Err(fail(
-            ShardFailureKind::Died,
-            format!("exited abnormally ({status})"),
-        ));
-    }
-
-    let slice = ResultCache::load_strict(&spec.cache).map_err(|e| {
-        fail(
-            ShardFailureKind::CacheUnreadable,
-            format!("{}: {e}", spec.cache.display()),
-        )
-    })?;
-
-    // Grid-key compatibility: the slice must cover exactly its assigned
-    // keys. (A worker that built a different grid — other code version,
-    // drifted recipe — fails here instead of quietly merging nonsense.)
-    if let Some(key) = slice_keys.iter().find(|k| !slice.contains_key(k)) {
-        return Err(fail(
-            ShardFailureKind::Incompatible,
-            format!("missing entry for key `{key}`"),
-        ));
-    }
-    if slice.len() != slice_keys.len() {
-        return Err(fail(
-            ShardFailureKind::Incompatible,
-            format!(
-                "covers {} entries, expected {}",
-                slice.len(),
-                slice_keys.len()
-            ),
-        ));
-    }
-
-    let stats = cache
-        .merge(&slice)
-        .map_err(|conflict| fail(ShardFailureKind::Conflict, conflict.to_string()))?;
-    report.merged = Some(stats);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -703,7 +1176,9 @@ mod tests {
         let _ = shard_range(10, 0, 0);
     }
 
-    /// A fake worker: any shell script stands in for the spawned process.
+    /// A fake worker: any shell script stands in for the spawned
+    /// process. `$1 $2 ...` receive the encoded [`WorkerSpec`]; the
+    /// script can speak the lease protocol over stderr/stdin.
     #[cfg(unix)]
     fn sh_options(script: &str, shards: usize) -> ShardOptions {
         ShardOptions {
@@ -714,134 +1189,150 @@ mod tests {
             metrics: Metrics::disabled(),
             cache_format: CacheFormat::V1,
             trace: false,
+            lease_cells: 0,
+            lease_deadline: Duration::from_secs(30),
+            fault_plans: Vec::new(),
+        }
+    }
+
+    #[cfg(unix)]
+    fn cleanup(run: &ShardRun) {
+        if let Some(dir) = &run.scratch {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 
     #[cfg(unix)]
     #[test]
-    fn killed_worker_lands_in_the_ledger_without_poisoning_the_merge() {
-        // Shard 0's "worker" kills itself; the coordinator must record
-        // exactly that and keep the cache mergeable for a retry. The
-        // fake worker can't evaluate anything, so pre-resolve shard 1's
-        // slice into the warm cache: its fake worker then only needs to
-        // copy the warm file into place — which doubles as a check that
-        // a *healthy* shard's file merges even when a sibling dies.
-        use memstream_grid::GridExecutor;
+    fn worker_exiting_before_the_queue_drains_is_died_in_the_ledger() {
         let recipe = GridRecipe::classic(3);
-        let grid = recipe.build();
-        let unique = grid.unique_cells();
         let mut cache = ResultCache::new();
-        let upper = shard_range(unique.len(), 1, 2);
-        GridExecutor::serial().resolve_cells(&grid, &unique[upper.clone()], &mut cache);
-        let warm_entries = cache.len();
+        let run = explore_sharded(&recipe, &mut cache, &sh_options("exit 0", 1)).expect("run");
+        assert_eq!(run.failures.len(), 1, "ledger: {:?}", run.failures);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::Died);
+        assert!(
+            run.failures[0]
+                .detail
+                .contains("before the lease queue drained"),
+            "detail: {}",
+            run.failures[0].detail
+        );
+        assert!(!run.is_complete());
+        assert!(cache.is_empty());
+        assert!(run.scratch.is_some(), "incomplete runs keep their scratch");
+        cleanup(&run);
+    }
 
-        // The fake worker scans the WorkerSpec flags it was handed.
-        // Shard 0 dies on SIGKILL; shard 1 "evaluates" by copying the
-        // warm file into place — legitimate, because the warm file holds
-        // exactly shard 1's slice (pre-resolved above), so the copy
-        // covers precisely the keys the coordinator expects of it.
+    #[cfg(unix)]
+    #[test]
+    fn lease_done_without_a_flush_is_a_coverage_mismatch() {
+        // The fake worker speaks the protocol far enough to be granted a
+        // lease, then announces completion without flushing a single
+        // record. The coordinator must catch the lie, attribute it, and
+        // kill the worker.
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
+        let script = r#"
+            while [ "$#" -gt 0 ]; do case "$1" in
+                --shard) S="$2"; shift 2;;
+                *) shift;;
+            esac; done
+            echo "lease-request $S" >&2
+            read -r reply range
+            case "$reply" in
+                lease-grant) echo "lease-done $S: $range" >&2; exec sleep 5;;
+            esac
+        "#;
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
+        assert_eq!(run.failures.len(), 1, "ledger: {:?}", run.failures);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::Incompatible);
+        assert!(
+            run.failures[0].detail.contains("lacks a flushed record"),
+            "detail: {}",
+            run.failures[0].detail
+        );
+        assert!(!run.is_complete());
+        assert!(cache.is_empty());
+        assert!(run.leases_issued >= 1);
+        cleanup(&run);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn damaged_flush_stream_is_attributed_as_flush_corrupt() {
+        // The fake worker writes garbage where its flush stream should
+        // be, then announces a lease completion: the poll must flag the
+        // stream, not merge nonsense.
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
         let script = r#"
             while [ "$#" -gt 0 ]; do case "$1" in
                 --shard) S="$2"; shift 2;;
                 --cache) C="$2"; shift 2;;
-                --warm)  W="$2"; shift 2;;
                 *) shift;;
             esac; done
-            case "$S" in 0/2) kill -KILL $$;; *) cp "$W" "$C";; esac
+            printf 'memstream-grid-cache v99\nXXXXXXXXXXXXXXXX' > "$C"
+            echo "lease-request $S" >&2
+            read -r reply range
+            case "$reply" in
+                lease-grant) echo "lease-done $S: $range" >&2; exec sleep 5;;
+            esac
         "#;
-        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 2)).expect("run");
-
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
         assert_eq!(run.failures.len(), 1, "ledger: {:?}", run.failures);
-        assert_eq!(run.failures[0].shard, 0);
-        assert_eq!(run.failures[0].kind, ShardFailureKind::Died);
-        assert!(run.failures[0].detail.contains("signal"));
+        assert_eq!(run.failures[0].kind, ShardFailureKind::FlushCorrupt);
         assert!(!run.is_complete());
-        assert!(run.scratch.is_some(), "failed runs keep their scratch");
-        // The healthy shard merged; the dead one contributed nothing.
-        assert_eq!(cache.len(), warm_entries);
-        assert_eq!(
-            run.workers[1].merged.map(|m| m.duplicates),
-            Some(upper.len())
-        );
-        if let Some(dir) = run.scratch {
-            let _ = std::fs::remove_dir_all(dir);
-        }
-    }
-
-    #[cfg(unix)]
-    #[test]
-    fn worker_writing_no_cache_is_unreadable_in_the_ledger() {
-        let recipe = GridRecipe::classic(3);
-        let mut cache = ResultCache::new();
-        let run = explore_sharded(&recipe, &mut cache, &sh_options("exit 0", 1)).expect("run");
-        assert_eq!(run.failures.len(), 1);
-        assert_eq!(run.failures[0].kind, ShardFailureKind::CacheUnreadable);
         assert!(cache.is_empty());
-        if let Some(dir) = run.scratch {
-            let _ = std::fs::remove_dir_all(dir);
-        }
+        cleanup(&run);
     }
 
     #[cfg(unix)]
     #[test]
-    fn version_mismatched_worker_cache_is_attributed() {
+    fn silent_lease_holder_is_reclaimed_by_the_watchdog() {
+        // The fake worker takes a lease and goes silent; the watchdog
+        // must declare it stalled, kill it and reclaim the lease.
         let recipe = GridRecipe::classic(3);
         let mut cache = ResultCache::new();
         let script = r#"
             while [ "$#" -gt 0 ]; do case "$1" in
-                --cache) C="$2"; shift 2;;
+                --shard) S="$2"; shift 2;;
                 *) shift;;
             esac; done
-            printf 'memstream-grid-cache v99\n' > "$C"
+            echo "lease-request $S" >&2
+            read -r reply range
+            exec sleep 60
         "#;
-        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
-        assert_eq!(run.failures.len(), 1);
-        assert_eq!(run.failures[0].kind, ShardFailureKind::CacheUnreadable);
-        assert!(run.failures[0].detail.contains("version mismatch"));
-        if let Some(dir) = run.scratch {
-            let _ = std::fs::remove_dir_all(dir);
-        }
+        let mut opts = sh_options(script, 1);
+        opts.lease_deadline = Duration::from_millis(150);
+        let started = Instant::now();
+        let run = explore_sharded(&recipe, &mut cache, &opts).expect("run");
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the watchdog, not the 60s sleep, must end the run"
+        );
+        assert_eq!(run.failures.len(), 1, "ledger: {:?}", run.failures);
+        assert_eq!(run.failures[0].kind, ShardFailureKind::Stalled);
+        assert!(
+            run.failures[0].detail.contains("lease(s) reclaimed"),
+            "detail: {}",
+            run.failures[0].detail
+        );
+        assert!(run.leases_reclaimed >= 1);
+        assert!(!run.is_complete(), "nobody was left to take the lease");
+        cleanup(&run);
     }
 
     #[cfg(unix)]
     #[test]
     fn heartbeat_lines_are_consumed_not_kept_as_worker_stderr() {
-        // The fake worker emits two well-formed heartbeats plus one
-        // ordinary stderr line, then "evaluates" by copying the warm
-        // file (which holds the full grid, so the single shard's slice
-        // is exactly covered). The coordinator must count the heartbeats,
-        // keep only the ordinary line, and time the worker's wall clock.
-        use memstream_grid::GridExecutor;
         let recipe = GridRecipe::classic(3);
-        let grid = recipe.build();
-        // Pre-resolve the whole grid into a file the fake worker can
-        // copy, but start the coordinator's own cache empty so the run
-        // actually fans out (a fully warm run spawns nothing).
-        let mut full = ResultCache::new();
-        GridExecutor::serial()
-            .explore_cached(&grid, &mut full)
-            .unwrap();
-        let warm_src = std::env::temp_dir().join(format!(
-            "memstream-heartbeat-warm-{}.cache",
-            std::process::id()
-        ));
-        full.save(&warm_src).unwrap();
         let mut cache = ResultCache::new();
-        let script = format!(
-            r#"
-            while [ "$#" -gt 0 ]; do case "$1" in
-                --cache) C="$2"; shift 2;;
-                *) shift;;
-            esac; done
+        let script = r#"
             echo 'shard-progress 0/1: 3/6' >&2
             echo 'ordinary accounting line' >&2
             echo 'shard-progress 0/1: 6/6' >&2
-            cp '{}' "$C"
-        "#,
-            warm_src.display()
-        );
-        let run = explore_sharded(&recipe, &mut cache, &sh_options(&script, 1)).expect("run");
-        assert!(run.is_complete(), "ledger: {:?}", run.failures);
+        "#;
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
         assert_eq!(run.workers[0].heartbeats, 2);
         assert!(run.workers[0].stderr.contains("ordinary accounting line"));
         assert!(
@@ -851,7 +1342,29 @@ mod tests {
         );
         assert!(run.workers[0].wall_seconds > 0.0);
         assert!(run.workers[0].trace.is_none(), "tracing was off");
-        let _ = std::fs::remove_file(warm_src);
+        cleanup(&run);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn partial_trailing_line_from_a_dying_worker_is_dropped() {
+        // The worker dies mid-heartbeat: one complete line, then a
+        // newline-less fragment. The fragment is neither a heartbeat nor
+        // ordinary stderr — it must vanish instead of polluting the
+        // aggregated progress or the kept stderr.
+        let recipe = GridRecipe::classic(3);
+        let mut cache = ResultCache::new();
+        let script = r#"
+            echo 'shard-progress 0/1: 3/6' >&2
+            printf 'shard-progress 0/1: 6' >&2
+        "#;
+        let run = explore_sharded(&recipe, &mut cache, &sh_options(script, 1)).expect("run");
+        assert_eq!(run.workers[0].heartbeats, 1, "only the complete line");
+        assert_eq!(
+            run.workers[0].stderr, "",
+            "the partial fragment must be dropped, not kept"
+        );
+        cleanup(&run);
     }
 
     #[test]
@@ -868,6 +1381,7 @@ mod tests {
         let run = explore_sharded(&recipe, &mut cache, &opts).expect("warm run");
         assert_eq!(run.workers_spawned, 0);
         assert_eq!(run.fanned_out, 0);
+        assert_eq!(run.lease_chunks, 0);
         assert_eq!(run.cached, run.unique_cells);
         assert!(run.is_complete());
         assert!(run.scratch.is_none());
@@ -884,6 +1398,7 @@ mod tests {
             .failures
             .iter()
             .all(|f| f.kind == ShardFailureKind::Spawn));
+        assert!(!run.is_complete());
         if let Some(dir) = run.scratch {
             let _ = std::fs::remove_dir_all(dir);
         }

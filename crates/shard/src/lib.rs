@@ -8,27 +8,44 @@
 //! until now a warm-start convenience — *is* the distribution protocol
 //! (spec: `docs/CACHE_FORMAT.md`).
 //!
-//! The model is coordinator/worker:
+//! The model is coordinator/worker with a leased work queue
+//! (spec: `docs/SHARD_PROTOCOL.md`):
 //!
-//! 1. **Partition** — the grid's canonical deduplicated cell range
+//! 1. **Chunk** — the grid's canonical deduplicated cell range
 //!    ([`memstream_grid::ScenarioGrid::unique_cells`]) is split into
-//!    contiguous shards ([`shard_range`]); the layout depends on the grid
-//!    alone, never on cache temperature.
-//! 2. **Fan out** — each shard runs as a spawned worker process (a
-//!    re-exec of the harness: `harness shard-worker --shard i/N --cache
-//!    PATH ...`, stdout/stderr captured), evaluates its slice and writes
-//!    it as a cache file ([`run_worker`]).
-//! 3. **Union** — the coordinator strict-loads every shard file, verifies
-//!    version and key coverage, and merges by
-//!    [`memstream_grid::ResultCache::merge`]: conflicting entries must be
-//!    byte-equal or the merge is a hard, attributed error. Worker
-//!    failures land in a per-shard error ledger
-//!    ([`ShardRun::failures`]) without poisoning the healthy shards'
-//!    entries.
-//! 4. **Assemble** — the merged cache replays through the ordinary
-//!    single-process path ([`memstream_grid::GridExecutor::explore_cached`],
-//!    pure hits), so sharded stdout is **byte-identical** to the
-//!    single-process run for any shard count.
+//!    small contiguous lease chunks ([`lease_chunks`], roughly
+//!    [`LEASE_CHUNKS_PER_WORKER`] per worker) owned by a coordinator-side
+//!    [`LeaseQueue`]; the chunk layout depends on the grid alone, never
+//!    on cache temperature.
+//! 2. **Fan out** — workers are spawned processes (a re-exec of the
+//!    harness: `harness shard-worker --shard i/N --lease --cache PATH
+//!    ...`). Each worker asks for work over its **stderr** side-channel
+//!    (`lease-request`), receives grants over **stdin**
+//!    (`lease-grant a..b`), evaluates the granted cells and **flushes
+//!    completed records incrementally** to its per-worker scratch file
+//!    ([`memstream_grid::CacheAppender`]) before announcing
+//!    `lease-done` ([`run_worker`]).
+//! 3. **Collect & reclaim** — a per-worker collector thread tails the
+//!    flush stream ([`memstream_grid::FlushReader`]) as leases complete,
+//!    and a watchdog reclaims leases held by workers that die or stop
+//!    heartbeating past a deadline, re-issuing them to live workers.
+//!    Failures land in a per-shard error ledger ([`ShardRun::failures`])
+//!    without poisoning the healthy shards' entries.
+//! 4. **Union & assemble** — collected records merge by
+//!    [`memstream_grid::ResultCache::merge`]: duplicate entries (a
+//!    reclaimed lease finished twice) must be byte-equal or the merge is
+//!    a hard, attributed error. The merged cache replays through the
+//!    ordinary single-process path
+//!    ([`memstream_grid::GridExecutor::explore_cached`], pure hits), so
+//!    sharded stdout is **byte-identical** to the single-process run for
+//!    any worker count, lease size or failure pattern that leaves at
+//!    least one live worker.
+//!
+//! A deterministic fault-injection seam ([`FaultPlan`], the hidden
+//! `--fault-plan` flag and the [`FAULT_PLAN_ENV`] environment variable)
+//! lets the test suites make workers die, stall or damage their flush
+//! streams at exact points, and assert the recovery machinery holds the
+//! byte-identity guarantee.
 //!
 //! The refinement loop consumes the same machinery through
 //! [`ShardedRoundExplorer`]: each round fans only the rates new to that
@@ -71,6 +88,8 @@
 #![warn(missing_docs)]
 
 mod coordinator;
+mod fault;
+mod lease;
 mod protocol;
 mod recipe;
 mod round;
@@ -80,7 +99,12 @@ pub use coordinator::{
     explore_sharded, shard_range, shard_ranges, ShardError, ShardFailure, ShardFailureKind,
     ShardOptions, ShardRun, WorkerReport,
 };
-pub use protocol::{format_progress, parse_progress, ProtocolError, WorkerSpec};
+pub use fault::{FaultPlan, FAULT_PLAN_ENV};
+pub use lease::{lease_chunks, LeaseQueue, LeaseResponse, LEASE_CHUNKS_PER_WORKER};
+pub use protocol::{
+    format_lease_done, format_lease_reply, format_lease_request, format_progress, parse_lease_done,
+    parse_lease_reply, parse_lease_request, parse_progress, LeaseReply, ProtocolError, WorkerSpec,
+};
 pub use recipe::GridRecipe;
 pub use round::ShardedRoundExplorer;
 pub use worker::{run_worker, run_worker_with_metrics, WorkerSummary};
@@ -101,5 +125,8 @@ mod tests {
         assert_send_sync::<ShardError>();
         assert_send_sync::<ShardedRoundExplorer>();
         assert_send_sync::<WorkerSummary>();
+        assert_send_sync::<LeaseQueue>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<LeaseReply>();
     }
 }

@@ -8,13 +8,21 @@
 //! shortest-roundtrip `f64` text, so the worker rebuilds a grid whose
 //! dedup keys are byte-identical to the coordinator's — the property the
 //! whole cache-union merge rests on.
+//!
+//! Beyond the command line, this module also defines the **lease line
+//! protocol** (`docs/SHARD_PROTOCOL.md`): newline-delimited request/done
+//! lines a lease-mode worker writes to stderr alongside its
+//! `shard-progress` heartbeats, and the grant/retire replies the
+//! coordinator writes to the worker's stdin.
 
 use std::fmt;
+use std::ops::Range;
 use std::path::PathBuf;
 
 use memstream_grid::CacheFormat;
 use memstream_units::BitRate;
 
+use crate::fault::FaultPlan;
 use crate::recipe::GridRecipe;
 
 /// A malformed `shard-worker` command line.
@@ -74,6 +82,15 @@ pub struct WorkerSpec {
     /// coordinator's warm file). The flag is only emitted for non-default
     /// formats, so v1 command lines are byte-identical to older builds.
     pub cache_format: CacheFormat,
+    /// Lease mode: instead of evaluating the static `shard/shard_count`
+    /// slice, the worker requests cell-range leases over the stderr/stdin
+    /// line protocol and appends results incrementally to
+    /// [`WorkerSpec::cache`] as a flush stream. The flag is only emitted
+    /// when set, so static command lines parse on older builds.
+    pub lease: bool,
+    /// A deterministic misbehaviour for the fault-injection test layer
+    /// (hidden `--fault-plan`; absent from the wire when `None`).
+    pub fault: Option<FaultPlan>,
     /// The grid to build and slice.
     pub recipe: GridRecipe,
 }
@@ -123,6 +140,13 @@ impl WorkerSpec {
             args.push("--cache-format".to_owned());
             args.push(self.cache_format.flag().to_owned());
         }
+        if self.lease {
+            args.push("--lease".to_owned());
+        }
+        if let Some(plan) = &self.fault {
+            args.push("--fault-plan".to_owned());
+            args.push(plan.to_string());
+        }
         args
     }
 
@@ -144,6 +168,8 @@ impl WorkerSpec {
         let mut stats_json: Option<PathBuf> = None;
         let mut trace: Option<PathBuf> = None;
         let mut cache_format = CacheFormat::default();
+        let mut lease = false;
+        let mut fault: Option<FaultPlan> = None;
 
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -187,6 +213,10 @@ impl WorkerSpec {
                         ProtocolError::new(format!("--cache-format `{raw}` is not v1 or v2"))
                     })?;
                 }
+                "--lease" => lease = true,
+                "--fault-plan" => {
+                    fault = Some(value()?.parse().map_err(ProtocolError::new)?);
+                }
                 "--rate-list" => {
                     let raw = value()?;
                     let mut axis = Vec::new();
@@ -227,9 +257,84 @@ impl WorkerSpec {
             stats_json,
             trace,
             cache_format,
+            lease,
+            fault,
             recipe,
         })
     }
+}
+
+/// The coordinator's reply to a [`format_lease_request`] line, written to
+/// the worker's **stdin** (the only coordinator→worker channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// Evaluate cells `range` of the grid's canonical deduplicated cell
+    /// range, flush the results, then send `lease-done`.
+    Grant(Range<usize>),
+    /// The queue is drained (or this worker is condemned): exit cleanly.
+    Retire,
+}
+
+/// Renders a worker's lease request line: `lease-request i/N`. Sent on
+/// stderr whenever the worker is idle; the coordinator answers on stdin
+/// with a [`LeaseReply`] line.
+#[must_use]
+pub fn format_lease_request(shard: usize, shard_count: usize) -> String {
+    format!("lease-request {shard}/{shard_count}")
+}
+
+/// Parses a [`format_lease_request`] line into `(shard, shard_count)`.
+/// Any other line returns `None`.
+#[must_use]
+pub fn parse_lease_request(line: &str) -> Option<(usize, usize)> {
+    let rest = line.strip_prefix("lease-request ")?;
+    let (shard, count) = rest.split_once('/')?;
+    Some((shard.parse().ok()?, count.parse().ok()?))
+}
+
+/// Renders a [`LeaseReply`] as its stdin line: `lease-grant a..b` or
+/// `lease-retire`.
+#[must_use]
+pub fn format_lease_reply(reply: &LeaseReply) -> String {
+    match reply {
+        LeaseReply::Grant(range) => format!("lease-grant {}..{}", range.start, range.end),
+        LeaseReply::Retire => "lease-retire".to_owned(),
+    }
+}
+
+/// Parses a [`format_lease_reply`] line. Any other line returns `None` —
+/// lease-mode workers treat that as a protocol error and exit.
+#[must_use]
+pub fn parse_lease_reply(line: &str) -> Option<LeaseReply> {
+    if line == "lease-retire" {
+        return Some(LeaseReply::Retire);
+    }
+    let rest = line.strip_prefix("lease-grant ")?;
+    let (start, end) = rest.split_once("..")?;
+    let (start, end) = (start.parse().ok()?, end.parse().ok()?);
+    (start <= end).then_some(LeaseReply::Grant(start..end))
+}
+
+/// Renders a worker's lease completion line: `lease-done i/N: a..b`,
+/// sent on stderr after the lease's records are flushed and committed.
+#[must_use]
+pub fn format_lease_done(shard: usize, shard_count: usize, range: &Range<usize>) -> String {
+    format!(
+        "lease-done {shard}/{shard_count}: {}..{}",
+        range.start, range.end
+    )
+}
+
+/// Parses a [`format_lease_done`] line into `(shard, shard_count,
+/// range)`. Any other line returns `None`.
+#[must_use]
+pub fn parse_lease_done(line: &str) -> Option<(usize, usize, Range<usize>)> {
+    let rest = line.strip_prefix("lease-done ")?;
+    let (coords, cells) = rest.split_once(": ")?;
+    let (shard, count) = coords.split_once('/')?;
+    let (start, end) = cells.split_once("..")?;
+    let (start, end): (usize, usize) = (start.parse().ok()?, end.parse().ok()?);
+    (start <= end).then_some((shard.parse().ok()?, count.parse().ok()?, start..end))
 }
 
 /// Renders one worker heartbeat line for the shard-progress stderr
@@ -274,6 +379,8 @@ mod tests {
             stats_json: Some(PathBuf::from("/tmp/shard-2-stats.json")),
             trace: Some(PathBuf::from("/tmp/shard-2.trace.json")),
             cache_format: CacheFormat::V2,
+            lease: true,
+            fault: Some(FaultPlan::DieAfterCells(9)),
             recipe: GridRecipe::classic(7).with_rate_axis([
                 BitRate::from_kbps(32.0),
                 // A midpoint-style irrational rate: the shortest-roundtrip
@@ -297,18 +404,51 @@ mod tests {
             stats_json: None,
             trace: None,
             cache_format: CacheFormat::V1,
+            lease: false,
+            fault: None,
             recipe: GridRecipe::baseline(24),
         };
         let args = spec.to_args();
-        assert!(
-            !args.iter().any(|a| a == "--cache-format"),
-            "the default format must stay off the wire (old coordinators reject it)"
-        );
-        assert!(
-            !args.iter().any(|a| a == "--trace"),
-            "tracing off must stay off the wire (old coordinators reject it)"
-        );
+        for absent in ["--cache-format", "--trace", "--lease", "--fault-plan"] {
+            assert!(
+                !args.iter().any(|a| a == absent),
+                "`{absent}` off must stay off the wire (old coordinators reject it)"
+            );
+        }
         assert_eq!(WorkerSpec::from_args(&args).unwrap(), spec);
+    }
+
+    #[test]
+    fn lease_lines_round_trip_and_reject_ordinary_stderr() {
+        assert_eq!(format_lease_request(1, 4), "lease-request 1/4");
+        assert_eq!(parse_lease_request("lease-request 1/4"), Some((1, 4)));
+        assert_eq!(
+            format_lease_reply(&LeaseReply::Grant(3..17)),
+            "lease-grant 3..17"
+        );
+        assert_eq!(
+            parse_lease_reply("lease-grant 3..17"),
+            Some(LeaseReply::Grant(3..17))
+        );
+        assert_eq!(format_lease_reply(&LeaseReply::Retire), "lease-retire");
+        assert_eq!(parse_lease_reply("lease-retire"), Some(LeaseReply::Retire));
+        assert_eq!(format_lease_done(0, 2, &(5..9)), "lease-done 0/2: 5..9");
+        assert_eq!(parse_lease_done("lease-done 0/2: 5..9"), Some((0, 2, 5..9)));
+        for junk in [
+            "",
+            "worker log line",
+            "lease-request",
+            "lease-request 1",
+            "lease-grant 9..3",
+            "lease-grant x..3",
+            "lease-done 0/2: 9..3",
+            "lease-done 0/2 5..9",
+            "shard-progress 0/2: 3/4",
+        ] {
+            assert_eq!(parse_lease_request(junk), None, "{junk:?}");
+            assert_eq!(parse_lease_reply(junk), None, "{junk:?}");
+            assert_eq!(parse_lease_done(junk), None, "{junk:?}");
+        }
     }
 
     #[test]

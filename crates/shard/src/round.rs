@@ -151,6 +151,9 @@ mod tests {
                 metrics: memstream_grid::Metrics::disabled(),
                 cache_format: memstream_grid::CacheFormat::V1,
                 trace: false,
+                lease_cells: 0,
+                lease_deadline: std::time::Duration::from_secs(30),
+                fault_plans: Vec::new(),
             },
             GridExecutor::serial(),
         );

@@ -1,0 +1,274 @@
+//! End-to-end fault injection against a real spawned worker fleet.
+//!
+//! Every test drives [`memstream_shard::explore_sharded`] with the
+//! crate's own worker binary (`memstream-shard-worker`), injects a
+//! deterministic fault into one worker — death, stall, SIGKILL, a torn
+//! or corrupt flush stream — and asserts the scheduler's core promise:
+//! the run still completes with **byte-identical stdout** as long as at
+//! least one worker survives, and the ledger attributes exactly what
+//! happened to the faulty shard.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use memstream_grid::{report, GridExecutor, Metrics, ResultCache};
+use memstream_shard::{
+    explore_sharded, FaultPlan, GridRecipe, ShardFailureKind, ShardOptions, ShardRun,
+};
+
+fn worker_program() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_memstream-shard-worker"))
+}
+
+/// Options spawning the bare test worker (no `shard-worker` subcommand —
+/// that is the harness's surface, not this binary's).
+fn worker_opts(shards: usize) -> ShardOptions {
+    let mut opts = ShardOptions::new(worker_program(), shards).with_worker_threads(1);
+    opts.leading_args = Vec::new();
+    opts
+}
+
+/// The single-process reference: serial exploration, standard stdout.
+fn reference_stdout(recipe: &GridRecipe) -> String {
+    let grid = recipe.build();
+    let mut cache = ResultCache::new();
+    let results = GridExecutor::serial()
+        .explore_cached(&grid, &mut cache)
+        .expect("serial reference run");
+    report::grid_stdout(&results, false)
+}
+
+/// What a sharded run prints: the merged cache replayed through the
+/// identical single-process path (pure hits).
+fn replayed_stdout(recipe: &GridRecipe, merged: &mut ResultCache) -> String {
+    let grid = recipe.build();
+    let results = GridExecutor::serial()
+        .explore_cached(&grid, merged)
+        .expect("replay over the merged cache");
+    report::grid_stdout(&results, false)
+}
+
+fn assert_byte_identical(recipe: &GridRecipe, merged: &mut ResultCache, context: &str) {
+    assert_eq!(
+        replayed_stdout(recipe, merged),
+        reference_stdout(recipe),
+        "stdout must be byte-identical to the single-process run ({context})"
+    );
+}
+
+fn ledger_kinds(run: &ShardRun) -> Vec<ShardFailureKind> {
+    run.failures.iter().map(|f| f.kind).collect()
+}
+
+#[test]
+fn fault_free_lease_run_is_byte_identical_and_counts_leases() {
+    let recipe = GridRecipe::classic(2);
+    let metrics = Metrics::enabled();
+    let opts = worker_opts(3).with_lease_cells(4).with_metrics(&metrics);
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(run.is_complete(), "ledger: {:?}", run.failures);
+    assert!(run.failures.is_empty(), "ledger: {:?}", run.failures);
+    assert_eq!(run.lease_chunks, 48usize.div_ceil(4));
+    assert_eq!(run.leases_issued, run.lease_chunks as u64);
+    assert_eq!(run.leases_reclaimed, 0);
+    assert_eq!(
+        run.workers.iter().map(|w| w.cells).sum::<usize>(),
+        run.unique_cells,
+        "completed leases cover the canonical range exactly once"
+    );
+    assert!(run.scratch.is_none(), "complete runs clean up");
+    // The counters and the lease-wait histogram surface in --stats-json.
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot.counter("shard.leases_issued"),
+        Some(run.leases_issued)
+    );
+    assert_eq!(snapshot.counter("shard.leases_reclaimed"), Some(0));
+    assert_eq!(
+        snapshot.counter("shard.lease_chunks"),
+        Some(run.lease_chunks as u64)
+    );
+    let lease_wait = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "shard.lease_wait")
+        .expect("shard.lease_wait histogram");
+    assert!(
+        lease_wait.count >= run.leases_issued,
+        "every grant records a wait (plus the final retires): {} < {}",
+        lease_wait.count,
+        run.leases_issued
+    );
+    assert_byte_identical(&recipe, &mut merged, "no faults");
+}
+
+#[test]
+fn lease_sizes_and_worker_counts_do_not_change_the_bytes() {
+    let recipe = GridRecipe::classic(2);
+    let reference = reference_stdout(&recipe);
+    for (shards, lease_cells) in [(1, 0), (2, 1), (3, 7), (4, 48), (2, 500)] {
+        let opts = worker_opts(shards).with_lease_cells(lease_cells);
+        let mut merged = ResultCache::new();
+        let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+        assert!(
+            run.is_complete(),
+            "shards={shards} lease_cells={lease_cells}: {:?}",
+            run.failures
+        );
+        assert_eq!(
+            replayed_stdout(&recipe, &mut merged),
+            reference,
+            "shards={shards} lease_cells={lease_cells}"
+        );
+    }
+}
+
+#[test]
+fn worker_dying_mid_run_is_reclaimed_and_output_stays_byte_identical() {
+    let recipe = GridRecipe::classic(2);
+    let opts = worker_opts(2)
+        .with_lease_cells(4)
+        .with_fault_plan(0, FaultPlan::DieAfterCells(1));
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(
+        run.is_complete(),
+        "the survivor must absorb the dead worker's chunks: {:?}",
+        run.failures
+    );
+    assert_eq!(ledger_kinds(&run), vec![ShardFailureKind::Died]);
+    assert_eq!(run.failures[0].shard, 0);
+    assert!(
+        run.failures[0].detail.contains("exited abnormally"),
+        "detail: {}",
+        run.failures[0].detail
+    );
+    assert!(run.leases_reclaimed >= 1, "the held lease was reclaimed");
+    assert_byte_identical(&recipe, &mut merged, "die-after-cells=1 on shard 0");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkilled_worker_is_reclaimed_and_output_stays_byte_identical() {
+    // Shard 0 is wrapped in a shell that SIGKILLs it 300ms in; the
+    // stall plan guarantees it is holding a lease (not already retired)
+    // when the kill lands. No clean exit path runs — this is the
+    // pull-the-plug scenario.
+    let recipe = GridRecipe::classic(2);
+    let script = r#"
+        case "$*" in
+            *"--shard 0/"*)
+                (sleep 0.3; kill -KILL $$) &
+                MEMSTREAM_FAULT_PLAN='shard=0:stall-after-cells=1' exec "$0" "$@";;
+            *) exec "$0" "$@";;
+        esac
+    "#;
+    let mut opts = worker_opts(2).with_lease_cells(4);
+    opts.leading_args = vec![
+        "-c".to_owned(),
+        script.to_owned(),
+        worker_program().display().to_string(),
+    ];
+    opts.program = PathBuf::from("/bin/sh");
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(run.is_complete(), "ledger: {:?}", run.failures);
+    assert_eq!(ledger_kinds(&run), vec![ShardFailureKind::Died]);
+    assert_eq!(run.failures[0].shard, 0);
+    assert!(run.leases_reclaimed >= 1);
+    assert_byte_identical(&recipe, &mut merged, "SIGKILL on shard 0");
+}
+
+#[test]
+fn stalled_worker_is_killed_reclaimed_and_output_stays_byte_identical() {
+    let recipe = GridRecipe::classic(2);
+    let opts = worker_opts(2)
+        .with_lease_cells(4)
+        .with_lease_deadline(Duration::from_millis(250))
+        .with_fault_plan(0, FaultPlan::StallAfterCells(1));
+    let started = Instant::now();
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the watchdog, not the worker's 60s stall naps, must end the run"
+    );
+    assert!(run.is_complete(), "ledger: {:?}", run.failures);
+    assert_eq!(ledger_kinds(&run), vec![ShardFailureKind::Stalled]);
+    assert_eq!(run.failures[0].shard, 0);
+    assert!(
+        run.failures[0].detail.contains("lease(s) reclaimed"),
+        "detail: {}",
+        run.failures[0].detail
+    );
+    assert!(run.leases_reclaimed >= 1);
+    assert_byte_identical(&recipe, &mut merged, "stall-after-cells=1 on shard 0");
+}
+
+#[test]
+fn truncated_flush_keeps_the_committed_prefix() {
+    // A single worker tears its flush stream mid-record and dies: the
+    // run cannot complete (nobody is left), but every record committed
+    // before the tear must survive into the merged cache — the retry
+    // starts warm, not from zero.
+    let recipe = GridRecipe::classic(2);
+    let opts = worker_opts(1)
+        .with_lease_cells(8)
+        .with_fault_plan(0, FaultPlan::TruncateFlush);
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(!run.is_complete());
+    assert_eq!(ledger_kinds(&run), vec![ShardFailureKind::Died]);
+    assert!(
+        run.workers[0].flushed >= 1,
+        "the committed prefix must be collected"
+    );
+    assert_eq!(
+        merged.len(),
+        run.workers[0].flushed,
+        "every collected record merges"
+    );
+    if let Some(dir) = &run.scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // The warmed cache converges on retry: a fault-free fleet covers the
+    // remainder and the bytes still match the single-process run.
+    let retry = explore_sharded(&recipe, &mut merged, &worker_opts(2).with_lease_cells(8))
+        .expect("retry run");
+    assert!(retry.is_complete(), "ledger: {:?}", retry.failures);
+    assert_eq!(retry.cached, run.workers[0].flushed);
+    assert_byte_identical(&recipe, &mut merged, "retry after a torn flush");
+}
+
+#[test]
+fn corrupt_flush_is_attributed_and_output_stays_byte_identical() {
+    // Shard 0 writes an undecodable record and *lies* with `lease-done`.
+    // The collector must catch the damaged stream at the announcement,
+    // attribute it, and let the survivor redo the work.
+    let recipe = GridRecipe::classic(2);
+    let opts = worker_opts(2)
+        .with_lease_cells(4)
+        .with_fault_plan(0, FaultPlan::CorruptFlush);
+    let mut merged = ResultCache::new();
+    let run = explore_sharded(&recipe, &mut merged, &opts).expect("sharded run");
+    assert!(run.is_complete(), "ledger: {:?}", run.failures);
+    assert_eq!(ledger_kinds(&run), vec![ShardFailureKind::FlushCorrupt]);
+    assert_eq!(run.failures[0].shard, 0);
+    assert!(run.leases_reclaimed >= 1);
+    assert_byte_identical(&recipe, &mut merged, "corrupt flush on shard 0");
+}
+
+#[test]
+fn fault_plans_parse_round_trip_through_the_cli_surface() {
+    for plan in [
+        FaultPlan::DieAfterCells(7),
+        FaultPlan::StallAfterCells(0),
+        FaultPlan::TruncateFlush,
+        FaultPlan::CorruptFlush,
+    ] {
+        let text = plan.to_string();
+        assert_eq!(text.parse::<FaultPlan>(), Ok(plan), "round trip {text}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the lease scheduler's covering invariant.
+//!
+//! For *any* range length, chunk size, worker count, warm-cell pattern
+//! and death schedule that leaves at least one live worker, the union of
+//! completed lease ranges plus the chunks born warm tiles the canonical
+//! range exactly — no gaps, no double-completions. This is the pure
+//! in-memory core of the guarantee the end-to-end fault-injection suite
+//! checks with real processes.
+
+use std::ops::Range;
+
+use memstream_shard::{LeaseQueue, LeaseResponse};
+use proptest::prelude::*;
+
+/// Drives a queue to drain with worker 0 immortal and workers `1..n`
+/// dying mid-lease after `deaths[w - 1]` completions. Returns the ranges
+/// completed (in completion order) and the drained queue.
+fn simulate(
+    len: usize,
+    chunk: usize,
+    workers: usize,
+    warm: &[bool],
+    deaths: &[usize],
+) -> (Vec<Range<usize>>, LeaseQueue) {
+    let mut queue = LeaseQueue::new(len, chunk, workers, warm);
+    let mut retired = vec![false; workers];
+    let mut completions = vec![0usize; workers];
+    let mut completed: Vec<Range<usize>> = Vec::new();
+    while !queue.is_drained() {
+        for worker in 0..workers {
+            if retired[worker] {
+                continue;
+            }
+            match queue.request(worker) {
+                LeaseResponse::Grant(range) => {
+                    let budget = if worker == 0 {
+                        usize::MAX
+                    } else {
+                        deaths.get(worker - 1).copied().unwrap_or(usize::MAX)
+                    };
+                    if completions[worker] >= budget {
+                        // Dies holding the lease; the coordinator-side
+                        // reclaim puts the chunk back for the others.
+                        retired[worker] = true;
+                        queue.reclaim(worker);
+                    } else {
+                        assert!(queue.complete(worker, &range), "own grant must complete");
+                        completions[worker] += 1;
+                        completed.push(range);
+                    }
+                }
+                LeaseResponse::Wait => {}
+                LeaseResponse::Retire => retired[worker] = true,
+            }
+        }
+    }
+    (completed, queue)
+}
+
+/// The warm mask derived from a scalar seed (`0` = nothing warm,
+/// `k > 0` = every `k`-th cell warm), so strategies stay independent of
+/// the generated length.
+fn warm_mask(len: usize, every: usize) -> Vec<bool> {
+    (0..len)
+        .map(|cell| every > 0 && cell.is_multiple_of(every))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn completed_leases_tile_the_range_under_arbitrary_deaths(
+        len in 0usize..600,
+        chunk in 1usize..50,
+        workers in 1usize..6,
+        warm_every in 0usize..5,
+        deaths in prop::collection::vec(0usize..20, 0..5)
+    ) {
+        let warm = warm_mask(len, warm_every);
+        let (completed, queue) = simulate(len, chunk, workers, &warm, &deaths);
+        prop_assert!(queue.is_drained());
+        prop_assert_eq!(queue.done_cells(), len);
+
+        // Conservation: every grant was either completed or reclaimed.
+        let leased_completions = u64::try_from(completed.len()).unwrap();
+        prop_assert_eq!(queue.issued(), queue.reclaimed() + leased_completions);
+
+        // Chunks born warm were never leased; everything else was
+        // completed exactly once. Together they tile 0..len.
+        let mut tiles = completed;
+        for done in queue.done_ranges() {
+            if !done.is_empty() && warm[done.clone()].iter().all(|&cell| cell) {
+                tiles.push(done);
+            }
+        }
+        tiles.sort_by_key(|range| range.start);
+        let mut cursor = 0usize;
+        for range in &tiles {
+            // A start off the cursor is a gap or an overlap in the tiling.
+            prop_assert_eq!(range.start, cursor);
+            cursor = range.end;
+        }
+        prop_assert_eq!(cursor, len);
+    }
+
+    #[test]
+    fn a_lone_immortal_worker_always_drains_the_queue(
+        len in 1usize..400,
+        chunk in 1usize..40
+    ) {
+        let warm = vec![false; len];
+        let (completed, queue) = simulate(len, chunk, 1, &warm, &[]);
+        prop_assert!(queue.is_drained());
+        prop_assert_eq!(completed.len(), queue.chunk_count());
+        prop_assert_eq!(queue.reclaimed(), 0);
+    }
+}

@@ -530,9 +530,11 @@ fn reference_grid(rates: usize, classic: bool) -> memstream_grid::ScenarioGrid {
 }
 
 /// Loads the result cache at `path`, exiting 2 on I/O errors (shared by
-/// the `grid` and `refine` subcommands).
+/// the `grid` and `refine` subcommands). Lazy: a valid v2 file is
+/// indexed, not decoded — warm planning probes the index and only
+/// looked-up records are ever decoded (`cache.records_decoded`).
 fn load_cache(path: &str) -> memstream_grid::ResultCache {
-    memstream_grid::ResultCache::load(path).unwrap_or_else(|e| {
+    memstream_grid::ResultCache::load_lazy(path).unwrap_or_else(|e| {
         eprintln!("cache load error: {e}");
         std::process::exit(2);
     })

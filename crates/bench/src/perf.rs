@@ -1,14 +1,18 @@
 //! The performance trajectory: canonical benchmark scenarios and the
 //! versioned `BENCH_grid.json` they emit.
 //!
-//! `harness bench` runs six scenarios — a cold cached grid exploration,
-//! the same exploration warm, the hot-path micro phases (interned-key
-//! resolution, v1 vs v2 cache load), a refinement run, and a two-shard
-//! process fan-out — each under its own fresh telemetry registry, and
-//! folds the snapshots into one JSON document (schema [`BENCH_SCHEMA`],
-//! evolution rules in `docs/OBSERVABILITY.md`). Committing that file per
-//! release gives the repository a perf trajectory: cells/sec cold and
-//! warm, key resolutions/sec, cache-load entries/sec per format, knees
+//! `harness bench` runs a fixed scenario battery — a cold cached grid
+//! exploration, the same exploration warm, a lazy warm-planning pass
+//! (index probes only, zero record decodes — counter-asserted), the
+//! hot-path micro phases (interned-key resolution, v1 vs v2 cache load,
+//! serial vs parallel v2 decode of a shard-scale file), a refinement
+//! run, and a two-shard process fan-out — each under its own fresh
+//! telemetry registry, and folds the snapshots into one JSON document
+//! (schema [`BENCH_SCHEMA`], evolution rules in
+//! `docs/OBSERVABILITY.md`). Committing that file per release gives the
+//! repository a perf trajectory: cells/sec cold and warm, lazy
+//! warm-start probes/sec, assemble seconds, key resolutions/sec,
+//! cache-load entries/sec per format and per decode strategy, knees
 //! localised per refinement round, and shard-merge throughput.
 //!
 //! Rates are computed from the same `grid.*`/`refine.*`/`shard.*` metric
@@ -28,8 +32,11 @@ use memstream_shard::{explore_sharded, GridRecipe, ShardError, ShardOptions};
 /// The `BENCH_grid.json` schema version, bumped on any incompatible
 /// change (see `docs/OBSERVABILITY.md` for the evolution rules).
 /// v3 added the cold scenario's per-series evaluation-latency
-/// percentiles to the `grid` section.
-pub const BENCH_SCHEMA: &str = "memstream-bench-grid v3";
+/// percentiles to the `grid` section. v4 added the lazy warm-planning
+/// phase (probe rate plus the asserted-zero decode count), the serial
+/// vs parallel v2 decode phase, and the cold scenario's assemble
+/// seconds.
+pub const BENCH_SCHEMA: &str = "memstream-bench-grid v4";
 
 /// The build profile the bench binary was compiled under, recorded in
 /// the document so debug-build numbers can never masquerade as the
@@ -170,14 +177,38 @@ pub struct BenchReport {
     pub eval_latency_p50_seconds: f64,
     /// Cold-scenario per-series evaluation latency p99, in seconds.
     pub eval_latency_p99_seconds: f64,
+    /// Wall-clock seconds inside `grid.assemble` on the cold scenario —
+    /// the result-folding tail the incremental frontier keeps flat.
+    pub assemble_seconds: f64,
     /// Interned-key resolutions (`CellKey` → canonical string) per second.
     pub key_resolutions_per_sec: f64,
+    /// Fully-warm planning probes per second against a lazily indexed
+    /// v2 cache (`contains_key` over every unique cell — the
+    /// coordinator's warm short-circuit path).
+    pub lazy_warm_cells_per_sec: f64,
+    /// Records the lazy warm-planning phase decoded. Asserted zero at
+    /// measurement time: warm planning is index probes only.
+    pub lazy_records_decoded: u64,
     /// Entries of the cache file the load phases parse.
     pub cache_entries: usize,
     /// v1 (TSV) cache-load rate in entries per second.
     pub v1_load_entries_per_sec: f64,
     /// v2 (binary) cache-load rate in entries per second.
     pub v2_load_entries_per_sec: f64,
+    /// Entries of the shard-scale synthetic cache the serial-vs-parallel
+    /// decode phase loads.
+    pub par_load_entries: usize,
+    /// Decode workers the production auto policy resolved for that file
+    /// on this host (1 on a single-core machine — the ratio then reads
+    /// as the policy's graceful degradation, not a speedup).
+    pub par_load_workers: usize,
+    /// Single-worker v2 decode rate on the synthetic cache, in entries
+    /// per second (the parallel phase's own baseline — same file, same
+    /// reps).
+    pub serial_load_entries_per_sec: f64,
+    /// Auto-fan-out partitioned v2 decode rate on the synthetic cache,
+    /// in entries per second.
+    pub par_load_entries_per_sec: f64,
     /// Refinement rounds actually run.
     pub refine_rounds: usize,
     /// Knees the refinement localised.
@@ -211,6 +242,14 @@ impl BenchReport {
         self.v2_load_entries_per_sec / self.v1_load_entries_per_sec.max(1e-9)
     }
 
+    /// How much faster the index-partitioned parallel v2 decode loads
+    /// the shard-scale synthetic cache than the single-worker decode of
+    /// the same file.
+    #[must_use]
+    pub fn par_load_speedup(&self) -> f64 {
+        self.par_load_entries_per_sec / self.serial_load_entries_per_sec.max(1e-9)
+    }
+
     /// The versioned `BENCH_grid.json` document.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -230,6 +269,7 @@ impl BenchReport {
                     .field_f64("warm_cells_per_sec", self.warm.cells_per_sec)
                     .field_f64("eval_latency_p50_seconds", self.eval_latency_p50_seconds)
                     .field_f64("eval_latency_p99_seconds", self.eval_latency_p99_seconds)
+                    .field_f64("assemble_seconds", self.assemble_seconds)
                     .field_f64("key_resolutions_per_sec", self.key_resolutions_per_sec),
             )
             .field_object(
@@ -238,7 +278,17 @@ impl BenchReport {
                     .field_u64("entries", self.cache_entries as u64)
                     .field_f64("v1_load_entries_per_sec", self.v1_load_entries_per_sec)
                     .field_f64("v2_load_entries_per_sec", self.v2_load_entries_per_sec)
-                    .field_f64("v2_load_speedup", self.v2_load_speedup()),
+                    .field_f64("v2_load_speedup", self.v2_load_speedup())
+                    .field_f64("lazy_warm_cells_per_sec", self.lazy_warm_cells_per_sec)
+                    .field_u64("lazy_records_decoded", self.lazy_records_decoded)
+                    .field_u64("par_load_entries", self.par_load_entries as u64)
+                    .field_u64("par_load_workers", self.par_load_workers as u64)
+                    .field_f64(
+                        "serial_load_entries_per_sec",
+                        self.serial_load_entries_per_sec,
+                    )
+                    .field_f64("par_load_entries_per_sec", self.par_load_entries_per_sec)
+                    .field_f64("par_load_speedup", self.par_load_speedup()),
             )
             .field_object(
                 "refine",
@@ -265,8 +315,10 @@ impl BenchReport {
     pub fn render_summary(&self) -> String {
         format!(
             "bench ({}): grid {} cells — cold {:.0} cells/s, warm {:.0} cells/s; \
-             eval p50 {:.0} us, p99 {:.0} us; \
-             keys {:.0}/s; cache load v1 {:.0}, v2 {:.0} entries/s ({:.1}x); \
+             eval p50 {:.0} us, p99 {:.0} us; assemble {:.1} ms; \
+             keys {:.0}/s; lazy warm {:.0} probes/s ({} decoded); \
+             cache load v1 {:.0}, v2 {:.0} entries/s ({:.1}x); \
+             par load {:.0} entries/s ({:.1}x serial, {} workers over {} entries); \
              refine {} knees in {} rounds ({:.2}/round); \
              shard merge {:.2} MB/s over {} bytes\n",
             if self.config.quick {
@@ -279,10 +331,17 @@ impl BenchReport {
             self.warm.cells_per_sec,
             self.eval_latency_p50_seconds * 1e6,
             self.eval_latency_p99_seconds * 1e6,
+            self.assemble_seconds * 1e3,
             self.key_resolutions_per_sec,
+            self.lazy_warm_cells_per_sec,
+            self.lazy_records_decoded,
             self.v1_load_entries_per_sec,
             self.v2_load_entries_per_sec,
             self.v2_load_speedup(),
+            self.par_load_entries_per_sec,
+            self.par_load_speedup(),
+            self.par_load_workers,
+            self.par_load_entries,
             self.refine_knees,
             self.refine_rounds,
             self.knees_per_round(),
@@ -348,17 +407,59 @@ pub fn run_bench_traced(
         .explore_cached(&grid, &mut cache)?;
     let warm = grid_row(&warm_metrics);
 
-    // Scenario 3: hot-path micro phases — interned-key resolution and
+    let scratch = std::env::temp_dir().join(format!("memstream-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    let interner = KeyInterner::new(&grid);
+    let unique = grid.unique_cells();
+    let key_reps = if config.quick { 100 } else { 400 };
+
+    // Scenario 3: lazy warm planning — the coordinator's fully-warm
+    // short-circuit path. The cold run's cache is saved as v2, indexed
+    // lazily, and every unique cell is probed with `contains_key`:
+    // pure index binary searches. The phase *asserts* zero record
+    // decodes — that counter staying at zero is the whole point of the
+    // lazy reader, so a regression fails the bench instead of merely
+    // shifting a number.
+    let lazy_metrics = Metrics::enabled_with_tracer(tracer);
+    let lazy_path = scratch.join("bench.lazy.cache");
+    cache.save_as(&lazy_path, CacheFormat::V2)?;
+    let mut lazy_cache = ResultCache::load_lazy(&lazy_path)?;
+    lazy_cache.set_metrics(&lazy_metrics);
+    let lazy_probes = lazy_metrics.counter("bench.lazy_warm_probes");
+    let mut key_buf = String::new();
+    let mut warm_answers = 0usize;
+    let lazy_timer = lazy_metrics.span("bench.lazy_warm").start();
+    for _ in 0..key_reps {
+        for cell in &unique {
+            interner.resolve_into(interner.key(cell), &mut key_buf);
+            warm_answers += usize::from(lazy_cache.contains_key(&key_buf));
+        }
+    }
+    drop(lazy_timer);
+    lazy_probes.add((key_reps * unique.len()) as u64);
+    assert_eq!(
+        warm_answers,
+        key_reps * unique.len(),
+        "a fully-warm lazy cache answers every planning probe"
+    );
+    let lazy_snapshot = lazy_metrics.snapshot();
+    let lazy_records_decoded = lazy_snapshot.counter("cache.records_decoded").unwrap_or(0);
+    assert_eq!(
+        lazy_records_decoded, 0,
+        "fully-warm planning must not decode a single record"
+    );
+    assert!(
+        lazy_snapshot.counter("cache.index_lookups").unwrap_or(0) > 0,
+        "the probes went through the lazy view's index"
+    );
+
+    // Scenario 4: hot-path micro phases — interned-key resolution and
     // v1-vs-v2 cache load, over the cold run's real entry set. Timed
     // through spans/counters like everything else, so the numbers can be
     // cross-checked against an instrumented run.
     let micro_metrics = Metrics::enabled_with_tracer(tracer);
-    let interner = KeyInterner::new(&grid);
-    let unique = grid.unique_cells();
-    let key_reps = if config.quick { 100 } else { 400 };
     let resolutions = micro_metrics.counter("bench.key_resolutions");
     let resolve_timer = micro_metrics.span("bench.key_resolve").start();
-    let mut key_buf = String::new();
     for _ in 0..key_reps {
         for cell in &unique {
             interner.resolve_into(interner.key(cell), &mut key_buf);
@@ -368,8 +469,6 @@ pub fn run_bench_traced(
     drop(resolve_timer);
     resolutions.add((key_reps * unique.len()) as u64);
 
-    let scratch = std::env::temp_dir().join(format!("memstream-bench-{}", std::process::id()));
-    std::fs::create_dir_all(&scratch)?;
     let load_reps = if config.quick { 50 } else { 200 };
     for (format, span_name, counter_name) in [
         (
@@ -396,10 +495,50 @@ pub fn run_bench_traced(
         drop(timer);
         entries.add(parsed);
     }
+
+    // Shard-scale serial-vs-parallel v2 decode: the cold run's entries
+    // replicated under suffixed keys so the file clears the parallel
+    // decode threshold by a wide margin, loaded with one pinned worker
+    // and then through the production auto fan-out (`load`'s own
+    // policy). The resolved worker count is recorded alongside the
+    // ratio: on a single-core host the policy degrades to the serial
+    // path by design and the ratio reads ~1x — the document says so
+    // instead of committing an oversubscription artefact. Same file,
+    // same reps — the ratio is the index partitioning's speedup and
+    // nothing else.
+    let replicas = 40;
+    let mut big = ResultCache::new();
+    let base_keys: Vec<String> = cache.keys().map(str::to_owned).collect();
+    for replica in 0..replicas {
+        for key in &base_keys {
+            let outcome = cache.get(key).expect("listed keys resolve");
+            big.insert(format!("{key}\treplica={replica}"), outcome);
+        }
+    }
+    let par_load_entries = big.len();
+    let par_load_workers = ResultCache::planned_load_workers(par_load_entries);
+    let par_path = scratch.join("bench.par.cache");
+    big.save_as(&par_path, CacheFormat::V2)?;
+    let par_reps = if config.quick { 5 } else { 20 };
+    for (workers, span_name, counter_name) in [
+        (1, "bench.cache_load_serial", "bench.serial_load_entries"),
+        (0, "bench.cache_load_par", "bench.par_load_entries"),
+    ] {
+        let entries = micro_metrics.counter(counter_name);
+        let timer = micro_metrics.span(span_name).start();
+        let mut parsed = 0u64;
+        for _ in 0..par_reps {
+            let loaded = ResultCache::load_with_workers(&par_path, workers)?;
+            parsed += loaded.len() as u64;
+            std::hint::black_box(loaded.len());
+        }
+        drop(timer);
+        entries.add(parsed);
+    }
     let _ = std::fs::remove_dir_all(&scratch);
     let micro = micro_metrics.snapshot();
 
-    // Scenario 4: refinement from a coarse axis, private in-memory cache.
+    // Scenario 5: refinement from a coarse axis, private in-memory cache.
     let refine_metrics = Metrics::enabled_with_tracer(tracer);
     let refine_grid = GridRecipe::reference(false, config.refine_rates).build();
     let engine = RefinementEngine::new(
@@ -409,7 +548,7 @@ pub fn run_bench_traced(
     let outcome = engine.refine(&refine_grid, None)?;
     let refine_snapshot = refine_metrics.snapshot();
 
-    // Scenario 5: cold two-shard process fan-out of the grid scenario's
+    // Scenario 6: cold two-shard process fan-out of the grid scenario's
     // grid (same shape, so merge bytes are comparable across runs).
     let shard_metrics = Metrics::enabled_with_tracer(tracer);
     let mut shard_cache = ResultCache::new();
@@ -437,15 +576,28 @@ pub fn run_bench_traced(
         warm,
         eval_latency_p50_seconds: eval_latency.map_or(0.0, |h| h.p50_seconds()),
         eval_latency_p99_seconds: eval_latency.map_or(0.0, |h| h.p99_seconds()),
+        assemble_seconds: cold_snapshot.span_seconds("grid.assemble").unwrap_or(0.0),
         key_resolutions_per_sec: micro
             .rate_per_second("bench.key_resolutions", "bench.key_resolve")
             .unwrap_or(0.0),
+        lazy_warm_cells_per_sec: lazy_snapshot
+            .rate_per_second("bench.lazy_warm_probes", "bench.lazy_warm")
+            .unwrap_or(0.0),
+        lazy_records_decoded,
         cache_entries: cache.len(),
         v1_load_entries_per_sec: micro
             .rate_per_second("bench.v1_load_entries", "bench.cache_load_v1")
             .unwrap_or(0.0),
         v2_load_entries_per_sec: micro
             .rate_per_second("bench.v2_load_entries", "bench.cache_load_v2")
+            .unwrap_or(0.0),
+        par_load_entries,
+        par_load_workers,
+        serial_load_entries_per_sec: micro
+            .rate_per_second("bench.serial_load_entries", "bench.cache_load_serial")
+            .unwrap_or(0.0),
+        par_load_entries_per_sec: micro
+            .rate_per_second("bench.par_load_entries", "bench.cache_load_par")
             .unwrap_or(0.0),
         refine_rounds: outcome.report.rounds.len(),
         refine_knees: outcome.report.knees.len(),
@@ -486,10 +638,17 @@ mod tests {
             },
             eval_latency_p50_seconds: 0.0005,
             eval_latency_p99_seconds: 0.002,
+            assemble_seconds: 0.003,
             key_resolutions_per_sec: 1e6,
+            lazy_warm_cells_per_sec: 5e6,
+            lazy_records_decoded: 0,
             cache_entries: 200,
             v1_load_entries_per_sec: 1e5,
             v2_load_entries_per_sec: 1e6,
+            par_load_entries: 8000,
+            par_load_workers: 4,
+            serial_load_entries_per_sec: 1e6,
+            par_load_entries_per_sec: 4e6,
             refine_rounds: 3,
             refine_knees: 6,
             refine_seconds: 0.2,
@@ -521,6 +680,24 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((speedup - 10.0).abs() < 1e-9);
+        assert_eq!(
+            doc.get("cache")
+                .and_then(|c| c.get("lazy_records_decoded"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        let par_speedup = doc
+            .get("cache")
+            .and_then(|c| c.get("par_load_speedup"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((par_speedup - 4.0).abs() < 1e-9);
+        let assemble = doc
+            .get("grid")
+            .and_then(|g| g.get("assemble_seconds"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((assemble - 0.003).abs() < 1e-12);
         let kpr = doc
             .get("refine")
             .and_then(|r| r.get("knees_per_round"))
@@ -551,10 +728,17 @@ mod tests {
             },
             eval_latency_p50_seconds: 0.0,
             eval_latency_p99_seconds: 0.0,
+            assemble_seconds: 0.0,
             key_resolutions_per_sec: 0.0,
+            lazy_warm_cells_per_sec: 0.0,
+            lazy_records_decoded: 0,
             cache_entries: 0,
             v1_load_entries_per_sec: 0.0,
             v2_load_entries_per_sec: 0.0,
+            par_load_entries: 0,
+            par_load_workers: 0,
+            serial_load_entries_per_sec: 0.0,
+            par_load_entries_per_sec: 0.0,
             refine_rounds: 0,
             refine_knees: 0,
             refine_seconds: 0.0,
@@ -564,6 +748,7 @@ mod tests {
         assert!(report.knees_per_round().is_finite());
         assert!(report.merge_mb_per_sec().is_finite());
         assert!(report.v2_load_speedup().is_finite());
+        assert!(report.par_load_speedup().is_finite());
         assert!(memstream_grid::telemetry::json::parse(&report.to_json()).is_ok());
     }
 }

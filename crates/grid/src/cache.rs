@@ -39,17 +39,19 @@ use std::fs;
 use std::io;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use memstream_core::Requirement;
 use memstream_telemetry::{Counter, Histogram, Metrics, SpanHandle};
 use memstream_units::{DataSize, EnergyPerBit, Ratio, Years};
 
 use crate::eval::{CellOutcome, EnergyOnlyPoint, PlannedPoint};
+use crate::view::{record_body, validate_v2, CacheView};
 
 const HEADER: &str = "memstream-grid-cache v1";
 const HEADER_V2: &str = "memstream-grid-cache v2";
 /// The sniffable v2 magic: the header line including its terminator.
-const V2_MAGIC: &[u8] = b"memstream-grid-cache v2\n";
+pub(crate) const V2_MAGIC: &[u8] = b"memstream-grid-cache v2\n";
 
 /// Which on-disk encoding a [`ResultCache::save_as`] writes. Loading
 /// auto-detects, so the format is a producer-side choice only.
@@ -105,10 +107,18 @@ pub enum CacheFileError {
     Malformed {
         /// 1-based position of the offending entry: the file line for
         /// v1, and `record ordinal + 2` for v2 (so entry *n* reports the
-        /// same position in either encoding). Structural v2 damage —
-        /// a truncated count or a corrupt record index — reports as
-        /// position 1, the header's slot.
+        /// same position in either encoding).
         line: usize,
+    },
+    /// The v2 structure around the records — the count field, the
+    /// trailing record index, or the trailer — is damaged: truncated,
+    /// pointing outside the file, or disagreeing with the record
+    /// framing. Attributed by byte offset because this damage has no
+    /// meaningful record ordinal.
+    MalformedIndex {
+        /// Byte offset of the damaged structure: the count field, the
+        /// offending index entry, or the trailer.
+        offset: u64,
     },
 }
 
@@ -122,6 +132,12 @@ impl fmt::Display for CacheFileError {
             ),
             CacheFileError::Malformed { line } => {
                 write!(f, "cache file line {line} is not a valid entry")
+            }
+            CacheFileError::MalformedIndex { offset } => {
+                write!(
+                    f,
+                    "cache file record index is damaged at byte offset {offset}"
+                )
             }
         }
     }
@@ -210,7 +226,19 @@ pub struct MergeStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ResultCache {
+    /// The overlay map: fresh inserts plus outcomes memoized from the
+    /// lazy view. Without a view this is simply *the* map.
     entries: HashMap<String, CellOutcome>,
+    /// The lazy backing file ([`ResultCache::load_lazy`]): probes hit
+    /// its index, records decode on demand and memoize into `entries`.
+    view: Option<Arc<CacheView>>,
+    /// Overlay keys the view does not hold, so `len()` is
+    /// `view.len() + overlay_new` without iterating either side.
+    overlay_new: usize,
+    /// Whether a public insert replaced a view-held key: disables the
+    /// verbatim re-save fast path (the file bytes are no longer the
+    /// truth).
+    shadowed: bool,
     hits: usize,
     misses: usize,
     telemetry: CacheTelemetry,
@@ -229,9 +257,18 @@ struct CacheTelemetry {
     merge_duplicates: Counter,
     merge_bytes: Counter,
     merge_span: SpanHandle,
+    /// Worker threads used across parallel merges (cumulative).
+    merge_workers: Counter,
     save_bytes: Counter,
     v2_save_bytes: Counter,
     save_span: SpanHandle,
+    /// Records decoded on demand from a lazy [`CacheView`] — the number
+    /// a warm run must keep proportional to the work requested, not the
+    /// cache size. Eager loads do not count here (they are load-time
+    /// cost, visible through spans and byte counters instead).
+    records_decoded: Counter,
+    /// Binary-search probes into a lazy view's record index.
+    index_lookups: Counter,
     /// Per-lookup latency distribution (`cache.lookup`); the clock is
     /// only read when the histogram is live.
     lookup_latency: Histogram,
@@ -248,9 +285,12 @@ impl CacheTelemetry {
             merge_duplicates: metrics.counter("cache.merge_duplicates"),
             merge_bytes: metrics.counter("cache.merge_bytes"),
             merge_span: metrics.span("cache.merge"),
+            merge_workers: metrics.counter("cache.merge_workers"),
             save_bytes: metrics.counter("cache.save_bytes"),
             v2_save_bytes: metrics.counter("cache.v2_save_bytes"),
             save_span: metrics.span("cache.save"),
+            records_decoded: metrics.counter("cache.records_decoded"),
+            index_lookups: metrics.counter("cache.index_lookups"),
             lookup_latency: metrics.histogram("cache.lookup"),
         }
     }
@@ -275,40 +315,123 @@ impl ResultCache {
         self.telemetry = CacheTelemetry::resolve(metrics);
     }
 
-    /// Loads a cache file, auto-detecting the format from its header
-    /// (text v1 or binary v2). A missing file yields an empty cache;
-    /// unparseable v1 lines are skipped and a malformed v2 record drops
-    /// it plus everything after it (the length-prefixed stream cannot be
-    /// resynchronised past damage).
+    /// Loads a cache file eagerly, auto-detecting the format from its
+    /// header (text v1 or binary v2). A missing file yields an empty
+    /// cache; unparseable v1 lines are skipped and a malformed v2 record
+    /// drops it plus everything after it (the length-prefixed stream
+    /// cannot be resynchronised past damage).
+    ///
+    /// For a structurally valid v2 file large enough to amortise thread
+    /// startup, the record index is partitioned across scoped worker
+    /// threads and decoded in parallel (see
+    /// [`ResultCache::load_with_workers`] to pin the worker count).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors other than "not found".
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::load_with_workers(path, 0)
+    }
+
+    /// [`ResultCache::load`] with an explicit decode worker count:
+    /// `0` picks automatically (serial below a few thousand records),
+    /// `1` forces the serial decode, higher values cap the scoped
+    /// threads the v2 index is partitioned across. v1 files always
+    /// decode serially (a text parse has no index to partition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found".
+    pub fn load_with_workers(path: impl AsRef<Path>, workers: usize) -> io::Result<Self> {
         let bytes = match fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
             Err(e) => return Err(e),
         };
+        if bytes.starts_with(V2_MAGIC) {
+            if let Ok(offsets) = validate_v2(&bytes) {
+                let workers = if workers == 0 {
+                    auto_load_workers(offsets.len())
+                } else {
+                    workers
+                };
+                if workers > 1 {
+                    if let Some(entries) = decode_index_parallel(&bytes, &offsets, workers) {
+                        let mut cache = ResultCache::new();
+                        cache.entries = entries;
+                        return Ok(cache);
+                    }
+                    // A malformed payload despite a valid index: fall
+                    // through to the serial prefix scan for the usual
+                    // lenient keep-the-prefix semantics.
+                }
+            }
+        }
+        Ok(Self::from_bytes_eager(&bytes))
+    }
+
+    /// The decode worker count [`ResultCache::load`] resolves for a v2
+    /// file of `records` entries on this host: serial below the
+    /// parallelisation threshold, otherwise capped by the available
+    /// parallelism. Exposed so benchmarks and diagnostics report the
+    /// *actual* fan-out instead of re-deriving (and drifting from) the
+    /// policy.
+    #[must_use]
+    pub fn planned_load_workers(records: usize) -> usize {
+        auto_load_workers(records)
+    }
+
+    /// Opens a cache file **lazily**: a structurally valid v2 file is
+    /// held as a [`CacheView`] — only its record index is read — and
+    /// records decode on demand as lookups touch them (memoized, so a
+    /// hot cell decodes once). Probes ([`ResultCache::contains_key`],
+    /// planning) never decode at all. A missing file is an empty cache,
+    /// and anything the view cannot validate (v1, flush streams,
+    /// structural damage) falls back to the eager lenient
+    /// [`ResultCache::load`] semantics, so `load_lazy` is a drop-in
+    /// replacement for warm-start reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found".
+    pub fn load_lazy(path: impl AsRef<Path>) -> io::Result<Self> {
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
+            Err(e) => return Err(e),
+        };
+        if bytes.starts_with(V2_MAGIC) {
+            if let Ok(offsets) = validate_v2(&bytes) {
+                let mut cache = ResultCache::new();
+                cache.view = Some(Arc::new(CacheView::from_validated(bytes, offsets)));
+                return Ok(cache);
+            }
+        }
+        Ok(Self::from_bytes_eager(&bytes))
+    }
+
+    /// The eager lenient decode shared by the `load` family: v2 prefix
+    /// scan, v1 line-at-a-time, or empty for unknown headers.
+    fn from_bytes_eager(bytes: &[u8]) -> Self {
         let mut cache = ResultCache::new();
         if bytes.starts_with(V2_MAGIC) {
-            cache.entries = parse_v2(&bytes, false).entries;
-            return Ok(cache);
+            cache.entries = parse_v2_lenient(bytes);
+            return cache;
         }
         // Unknown version or non-UTF-8 garbage: empty rather than failing.
-        let Ok(text) = std::str::from_utf8(&bytes) else {
-            return Ok(cache);
+        let Ok(text) = std::str::from_utf8(bytes) else {
+            return cache;
         };
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
-            return Ok(cache);
+            return cache;
         }
         for line in lines {
             if let Some((key, outcome)) = parse_line(line) {
                 cache.entries.insert(key, outcome);
             }
         }
-        Ok(cache)
+        cache
     }
 
     /// Loads a cache file as a **wire format**: unlike [`ResultCache::load`],
@@ -321,19 +444,24 @@ impl ResultCache {
     ///
     /// [`CacheFileError::Io`] on any read failure (including "not found"),
     /// [`CacheFileError::VersionMismatch`] if the header line is neither
-    /// `memstream-grid-cache v1` nor `memstream-grid-cache v2`, and
-    /// [`CacheFileError::Malformed`] on the first entry that fails to
-    /// parse (for v2 this includes a count or record index that
-    /// disagrees with the records actually present).
+    /// `memstream-grid-cache v1` nor `memstream-grid-cache v2`,
+    /// [`CacheFileError::MalformedIndex`] (attributed by byte offset) if
+    /// the v2 count, record index or trailer disagrees with the records
+    /// actually present, and [`CacheFileError::Malformed`] on the first
+    /// entry that fails to parse.
     pub fn load_strict(path: impl AsRef<Path>) -> Result<Self, CacheFileError> {
         let bytes = fs::read(path)?;
         let mut cache = ResultCache::new();
         if bytes.starts_with(V2_MAGIC) {
-            let parsed = parse_v2(&bytes, true);
-            if let Some(line) = parsed.malformed {
-                return Err(CacheFileError::Malformed { line });
+            // Structure first (count/index/trailer, attributed by byte
+            // offset), then every record payload (attributed by ordinal).
+            let offsets = validate_v2(&bytes)?;
+            cache.entries = HashMap::with_capacity(offsets.len());
+            for (ordinal, &offset) in offsets.iter().enumerate() {
+                let (key, outcome) = decode_record(record_body(&bytes, offset))
+                    .ok_or(CacheFileError::Malformed { line: ordinal + 2 })?;
+                cache.entries.insert(key, outcome);
             }
-            cache.entries = parsed.entries;
             return Ok(cache);
         }
         let text = match String::from_utf8(bytes) {
@@ -377,50 +505,104 @@ impl ResultCache {
     ///
     /// # Errors
     ///
-    /// [`CacheConflict`] on the first (lowest-key) conflicting entry.
+    /// [`CacheConflict`] on the lowest-key conflicting entry.
     pub fn merge(&mut self, other: &ResultCache) -> Result<MergeStats, CacheConflict> {
+        self.merge_with_workers(other, auto_merge_workers(other.len()))
+    }
+
+    /// [`ResultCache::merge`] with an explicit worker count: `other`'s
+    /// key list is partitioned into `workers` contiguous slices, each
+    /// scanned for conflicts/duplicates/additions on its own scoped
+    /// thread (the detect pass is read-only, so it shares both caches
+    /// freely), and a single writer then stitches the additions in.
+    /// Detection still completes **before** any mutation, so the merge
+    /// stays atomic, and the union is a set — worker partitioning cannot
+    /// change the result, the stats, or the saved file bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheConflict`] on the lowest-key conflicting entry (`self` is
+    /// left untouched).
+    pub fn merge_with_workers(
+        &mut self,
+        other: &ResultCache,
+        workers: usize,
+    ) -> Result<MergeStats, CacheConflict> {
         let _merge_timer = self.telemetry.merge_span.start();
-        let mut keys: Vec<&String> = Vec::with_capacity(other.entries.len());
-        keys.extend(other.entries.keys());
-        keys.sort();
-        let mut stats = MergeStats::default();
-        // Pass 1 — detect, without mutating. The conflict rule is
-        // byte-equality of the *encoded* entry (the wire form), not
-        // structural equality: it is the file bytes two shards must
-        // agree on, and it treats equal NaN payloads as the duplicates
-        // they are.
-        for key in &keys {
-            if let Some(ours) = self.entries.get(*key) {
-                let theirs = encode_line(key, &other.entries[*key]);
-                let ours = encode_line(key, ours);
-                if ours != theirs {
-                    return Err(CacheConflict {
-                        key: (*key).clone(),
-                        ours,
-                        theirs,
-                    });
-                }
-                stats.duplicates += 1;
-            }
+        let keys = other.key_list();
+        let workers = workers.clamp(1, keys.len().max(1));
+        let count_bytes = self.telemetry.is_enabled();
+        let scans: Vec<MergeScan> = if workers <= 1 {
+            vec![scan_merge_slice(self, other, &keys, count_bytes)]
+        } else {
+            let target = &*self;
+            let chunk = keys.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = keys
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || scan_merge_slice(target, other, slice, count_bytes))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker panicked"))
+                    .collect()
+            })
+        };
+        self.telemetry.merge_workers.add(workers as u64);
+        let mut probes = 0u64;
+        let mut decoded = 0u64;
+        for scan in &scans {
+            probes += scan.probes;
+            decoded += scan.decoded;
         }
-        // Pass 2 — a conflict-free union, applied in full.
-        for key in keys {
-            if !self.entries.contains_key(key) {
-                // Byte accounting (for merge-throughput reporting) uses the
-                // wire encoding, and is only worth computing when someone
-                // is listening.
-                if self.telemetry.is_enabled() {
-                    let line = encode_line(key, &other.entries[key]);
-                    self.telemetry.merge_bytes.add(line.len() as u64 + 1);
-                }
-                self.entries.insert(key.clone(), other.entries[key].clone());
+        self.telemetry.index_lookups.add(probes);
+        self.telemetry.records_decoded.add(decoded);
+        if let Some(conflict) = scans
+            .iter()
+            .filter_map(|scan| scan.conflict.as_ref())
+            .min_by(|a, b| a.key.cmp(&b.key))
+        {
+            return Err(conflict.clone());
+        }
+        let mut stats = MergeStats::default();
+        let mut bytes = 0u64;
+        for scan in scans {
+            stats.duplicates += scan.duplicates;
+            bytes += scan.bytes;
+            for (key, outcome) in scan.additions {
+                self.entries.insert(key, outcome);
                 stats.added += 1;
             }
         }
+        // Every addition was absent from view *and* overlay (the scan
+        // checked), so the length bookkeeping is a plain bump.
+        self.overlay_new += stats.added;
+        self.telemetry.merge_bytes.add(bytes);
         self.telemetry.merges.incr();
         self.telemetry.merge_added.add(stats.added as u64);
         self.telemetry.merge_duplicates.add(stats.duplicates as u64);
         Ok(stats)
+    }
+
+    /// Every key this cache holds: overlay keys first (excluding ones
+    /// the view also holds), then the view's sorted keys. Arbitrary
+    /// overall order.
+    fn key_list(&self) -> Vec<&str> {
+        match self.view.as_deref() {
+            None => self.entries.keys().map(String::as_str).collect(),
+            Some(view) => {
+                let mut keys: Vec<&str> = self
+                    .entries
+                    .keys()
+                    .map(String::as_str)
+                    .filter(|key| view.find(key).is_none())
+                    .collect();
+                keys.extend(view.keys());
+                keys
+            }
+        }
     }
 
     /// Writes the cache to `path` in the v1 text format, sorted by key
@@ -439,18 +621,38 @@ impl ResultCache {
     /// preserves entry order). Entries stream through a [`io::BufWriter`]
     /// — the whole file is never materialised in memory.
     ///
+    /// A lazily loaded cache that was never extended or shadowed
+    /// re-saves to v2 **verbatim**: the view's validation guarantees its
+    /// entries re-encode to exactly the bytes it was opened over, so the
+    /// file is rewritten without decoding a single record.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save_as(&self, path: impl AsRef<Path>, format: CacheFormat) -> io::Result<()> {
         let _save_timer = self.telemetry.save_span.start();
-        let mut keys: Vec<&String> = Vec::with_capacity(self.entries.len());
-        keys.extend(self.entries.keys());
-        keys.sort();
+        if format == CacheFormat::V2 && self.overlay_new == 0 && !self.shadowed {
+            if let Some(view) = self.view.as_deref() {
+                fs::write(path, view.file_bytes())?;
+                let written = view.file_bytes().len() as u64;
+                self.telemetry.save_bytes.add(written);
+                self.telemetry.v2_save_bytes.add(written);
+                return Ok(());
+            }
+        }
+        let mut keys = self.key_list();
+        keys.sort_unstable();
+        // Resolve outcomes up front (decoding any still-lazy records —
+        // a converting save is inherently eager), so the writers can
+        // stream over plain data.
+        let entries: Vec<(&str, CellOutcome)> = keys
+            .into_iter()
+            .filter_map(|key| Some((key, self.fetch(key)?)))
+            .collect();
         let mut out = io::BufWriter::new(fs::File::create(path)?);
         let written = match format {
-            CacheFormat::V1 => self.write_v1(&mut out, &keys)?,
-            CacheFormat::V2 => self.write_v2(&mut out, &keys)?,
+            CacheFormat::V1 => write_v1(&mut out, &entries)?,
+            CacheFormat::V2 => write_v2(&mut out, &entries)?,
         };
         out.flush()?;
         self.telemetry.save_bytes.add(written);
@@ -460,53 +662,19 @@ impl ResultCache {
         Ok(())
     }
 
-    /// Streams the v1 text encoding, returning the bytes written.
-    fn write_v1(&self, out: &mut impl io::Write, keys: &[&String]) -> io::Result<u64> {
-        out.write_all(HEADER.as_bytes())?;
-        out.write_all(b"\n")?;
-        let mut written = HEADER.len() as u64 + 1;
-        for key in keys {
-            let line = encode_line(key, &self.entries[*key]);
-            out.write_all(line.as_bytes())?;
-            out.write_all(b"\n")?;
-            written += line.len() as u64 + 1;
-        }
-        Ok(written)
-    }
-
-    /// Streams the v2 binary encoding (records then index), returning
-    /// the bytes written.
-    fn write_v2(&self, out: &mut impl io::Write, keys: &[&String]) -> io::Result<u64> {
-        out.write_all(V2_MAGIC)?;
-        out.write_all(&(keys.len() as u64).to_le_bytes())?;
-        let mut offset = V2_MAGIC.len() as u64 + 8;
-        let mut index: Vec<u64> = Vec::with_capacity(keys.len());
-        for key in keys {
-            index.push(offset);
-            let body = encode_record(key, &self.entries[*key]);
-            let len = u32::try_from(body.len()).expect("cache record exceeds u32 length");
-            out.write_all(&len.to_le_bytes())?;
-            out.write_all(&body)?;
-            offset += 4 + body.len() as u64;
-        }
-        let index_offset = offset;
-        for record_offset in &index {
-            out.write_all(&record_offset.to_le_bytes())?;
-        }
-        out.write_all(&index_offset.to_le_bytes())?;
-        Ok(offset + 8 * (index.len() as u64 + 1))
-    }
-
     /// Number of cached outcomes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match self.view.as_deref() {
+            Some(view) => view.len() + self.overlay_new,
+            None => self.entries.len(),
+        }
     }
 
     /// Whether the cache holds nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Cache hits since construction/load.
@@ -523,13 +691,25 @@ impl ResultCache {
 
     /// Looks up an outcome, counting the hit/miss and timing the probe
     /// into the `cache.lookup` histogram when telemetry is enabled.
+    ///
+    /// On a lazy cache, a view hit decodes that one record and memoizes
+    /// it into the overlay map — repeated lookups of a hot cell decode
+    /// once, so `cache.records_decoded` tracks *distinct* cells touched.
     pub(crate) fn lookup(&mut self, key: &str) -> Option<CellOutcome> {
         let started = self
             .telemetry
             .lookup_latency
             .is_live()
             .then(std::time::Instant::now);
-        let found = self.entries.get(key);
+        let mut found = self.entries.get(key).cloned();
+        if found.is_none() {
+            if let Some((owned_key, outcome)) = self.view_fetch(key) {
+                // Memoize without touching `overlay_new`: the key is a
+                // view key, already counted by `len()`.
+                self.entries.insert(owned_key, outcome.clone());
+                found = Some(outcome);
+            }
+        }
         if let Some(started) = started {
             self.telemetry.lookup_latency.record(started.elapsed());
         }
@@ -537,7 +717,7 @@ impl ResultCache {
             Some(outcome) => {
                 self.hits += 1;
                 self.telemetry.hits.incr();
-                Some(outcome.clone())
+                Some(outcome)
             }
             None => {
                 self.misses += 1;
@@ -547,24 +727,64 @@ impl ResultCache {
         }
     }
 
-    /// Peeks at an outcome without touching the hit/miss counters (the
-    /// shard planner asks "is this cell already known?" without it being
-    /// a lookup of record).
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&CellOutcome> {
-        self.entries.get(key)
+    /// Probes the lazy view: one index binary search, and on a hit one
+    /// record decode. Counts both.
+    fn view_fetch(&self, key: &str) -> Option<(String, CellOutcome)> {
+        let view = self.view.as_deref()?;
+        self.telemetry.index_lookups.incr();
+        let decoded = view.decode(view.find(key)?)?;
+        self.telemetry.records_decoded.incr();
+        Some(decoded)
     }
 
-    /// Whether `key` is cached, without counting a hit or miss.
+    /// Peeks at an outcome without touching the hit/miss counters (the
+    /// shard planner asks "is this cell already known?" without it being
+    /// a lookup of record). Returns an owned outcome: on a lazy cache
+    /// the record may be decoded on the fly (without memoizing — peeks
+    /// take `&self`).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<CellOutcome> {
+        if let Some(outcome) = self.entries.get(key) {
+            return Some(outcome.clone());
+        }
+        self.view_fetch(key).map(|(_, outcome)| outcome)
+    }
+
+    /// [`ResultCache::get`] without clone-avoidance niceties — the
+    /// resolve-everything path converting saves use.
+    fn fetch(&self, key: &str) -> Option<CellOutcome> {
+        self.get(key)
+    }
+
+    /// Whether `key` is cached, without counting a hit or miss. On a
+    /// lazy cache this is an index probe — no record is decoded, which
+    /// is what keeps fully-warm planning decode-free.
     #[must_use]
     pub fn contains_key(&self, key: &str) -> bool {
-        self.entries.contains_key(key)
+        if self.entries.contains_key(key) {
+            return true;
+        }
+        match self.view.as_deref() {
+            Some(view) => {
+                self.telemetry.index_lookups.incr();
+                view.find(key).is_some()
+            }
+            None => false,
+        }
     }
 
     /// Iterates the cached dedup keys in arbitrary order (sort before
     /// relying on the order for anything user-visible).
     pub fn keys(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+        let view = self.view.as_deref();
+        self.entries
+            .keys()
+            .map(String::as_str)
+            .filter(move |key| match view {
+                Some(view) => view.find(key).is_none(),
+                None => true,
+            })
+            .chain(view.into_iter().flat_map(CacheView::keys))
     }
 
     /// Inserts an outcome under `key`, replacing any previous entry.
@@ -575,7 +795,21 @@ impl ResultCache {
     /// of overwriting.
     pub fn insert(&mut self, key: String, outcome: CellOutcome) {
         self.telemetry.inserts.incr();
-        self.entries.insert(key, outcome);
+        let in_view = match self.view.as_deref() {
+            Some(view) => {
+                self.telemetry.index_lookups.incr();
+                view.find(&key).is_some()
+            }
+            None => false,
+        };
+        let replaced = self.entries.insert(key, outcome).is_some();
+        if in_view {
+            // Overwriting a view-held key: the file bytes are no longer
+            // the truth, so the verbatim re-save fast path must not run.
+            self.shadowed = true;
+        } else if self.view.is_some() && !replaced {
+            self.overlay_new += 1;
+        }
     }
 }
 
@@ -832,7 +1066,7 @@ impl<'a> ByteReader<'a> {
 
 /// Decodes one record body. Trailing garbage within the body rejects the
 /// record — the length prefix and the payload must agree exactly.
-fn decode_record(body: &[u8]) -> Option<(String, CellOutcome)> {
+pub(crate) fn decode_record(body: &[u8]) -> Option<(String, CellOutcome)> {
     let mut r = ByteReader {
         bytes: body,
         pos: 0,
@@ -864,75 +1098,227 @@ fn decode_record(body: &[u8]) -> Option<(String, CellOutcome)> {
     r.done().then_some((key, outcome))
 }
 
-/// The result of scanning a v2 file: every entry parsed before the first
-/// malformation, and where that malformation sits (`None` for a clean
-/// file). The lenient loader keeps the prefix; the strict loader turns
-/// `malformed` into a [`CacheFileError::Malformed`].
+/// Leniently scans the records of a v2 file (`bytes` starts with
+/// [`V2_MAGIC`]): every entry parsed before the first malformation is
+/// kept, damage and everything after it is dropped. This reader never
+/// consults the index, which lets it double as the flush-stream loader
+/// (flush streams have no index at all).
 ///
 /// Entries land directly in the cache's map shape, pre-sized from the
 /// header count — the binary format knows its cardinality up front, so
 /// a v2 load never rehashes (an edge the line-at-a-time v1 parse cannot
-/// have).
-struct V2Parse {
-    entries: HashMap<String, CellOutcome>,
-    malformed: Option<usize>,
-}
-
-/// Scans the records of a v2 file (`bytes` starts with [`V2_MAGIC`]).
-/// With `verify_index`, the trailing record index must agree with the
-/// records actually present and the file must end exactly after it.
-fn parse_v2(bytes: &[u8], verify_index: bool) -> V2Parse {
+/// have). Pre-sizing is capped against the honest minimum record
+/// footprint, so a hostile count cannot balloon the allocation past the
+/// actual file size.
+fn parse_v2_lenient(bytes: &[u8]) -> HashMap<String, CellOutcome> {
     let mut r = ByteReader {
         bytes,
         pos: V2_MAGIC.len(),
     };
     let Some(count) = r.u64().and_then(|c| usize::try_from(c).ok()) else {
-        return V2Parse {
-            entries: HashMap::new(),
-            malformed: Some(1),
-        };
+        return HashMap::new();
     };
-    // Pre-size against the honest minimum record footprint, so a hostile
-    // count cannot balloon the allocation past the actual file size.
     let mut entries = HashMap::with_capacity(count.min(bytes.len() / 10));
-    let mut offsets: Vec<u64> = Vec::with_capacity(if verify_index { count } else { 0 });
-    for ordinal in 0..count {
-        let record_start = r.pos as u64;
+    for _ in 0..count {
         let entry = r
             .u32()
             .and_then(|len| r.take(len as usize))
             .and_then(decode_record);
         match entry {
             Some((key, outcome)) => {
-                if verify_index {
-                    offsets.push(record_start);
-                }
                 entries.insert(key, outcome);
             }
-            None => {
-                return V2Parse {
-                    entries,
-                    malformed: Some(ordinal + 2),
+            None => break,
+        }
+    }
+    entries
+}
+
+/// Serial-below-this record count, the parallel load's thread startup
+/// costs more than it saves.
+const PARALLEL_LOAD_MIN_RECORDS: usize = 4096;
+
+/// Decode workers for an eager v2 load of `records` records: serial for
+/// small files, then one worker per ~2k records up to a modest cap.
+fn auto_load_workers(records: usize) -> usize {
+    if records < PARALLEL_LOAD_MIN_RECORDS {
+        return 1;
+    }
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    available.min(records / 2048).clamp(1, 8)
+}
+
+/// Merge workers for unioning `records` entries in: serial for small
+/// shard caches, then one worker per ~128 entries up to a modest cap.
+fn auto_merge_workers(records: usize) -> usize {
+    if records < 256 {
+        return 1;
+    }
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    available.min(records / 128).clamp(1, 8)
+}
+
+/// Decodes a validated v2 record index in parallel: contiguous index
+/// slices fan out across scoped worker threads, each decoding into its
+/// own pre-sized shard map, and a single writer stitches the shards
+/// into the final map. Returns `None` if any record payload fails to
+/// decode (the caller falls back to the serial lenient scan).
+fn decode_index_parallel(
+    bytes: &[u8],
+    offsets: &[usize],
+    workers: usize,
+) -> Option<HashMap<String, CellOutcome>> {
+    let chunk = offsets.len().div_ceil(workers.max(1)).max(1);
+    let shards: Vec<Option<HashMap<String, CellOutcome>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = offsets
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut shard = HashMap::with_capacity(slice.len());
+                    for &offset in slice {
+                        let (key, outcome) = decode_record(record_body(bytes, offset))?;
+                        shard.insert(key, outcome);
+                    }
+                    Some(shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let mut entries = HashMap::with_capacity(offsets.len());
+    for shard in shards {
+        entries.extend(shard?);
+    }
+    Some(entries)
+}
+
+/// What one merge worker found in its slice of the source's keys.
+struct MergeScan {
+    duplicates: usize,
+    /// Entries absent from the target, cloned and ready to stitch in.
+    additions: Vec<(String, CellOutcome)>,
+    /// Wire bytes of the additions (only computed when telemetry is
+    /// live — it exists for merge-throughput reporting).
+    bytes: u64,
+    /// Index probes / on-demand decodes performed against either
+    /// cache's lazy view, merged into the counters after the join.
+    probes: u64,
+    decoded: u64,
+    /// The lowest-key conflict in this slice, if any.
+    conflict: Option<CacheConflict>,
+}
+
+/// Resolves `key` in a cache without telemetry (merge workers run off
+/// the counter path and account in bulk after the join).
+fn fetch_quiet(
+    cache: &ResultCache,
+    key: &str,
+    probes: &mut u64,
+    decoded: &mut u64,
+) -> Option<CellOutcome> {
+    if let Some(outcome) = cache.entries.get(key) {
+        return Some(outcome.clone());
+    }
+    let view = cache.view.as_deref()?;
+    *probes += 1;
+    let (_, outcome) = view.decode(view.find(key)?)?;
+    *decoded += 1;
+    Some(outcome)
+}
+
+/// The merge detect pass over one contiguous slice of the source's
+/// keys: classify every key as duplicate (byte-equal wire encoding),
+/// addition, or conflict. Read-only — safe to run on many slices of the
+/// same two caches concurrently.
+fn scan_merge_slice(
+    target: &ResultCache,
+    source: &ResultCache,
+    keys: &[&str],
+    count_bytes: bool,
+) -> MergeScan {
+    let mut scan = MergeScan {
+        duplicates: 0,
+        additions: Vec::new(),
+        bytes: 0,
+        probes: 0,
+        decoded: 0,
+        conflict: None,
+    };
+    for &key in keys {
+        let theirs = fetch_quiet(source, key, &mut scan.probes, &mut scan.decoded)
+            .expect("key list entries resolve in their own cache");
+        match fetch_quiet(target, key, &mut scan.probes, &mut scan.decoded) {
+            Some(ours) => {
+                // The conflict rule is byte-equality of the *encoded*
+                // entry (the wire form), not structural equality: it is
+                // the file bytes two shards must agree on, and it treats
+                // equal NaN payloads as the duplicates they are.
+                let ours = encode_line(key, &ours);
+                let theirs = encode_line(key, &theirs);
+                if ours == theirs {
+                    scan.duplicates += 1;
+                } else if scan
+                    .conflict
+                    .as_ref()
+                    .is_none_or(|held| key < held.key.as_str())
+                {
+                    scan.conflict = Some(CacheConflict {
+                        key: key.to_owned(),
+                        ours,
+                        theirs,
+                    });
                 }
+            }
+            None => {
+                if count_bytes {
+                    scan.bytes += encode_line(key, &theirs).len() as u64 + 1;
+                }
+                scan.additions.push((key.to_owned(), theirs));
             }
         }
     }
-    if verify_index {
-        let index_offset = r.pos as u64;
-        let clean = offsets.iter().all(|expected| r.u64() == Some(*expected))
-            && r.u64() == Some(index_offset)
-            && r.done();
-        if !clean {
-            return V2Parse {
-                entries,
-                malformed: Some(1),
-            };
-        }
+    scan
+}
+
+/// Streams the v1 text encoding of pre-resolved entries, returning the
+/// bytes written.
+fn write_v1(out: &mut impl io::Write, entries: &[(&str, CellOutcome)]) -> io::Result<u64> {
+    out.write_all(HEADER.as_bytes())?;
+    out.write_all(b"\n")?;
+    let mut written = HEADER.len() as u64 + 1;
+    for (key, outcome) in entries {
+        let line = encode_line(key, outcome);
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        written += line.len() as u64 + 1;
     }
-    V2Parse {
-        entries,
-        malformed: None,
+    Ok(written)
+}
+
+/// Streams the v2 binary encoding (records then index) of pre-resolved
+/// entries, returning the bytes written.
+fn write_v2(out: &mut impl io::Write, entries: &[(&str, CellOutcome)]) -> io::Result<u64> {
+    out.write_all(V2_MAGIC)?;
+    out.write_all(&(entries.len() as u64).to_le_bytes())?;
+    let mut offset = V2_MAGIC.len() as u64 + 8;
+    let mut index: Vec<u64> = Vec::with_capacity(entries.len());
+    for (key, outcome) in entries {
+        index.push(offset);
+        let body = encode_record(key, outcome);
+        let len = u32::try_from(body.len()).expect("cache record exceeds u32 length");
+        out.write_all(&len.to_le_bytes())?;
+        out.write_all(&body)?;
+        offset += 4 + body.len() as u64;
     }
+    let index_offset = offset;
+    for record_offset in &index {
+        out.write_all(&record_offset.to_le_bytes())?;
+    }
+    out.write_all(&index_offset.to_le_bytes())?;
+    Ok(offset + 8 * (index.len() as u64 + 1))
 }
 
 // ---------------------------------------------------------------------
@@ -1038,6 +1424,10 @@ pub struct FlushReader {
     path: std::path::PathBuf,
     offset: u64,
     damaged: bool,
+    /// The tail-read scratch buffer, reused across polls: the
+    /// coordinator polls every heartbeat tick, and most polls read a
+    /// few records (or nothing) — reallocating per poll is pure churn.
+    buf: Vec<u8>,
 }
 
 impl FlushReader {
@@ -1049,6 +1439,7 @@ impl FlushReader {
             path: path.into(),
             offset: 0,
             damaged: false,
+            buf: Vec::new(),
         }
     }
 
@@ -1070,12 +1461,13 @@ impl FlushReader {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(FlushPoll::default()),
             Err(e) => return Err(e),
         };
-        let mut buf = Vec::new();
+        self.buf.clear();
         if self.offset > 0 {
             use std::io::Seek as _;
             file.seek(io::SeekFrom::Start(self.offset))?;
         }
-        io::Read::read_to_end(&mut file, &mut buf)?;
+        io::Read::read_to_end(&mut file, &mut self.buf)?;
+        let buf = &self.buf;
         let mut pos = 0usize;
         if self.offset == 0 {
             let header = V2_MAGIC.len() + 8;
@@ -1486,9 +1878,12 @@ mod tests {
         let lenient = ResultCache::load(&path).unwrap();
         assert_eq!(lenient.len(), 1, "the intact prefix survives");
         assert!(lenient.contains_key("a"), "records sort by key");
+        // Truncation tears off the record index entirely, so the strict
+        // reader attributes the damage to the (garbage) trailer bytes.
+        let len = fs::metadata(&path).unwrap().len();
         match ResultCache::load_strict(&path).unwrap_err() {
-            CacheFileError::Malformed { line } => assert_eq!(line, 3, "second record, slot 3"),
-            other => panic!("expected malformed record, got {other}"),
+            CacheFileError::MalformedIndex { offset } => assert_eq!(offset, len - 8),
+            other => panic!("expected index damage, got {other}"),
         }
         fs::remove_file(path).unwrap();
     }
@@ -1507,7 +1902,9 @@ mod tests {
             hostile_cache().len()
         );
         match ResultCache::load_strict(&path).unwrap_err() {
-            CacheFileError::Malformed { line } => assert_eq!(line, 1, "structural damage"),
+            CacheFileError::MalformedIndex { offset } => {
+                assert_eq!(offset, bytes.len() as u64 - 8, "attributed at the trailer");
+            }
             other => panic!("expected malformed index, got {other}"),
         }
         fs::remove_file(path).unwrap();

@@ -11,7 +11,7 @@ use crate::eval::CellOutcome;
 use crate::key::KeyInterner;
 use crate::series::{evaluate_series, plan_series, Series};
 use crate::spec::{GridCell, GridError, ScenarioGrid};
-use crate::store::{pareto_frontier, ParetoPoint, ResultStore};
+use crate::store::{resolve_frontier, FrontierBuilder, ParetoPoint, ResultStore};
 
 /// Explores a [`ScenarioGrid`] on a fixed number of worker threads.
 ///
@@ -51,6 +51,12 @@ struct ExecTelemetry {
     series_built: Counter,
     models_reused: Counter,
     interner_keys: Counter,
+    /// Offers that joined the incremental Pareto frontier (including
+    /// later-evicted ones) and incumbents evicted by dominating offers —
+    /// together they bound the frontier maintenance cost, which tracks
+    /// frontier size instead of `cells × frontier`.
+    frontier_inserts: Counter,
+    frontier_evictions: Counter,
     /// One handle per worker slot, indexed by worker id.
     worker_cells: Vec<Counter>,
     /// Per-series evaluation latency distribution (`grid.series_eval`).
@@ -79,6 +85,8 @@ impl ExecTelemetry {
             series_built: metrics.counter("grid.series_built"),
             models_reused: metrics.counter("grid.models_reused"),
             interner_keys: metrics.counter("grid.interner.keys"),
+            frontier_inserts: metrics.counter("frontier.inserts"),
+            frontier_evictions: metrics.counter("frontier.evictions"),
             worker_cells: (0..threads)
                 .map(|i| metrics.counter(&format!("grid.worker.{i}.cells")))
                 .collect(),
@@ -174,8 +182,11 @@ impl GridExecutor {
             .interner_keys
             .add(interner.interned_strings() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
-        let outcomes = self.evaluate_jobs(grid, &job_cells, workers);
-        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers))
+        let mut frontier = FrontierBuilder::new();
+        let outcomes = self.evaluate_jobs(grid, &job_cells, workers, |job, outcome| {
+            frontier.insert_outcome(job, outcome);
+        });
+        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers, frontier))
     }
 
     /// Like [`GridExecutor::explore`], but resolves every job against
@@ -207,6 +218,7 @@ impl GridExecutor {
             .add(interner.interned_strings() as u64);
         let workers = self.threads.min(job_cells.len()).max(1);
 
+        let mut frontier = FrontierBuilder::new();
         let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(job_cells.len());
         let mut miss_slots: Vec<usize> = Vec::new();
         let mut miss_cells: Vec<GridCell> = Vec::new();
@@ -214,7 +226,10 @@ impl GridExecutor {
         for (slot, cell) in job_cells.iter().enumerate() {
             interner.resolve_into(interner.key(cell), &mut key_buf);
             match cache.lookup(&key_buf) {
-                Some(outcome) => outcomes.push(Some(outcome)),
+                Some(outcome) => {
+                    frontier.insert_outcome(slot, &outcome);
+                    outcomes.push(Some(outcome));
+                }
                 None => {
                     outcomes.push(None);
                     miss_slots.push(slot);
@@ -223,7 +238,20 @@ impl GridExecutor {
             }
         }
 
-        let fresh = self.evaluate_jobs(grid, &miss_cells, workers.min(miss_cells.len()).max(1));
+        let fresh = {
+            let miss_slots = &miss_slots;
+            let frontier = &mut frontier;
+            self.evaluate_jobs(
+                grid,
+                &miss_cells,
+                workers.min(miss_cells.len()).max(1),
+                // `evaluate_jobs` indexes into its own job list; map back
+                // to the global job slot before offering to the frontier.
+                |local, outcome| {
+                    frontier.insert_outcome(miss_slots[local], outcome);
+                },
+            )
+        };
         for ((slot, cell), outcome) in miss_slots.into_iter().zip(&miss_cells).zip(fresh) {
             cache.insert(interner.resolve(interner.key(cell)), outcome.clone());
             outcomes[slot] = Some(outcome);
@@ -233,7 +261,7 @@ impl GridExecutor {
             .into_iter()
             .map(|o| o.expect("every job is cached or evaluated"))
             .collect();
-        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers))
+        Ok(self.assemble(grid, cell_to_job, job_cells, outcomes, workers, frontier))
     }
 
     /// Resolves an explicit list of cells against `cache`: cached cells
@@ -259,7 +287,7 @@ impl GridExecutor {
             }
         }
         let workers = self.threads.min(miss_cells.len()).max(1);
-        let fresh = self.evaluate_jobs(grid, &miss_cells, workers);
+        let fresh = self.evaluate_jobs(grid, &miss_cells, workers, |_, _| {});
         for (cell, outcome) in miss_cells.iter().zip(fresh) {
             cache.insert(interner.resolve(interner.key(cell)), outcome);
         }
@@ -267,11 +295,17 @@ impl GridExecutor {
 
     /// Evaluates `jobs` serially or fanned out, per `workers`, through
     /// the series planner: one capability model per rate-axis series.
+    ///
+    /// `observe` sees every `(job index, outcome)` pair **as results
+    /// stream in** (on the calling thread, in arrival order) — the hook
+    /// the incremental frontier rides, so aggregation overlaps
+    /// evaluation instead of re-scanning the finished job list.
     fn evaluate_jobs(
         &self,
         grid: &ScenarioGrid,
         jobs: &[GridCell],
         workers: usize,
+        mut observe: impl FnMut(usize, &CellOutcome),
     ) -> Vec<CellOutcome> {
         if jobs.is_empty() {
             return Vec::new();
@@ -288,6 +322,7 @@ impl GridExecutor {
             let mut slots: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
             for s in &series {
                 for (job, outcome) in self.telemetry.timed_series(grid, s) {
+                    observe(job, &outcome);
                     slots[job] = Some(outcome);
                 }
             }
@@ -296,11 +331,13 @@ impl GridExecutor {
                 .map(|o| o.expect("series cover the job list"))
                 .collect()
         } else {
-            fan_out(grid, jobs.len(), &series, workers, &self.telemetry)
+            fan_out(grid, jobs.len(), &series, workers, &self.telemetry, observe)
         }
     }
 
-    /// Folds evaluated job outcomes into the final results record.
+    /// Folds evaluated job outcomes into the final results record. The
+    /// frontier arrives pre-built (streamed during evaluation); assemble
+    /// only restores the canonical order and resolves the survivors.
     fn assemble(
         &self,
         grid: &ScenarioGrid,
@@ -308,10 +345,13 @@ impl GridExecutor {
         job_cells: Vec<GridCell>,
         outcomes: Vec<CellOutcome>,
         workers: usize,
+        frontier: FrontierBuilder,
     ) -> GridResults {
         let _assemble = self.telemetry.assemble_span.start();
+        self.telemetry.frontier_inserts.add(frontier.inserts());
+        self.telemetry.frontier_evictions.add(frontier.evictions());
         let store = ResultStore::new(cell_to_job, job_cells, outcomes);
-        let frontier = pareto_frontier(&store);
+        let frontier = resolve_frontier(&store, frontier);
         GridResults {
             grid: grid.clone(),
             store,
@@ -329,12 +369,17 @@ impl GridExecutor {
 /// a thread-local count and publishes once on exit into
 /// `grid.worker.{i}.cells` — the hot loop performs no shared-memory
 /// telemetry traffic and one channel send per *series*, not per cell.
+///
+/// `observe` runs on the collecting (calling) thread only, in batch
+/// arrival order — workers never touch it, so it needs no
+/// synchronisation and may borrow freely from the caller's stack.
 fn fan_out(
     grid: &ScenarioGrid,
     n_jobs: usize,
     series: &[Series],
     workers: usize,
     telemetry: &ExecTelemetry,
+    mut observe: impl FnMut(usize, &CellOutcome),
 ) -> Vec<CellOutcome> {
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<Vec<(usize, CellOutcome)>>();
@@ -361,6 +406,7 @@ fn fan_out(
         let mut slots: Vec<Option<CellOutcome>> = vec![None; n_jobs];
         for batch in rx {
             for (job, outcome) in batch {
+                observe(job, &outcome);
                 slots[job] = Some(outcome);
             }
         }

@@ -57,11 +57,13 @@ mod series;
 mod spec;
 mod store;
 mod validate;
+mod view;
 
 pub use cache::{
     CacheAppender, CacheConflict, CacheFileError, CacheFormat, FlushPoll, FlushReader, MergeStats,
     ResultCache,
 };
+pub use view::CacheView;
 // The instrumentation layer, re-exported so downstream crates (refine,
 // shard, the harness) can thread one `Metrics` registry through an
 // executor without naming the telemetry crate themselves.
@@ -71,7 +73,7 @@ pub use key::{CellKey, KeyInterner};
 pub use memstream_telemetry as telemetry;
 pub use memstream_telemetry::Metrics;
 pub use spec::{DeviceEntry, GridCell, GridError, ScenarioGrid, WorkloadProfile};
-pub use store::{non_dominated, ParetoPoint, ResultStore};
+pub use store::{non_dominated, FrontierBuilder, ParetoPoint, ResultStore};
 pub use validate::{
     validate_frontier, FrontierValidation, SkipReason, ValidationRow, ValidationSkip,
 };

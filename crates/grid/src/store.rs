@@ -131,25 +131,111 @@ pub fn non_dominated(points: &[[f64; 3]]) -> Vec<usize> {
         .collect()
 }
 
-/// Extracts the Pareto frontier from the feasible, fully modelled jobs.
+/// An incrementally maintained Pareto frontier (maximising every
+/// coordinate): points are offered one at a time as results stream out
+/// of the evaluator, dominated offers are rejected on the spot, and
+/// accepted offers evict any incumbents they dominate. The surviving
+/// set equals the batch [`non_dominated`] scan of the same points —
+/// domination is transitive, so an evicted incumbent can never shield a
+/// third point — but the cost tracks `cells × frontier` only through
+/// the *current* frontier size rather than the full candidate set, and
+/// no candidate buffer is ever materialised.
+///
+/// Insertion order does not affect the surviving set. The canonical
+/// report order is restored by [`FrontierBuilder::finish`], which sorts
+/// by the caller's index (the grid's job order) — this is what keeps
+/// stdout byte-identical across thread and shard counts.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierBuilder {
+    points: Vec<(usize, [f64; 3])>,
+    inserts: u64,
+    evictions: u64,
+}
+
+impl FrontierBuilder {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        FrontierBuilder::default()
+    }
+
+    /// Offers one point (tagged with the caller's `index`, typically a
+    /// job ordinal). Returns whether it joined the frontier.
+    pub fn insert(&mut self, index: usize, objectives: [f64; 3]) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|(_, held)| dominates(held, &objectives))
+        {
+            return false;
+        }
+        let before = self.points.len();
+        self.points
+            .retain(|(_, held)| !dominates(&objectives, held));
+        self.evictions += (before - self.points.len()) as u64;
+        self.points.push((index, objectives));
+        self.inserts += 1;
+        true
+    }
+
+    /// Offers an outcome: only feasible, fully modelled points with a
+    /// measurable saving carry objectives; everything else is a no-op.
+    pub fn insert_outcome(&mut self, index: usize, outcome: &CellOutcome) -> bool {
+        match outcome.planned().and_then(PlannedPoint::objectives) {
+            Some(objectives) => self.insert(index, objectives),
+            None => false,
+        }
+    }
+
+    /// Current frontier size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no offer has survived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Offers that joined the frontier (including later-evicted ones).
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Incumbents evicted by later, dominating offers.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The surviving `(index, objectives)` pairs, sorted ascending by
+    /// index — the canonical order.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<(usize, [f64; 3])> {
+        self.points.sort_unstable_by_key(|&(index, _)| index);
+        self.points
+    }
+}
+
+/// Resolves a streamed frontier against the finished store: the builder
+/// tagged each survivor with its job ordinal, so this only clones the
+/// frontier-sized slice of planned points — never the full job list.
 #[must_use]
-pub(crate) fn pareto_frontier(store: &ResultStore) -> Vec<ParetoPoint> {
-    let candidates: Vec<ParetoPoint> = store
-        .jobs()
-        .filter_map(|(cell, outcome)| {
-            let point = outcome.planned()?;
-            let objectives = point.objectives()?;
+pub(crate) fn resolve_frontier(store: &ResultStore, builder: FrontierBuilder) -> Vec<ParetoPoint> {
+    builder
+        .finish()
+        .into_iter()
+        .filter_map(|(job, objectives)| {
+            let point = store.outcomes[job].planned()?;
             Some(ParetoPoint {
-                cell: *cell,
+                cell: store.job_cells[job],
                 point: point.clone(),
                 objectives,
             })
         })
-        .collect();
-    let objectives: Vec<[f64; 3]> = candidates.iter().map(ParetoPoint::objectives).collect();
-    non_dominated(&objectives)
-        .into_iter()
-        .map(|i| candidates[i].clone())
         .collect()
 }
 
@@ -177,5 +263,40 @@ mod tests {
     #[test]
     fn frontier_of_empty_input_is_empty() {
         assert!(non_dominated(&[]).is_empty());
+    }
+
+    /// The builder's surviving set must equal the batch scan, in index
+    /// order, for any insertion order.
+    fn assert_builder_matches_batch(points: &[[f64; 3]]) {
+        let mut builder = FrontierBuilder::new();
+        for (i, &p) in points.iter().enumerate() {
+            builder.insert(i, p);
+        }
+        let survivors: Vec<usize> = builder.finish().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(survivors, non_dominated(points));
+    }
+
+    #[test]
+    fn incremental_frontier_matches_batch_scan() {
+        assert_builder_matches_batch(&[[1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [2.0, 0.1, 0.1]]);
+        // Reversed: the dominating point arrives last and must evict.
+        assert_builder_matches_batch(&[[0.5, 0.5, 0.5], [2.0, 0.1, 0.1], [1.0, 1.0, 1.0]]);
+        // Equal points are mutually kept.
+        assert_builder_matches_batch(&[[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]]);
+        assert_builder_matches_batch(&[]);
+    }
+
+    #[test]
+    fn builder_counts_inserts_and_evictions() {
+        let mut builder = FrontierBuilder::new();
+        assert!(builder.insert(0, [0.5, 0.5, 0.5]));
+        assert!(builder.insert(1, [0.4, 0.9, 0.5]));
+        // Dominates both incumbents: two evictions, one insert.
+        assert!(builder.insert(2, [1.0, 1.0, 1.0]));
+        // Dominated offer: rejected, no counter movement.
+        assert!(!builder.insert(3, [0.9, 0.9, 0.9]));
+        assert_eq!(builder.inserts(), 3);
+        assert_eq!(builder.evictions(), 2);
+        assert_eq!(builder.len(), 1);
     }
 }

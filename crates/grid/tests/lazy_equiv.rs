@@ -1,0 +1,196 @@
+//! Property equivalences for the warm-path machinery: the lazy
+//! [`CacheView`] must answer exactly like an eager load, the parallel
+//! k-way merge must be byte-for-byte the serial merge, and the
+//! incremental frontier must survive exactly the batch non-domination
+//! scan. Each property runs over arbitrary subsets of a real explored
+//! corpus, so every outcome variant the models actually produce is
+//! exercised — not just hand-built fixtures.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use memstream_grid::{
+    non_dominated, CacheFormat, CacheView, CellOutcome, FrontierBuilder, GridExecutor, ResultCache,
+    ScenarioGrid,
+};
+use proptest::prelude::*;
+
+/// The shared entry corpus: one serial exploration of a small paper
+/// grid, flattened to sorted `(key, outcome)` pairs. Built once — the
+/// properties only ever *select* from it.
+fn corpus() -> &'static [(String, CellOutcome)] {
+    static CORPUS: OnceLock<Vec<(String, CellOutcome)>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let grid = ScenarioGrid::paper_baseline(6);
+        let mut cache = ResultCache::new();
+        GridExecutor::serial()
+            .explore_cached(&grid, &mut cache)
+            .expect("corpus grid explores");
+        let mut entries: Vec<(String, CellOutcome)> = cache
+            .keys()
+            .map(|key| (key.to_owned(), cache.get(key).expect("listed key resolves")))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(entries.len() >= 20, "corpus is big enough to subset");
+        entries
+    })
+}
+
+fn temp_path(name: &str, case: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("memstream-grid-lazy-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{name}-{case}.cache"))
+}
+
+/// Resolves raw sampled indices into a deduplicated entry subset
+/// (indices wrap around the corpus, so any usize is a valid pick).
+fn select(picks: &[usize]) -> BTreeMap<String, CellOutcome> {
+    let corpus = corpus();
+    picks
+        .iter()
+        .map(|&pick| corpus[pick % corpus.len()].clone())
+        .collect()
+}
+
+fn cache_of(entries: &BTreeMap<String, CellOutcome>) -> ResultCache {
+    let mut cache = ResultCache::new();
+    for (key, outcome) in entries {
+        cache.insert(key.clone(), outcome.clone());
+    }
+    cache
+}
+
+/// A distinct tag per proptest case, so concurrent cases never share a
+/// scratch file. (Wall clocks are banned in these tests' spirit of
+/// determinism; a process-wide counter is enough.)
+fn next_case() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    CASE.fetch_add(1, Ordering::Relaxed)
+}
+
+proptest! {
+    /// Every lookup against the lazy view — `get`, `contains_key`, and
+    /// the `load_lazy` cache built over it — answers exactly like the
+    /// eager load of the same file, for hits and misses alike.
+    #[test]
+    fn lazy_view_answers_match_the_eager_load(
+        picks in prop::collection::vec(0usize..1_000_000, 1..40)
+    ) {
+        let entries = select(&picks);
+        let path = temp_path("view", next_case());
+        cache_of(&entries).save_as(&path, CacheFormat::V2).expect("save v2");
+
+        let eager = ResultCache::load(&path).expect("eager load");
+        let lazy = ResultCache::load_lazy(&path).expect("lazy load");
+        let view = CacheView::open(&path).expect("view opens");
+        // An explicitly parallel decode (below the auto threshold, so
+        // the partitioned path must be forced) agrees entry for entry.
+        let parallel = ResultCache::load_with_workers(&path, 3).expect("parallel load");
+
+        prop_assert_eq!(eager.len(), entries.len());
+        prop_assert_eq!(lazy.len(), entries.len());
+        prop_assert_eq!(view.len(), entries.len());
+        prop_assert_eq!(parallel.len(), entries.len());
+        // Probe the *whole* corpus: selected keys are hits, the rest
+        // must miss identically in all three readers.
+        for (key, _) in corpus() {
+            prop_assert_eq!(eager.get(key), view.get(key));
+            prop_assert_eq!(eager.get(key), lazy.get(key));
+            prop_assert_eq!(eager.get(key), parallel.get(key));
+            prop_assert_eq!(eager.contains_key(key), view.contains_key(key));
+            prop_assert_eq!(eager.contains_key(key), lazy.contains_key(key));
+        }
+        prop_assert!(view.get("not a dedup key").is_none());
+        // Memoizing lookups leave the lazy cache's answers unchanged.
+        for (key, outcome) in &entries {
+            let got = lazy.get(key);
+            prop_assert_eq!(got.as_ref(), Some(outcome));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// The index-partitioned parallel merge is the serial merge: same
+    /// stats, and the merged caches save to byte-identical files for
+    /// any worker count.
+    #[test]
+    fn parallel_merge_is_byte_identical_to_serial(
+        ours in prop::collection::vec(0usize..1_000_000, 0..30),
+        theirs in prop::collection::vec(0usize..1_000_000, 1..30),
+        workers in 2usize..6,
+    ) {
+        let ours = select(&ours);
+        let theirs = cache_of(&select(&theirs));
+
+        let mut serial = cache_of(&ours);
+        let mut parallel = cache_of(&ours);
+        let serial_stats = serial.merge_with_workers(&theirs, 1).expect("no conflicts");
+        let parallel_stats = parallel
+            .merge_with_workers(&theirs, workers)
+            .expect("no conflicts");
+        prop_assert_eq!(serial_stats, parallel_stats);
+        prop_assert_eq!(serial.len(), parallel.len());
+
+        let case = next_case();
+        let serial_path = temp_path("merge-serial", case);
+        let parallel_path = temp_path("merge-parallel", case);
+        serial.save_as(&serial_path, CacheFormat::V2).expect("save");
+        parallel.save_as(&parallel_path, CacheFormat::V2).expect("save");
+        let serial_bytes = std::fs::read(&serial_path).expect("read");
+        let parallel_bytes = std::fs::read(&parallel_path).expect("read");
+        prop_assert_eq!(serial_bytes, parallel_bytes);
+        std::fs::remove_file(serial_path).ok();
+        std::fs::remove_file(parallel_path).ok();
+    }
+
+    /// A conflicting key is reported identically — same attributed key,
+    /// same encoded entries — whether the detect pass runs on one
+    /// thread or several, and the target cache is untouched either way.
+    #[test]
+    fn parallel_merge_attributes_the_same_conflict_as_serial(
+        ours in prop::collection::vec(0usize..1_000_000, 0..20),
+        poison in 0usize..1_000_000,
+        workers in 2usize..6,
+    ) {
+        let corpus = corpus();
+        let (poison_key, genuine) = &corpus[poison % corpus.len()];
+        let mut entries = select(&ours);
+        entries.insert(
+            poison_key.clone(),
+            CellOutcome::Unmodelled { detail: "poisoned for the conflict test".to_owned() },
+        );
+        prop_assume!(entries[poison_key.as_str()] != *genuine);
+
+        let mut theirs = ResultCache::new();
+        theirs.insert(poison_key.clone(), genuine.clone());
+
+        let mut serial = cache_of(&entries);
+        let mut parallel = cache_of(&entries);
+        let len_before = parallel.len();
+        let serial_err = serial.merge_with_workers(&theirs, 1).expect_err("conflict");
+        let parallel_err = parallel
+            .merge_with_workers(&theirs, workers)
+            .expect_err("conflict");
+        prop_assert_eq!(&serial_err.key, poison_key);
+        prop_assert_eq!(serial_err, parallel_err);
+        // A failed merge mutates nothing.
+        prop_assert_eq!(parallel.len(), len_before);
+    }
+
+    /// The incremental frontier builder keeps exactly the batch
+    /// non-dominated set, whatever the insertion order.
+    #[test]
+    fn incremental_frontier_equals_batch_non_domination(
+        raw in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0.0..20.0f64), 0..50)
+    ) {
+        let points: Vec<[f64; 3]> = raw.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let mut builder = FrontierBuilder::new();
+        for (i, &p) in points.iter().enumerate() {
+            builder.insert(i, p);
+        }
+        let survivors: Vec<usize> = builder.finish().into_iter().map(|(i, _)| i).collect();
+        prop_assert_eq!(survivors, non_dominated(&points));
+    }
+}

@@ -123,8 +123,7 @@ fn run_static_worker(spec: &WorkerSpec, metrics: &Metrics) -> io::Result<WorkerS
         let key = interner.resolve(interner.key(cell));
         let outcome = working
             .get(&key)
-            .expect("resolve_cells covered every assigned cell")
-            .clone();
+            .expect("resolve_cells covered every assigned cell");
         slice.insert(key, outcome);
     }
     slice.save_as(&spec.cache, spec.cache_format)?;
@@ -225,16 +224,18 @@ fn run_lease_worker(
                 _ => {}
             }
 
-            let records: Vec<(&str, &CellOutcome)> = fresh
+            let outcomes: Vec<CellOutcome> = fresh
                 .iter()
                 .map(|key| {
-                    (
-                        key.as_str(),
-                        working
-                            .get(key)
-                            .expect("resolve_cells covered every granted cell"),
-                    )
+                    working
+                        .get(key)
+                        .expect("resolve_cells covered every granted cell")
                 })
+                .collect();
+            let records: Vec<(&str, &CellOutcome)> = fresh
+                .iter()
+                .map(String::as_str)
+                .zip(outcomes.iter())
                 .collect();
             let first_flush = !flushed_any && !records.is_empty();
             flushed_any = flushed_any || !records.is_empty();
@@ -295,10 +296,12 @@ fn run_lease_worker(
 /// Lenient warm load: a stale or truncated warm file costs
 /// re-evaluation, never correctness. (The coordinator reads *our*
 /// output with the strict reader or the flush reader — those are the
-/// wire format.)
+/// wire format.) Lazy: a v2 warm file is indexed, not decoded — warm
+/// planning probes the index and only the cells this worker actually
+/// touches are ever decoded.
 fn load_warm(spec: &WorkerSpec) -> io::Result<ResultCache> {
     match &spec.warm {
-        Some(path) => ResultCache::load(path),
+        Some(path) => ResultCache::load_lazy(path),
         None => Ok(ResultCache::new()),
     }
 }
